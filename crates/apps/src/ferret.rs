@@ -1,0 +1,77 @@
+//! The `ferret` co-tenant: a CPU-hungry neighbour, not a packet app.
+//!
+//! Paper §V-E shares Metronome's cores with "a VM running ferret, a
+//! CPU-intensive, image similarity search task coming from the PARSEC
+//! benchmarking suite", measuring (a) how much the co-tenant slows down
+//! and (b) whether packet processing survives (Fig. 12, Table II).
+//!
+//! We model ferret as a fixed amount of CPU work split across worker
+//! threads — exactly what matters for those experiments: its completion
+//! time is `total work ÷ CPU share`, modulated by the scheduler and the
+//! contention-inflation model. The standalone duration is taken from
+//! Fig. 12's "alone / 1 core" bar (≈240 s); experiments shrink it
+//! proportionally to keep simulations tractable and report the ratio,
+//! which is what the paper's figure conveys.
+
+use metronome_sim::{Cycles, Nanos};
+
+/// Specification of a ferret run.
+#[derive(Clone, Copy, Debug)]
+pub struct FerretJob {
+    /// Total CPU work of the whole job.
+    pub total_cycles: Cycles,
+    /// Worker threads (the paper runs 1 or 3, one per core).
+    pub n_workers: usize,
+    /// Work chunk per scheduler turn (bounds preemption latency error).
+    pub chunk: Cycles,
+}
+
+impl FerretJob {
+    /// A job that takes `standalone` wall time on `n_workers` uncontended
+    /// cores at `mhz`.
+    pub fn sized_for(standalone: Nanos, n_workers: usize, mhz: u32) -> Self {
+        assert!(n_workers >= 1);
+        let per_core = Cycles::from_duration(standalone, mhz);
+        FerretJob {
+            total_cycles: Cycles(per_core.0 * n_workers as u64),
+            n_workers,
+            chunk: Cycles::from_duration(Nanos::from_micros(100), mhz),
+        }
+    }
+
+    /// Work assigned to each worker.
+    pub fn cycles_per_worker(&self) -> Cycles {
+        Cycles(self.total_cycles.0 / self.n_workers as u64)
+    }
+
+    /// Expected standalone duration at `mhz` with all workers uncontended.
+    pub fn standalone_duration(&self, mhz: u32) -> Nanos {
+        self.cycles_per_worker().at_mhz(mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_for_round_trips() {
+        let job = FerretJob::sized_for(Nanos::from_secs(2), 3, 2100);
+        assert_eq!(job.n_workers, 3);
+        assert_eq!(job.standalone_duration(2100), Nanos::from_secs(2));
+    }
+
+    #[test]
+    fn work_split_across_workers() {
+        let job = FerretJob::sized_for(Nanos::from_secs(1), 4, 2100);
+        assert_eq!(job.cycles_per_worker().0 * 4, job.total_cycles.0);
+    }
+
+    #[test]
+    fn chunking_is_fine_grained() {
+        let job = FerretJob::sized_for(Nanos::from_secs(1), 1, 2100);
+        // Many chunks per job: preemption granularity stays far below the
+        // completion time.
+        assert!(job.cycles_per_worker().0 / job.chunk.0 > 1_000);
+    }
+}

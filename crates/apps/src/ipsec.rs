@@ -1,0 +1,194 @@
+//! The IPsec Security Gateway application.
+//!
+//! Paper §V-G: "This application acts as an IPsec end tunnel for both
+//! inbound and outbound network traffic. It takes advantage of the NIC
+//! offloading capabilities for cryptographic operations, while
+//! encapsulation and decapsulation are performed by the application
+//! itself. Our tests perform encryption of the incoming packets through
+//! the AES-CBC 128-bit algorithm as packets are later sent to the
+//! unprotected port. The DPDK sample application achieves a maximum
+//! outbound throughput of 5.61 Mpps with 64B packets."
+//!
+//! **Cycle calibration (370 cycles/packet).** 5.61 Mpps at 2.1 GHz is
+//! ≈374 cycles per packet end to end; we budget ~370 for the gateway and
+//! let the shared burst overhead supply the remainder. The *functional*
+//! transformation here really runs AES-128-CBC in software (so the
+//! round-trip is verifiable); the cost model reflects the paper's
+//! offloaded-crypto deployment, where the CPU pays for ESP framing, SA
+//! lookup and descriptor juggling but not the cipher itself.
+
+use crate::processor::{PacketProcessor, Verdict};
+use metronome_dpdk::Mbuf;
+use metronome_net::esp::SecurityAssociation;
+use metronome_sim::Rng;
+use std::net::Ipv4Addr;
+
+/// Gateway direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Protect: plaintext in, ESP tunnel out.
+    Outbound,
+    /// Unprotect: ESP in, plaintext out.
+    Inbound,
+}
+
+/// IPsec security gateway over one SA.
+pub struct IpsecGateway {
+    sa: SecurityAssociation,
+    direction: Direction,
+    iv_rng: Rng,
+    /// Successfully transformed packets.
+    pub processed: u64,
+    /// Packets dropped (malformed, wrong SPI, padding errors).
+    pub dropped: u64,
+}
+
+impl IpsecGateway {
+    /// Outbound (encrypting) gateway with a fixed demo SA.
+    pub fn outbound() -> Self {
+        Self::new(Direction::Outbound, 0x900D_5EC5, 7)
+    }
+
+    /// Inbound (decrypting) gateway matching [`IpsecGateway::outbound`].
+    pub fn inbound() -> Self {
+        Self::new(Direction::Inbound, 0x900D_5EC5, 7)
+    }
+
+    /// Gateway with explicit SPI and IV seed.
+    pub fn new(direction: Direction, spi: u32, iv_seed: u64) -> Self {
+        IpsecGateway {
+            sa: SecurityAssociation::new(
+                spi,
+                Ipv4Addr::new(172, 16, 1, 1),
+                Ipv4Addr::new(172, 16, 2, 1),
+                b"metronome-secret",
+            ),
+            direction,
+            iv_rng: Rng::new(iv_seed),
+            processed: 0,
+            dropped: 0,
+        }
+    }
+}
+
+impl PacketProcessor for IpsecGateway {
+    fn name(&self) -> &'static str {
+        match self.direction {
+            Direction::Outbound => "ipsec-secgw-out",
+            Direction::Inbound => "ipsec-secgw-in",
+        }
+    }
+
+    /// See module docs: back-solved from the paper's 5.61 Mpps ceiling.
+    fn cycles_per_packet(&self) -> u64 {
+        370
+    }
+
+    fn process(&mut self, mbuf: &mut Mbuf) -> Verdict {
+        match self.direction {
+            Direction::Outbound => {
+                let mut iv = [0u8; 16];
+                for b in iv.iter_mut() {
+                    *b = self.iv_rng.next_u64() as u8;
+                }
+                match self.sa.encapsulate(mbuf.bytes(), &iv) {
+                    Ok(out) => {
+                        mbuf.replace_data(out);
+                        self.processed += 1;
+                        Verdict::Forward
+                    }
+                    Err(_) => {
+                        self.dropped += 1;
+                        Verdict::Drop
+                    }
+                }
+            }
+            Direction::Inbound => match self.sa.decapsulate(mbuf.bytes()) {
+                Ok(out) => {
+                    mbuf.replace_data(out);
+                    self.processed += 1;
+                    Verdict::Forward
+                }
+                Err(_) => {
+                    self.dropped += 1;
+                    Verdict::Drop
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metronome_net::headers::{build_udp_frame, parse_frame, Mac};
+    use metronome_net::{FiveTuple, IpProto};
+
+    fn plain() -> Mbuf {
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            2000,
+        );
+        Mbuf::from_bytes(build_udp_frame(
+            Mac::local(1),
+            Mac::local(2),
+            &t,
+            b"top secret",
+            64,
+        ))
+    }
+
+    #[test]
+    fn outbound_produces_esp() {
+        let mut gw = IpsecGateway::outbound();
+        let mut m = plain();
+        assert_eq!(gw.process(&mut m), Verdict::Forward);
+        let p = parse_frame(m.bytes()).unwrap();
+        assert_eq!(p.tuple.proto, IpProto::Esp);
+        assert_eq!(gw.processed, 1);
+    }
+
+    #[test]
+    fn full_tunnel_round_trip() {
+        let mut out = IpsecGateway::outbound();
+        let mut inb = IpsecGateway::inbound();
+        let mut m = plain();
+        let original = m.bytes().to_vec();
+        assert_eq!(out.process(&mut m), Verdict::Forward);
+        assert_ne!(m.bytes(), &original[..]);
+        assert_eq!(inb.process(&mut m), Verdict::Forward);
+        assert_eq!(m.bytes(), &original[..]);
+    }
+
+    #[test]
+    fn distinct_ivs_per_packet() {
+        let mut gw = IpsecGateway::outbound();
+        let mut a = plain();
+        let mut b = plain();
+        gw.process(&mut a);
+        gw.process(&mut b);
+        // Identical plaintext frames must encrypt differently.
+        assert_ne!(a.bytes(), b.bytes());
+    }
+
+    #[test]
+    fn inbound_rejects_garbage() {
+        let mut gw = IpsecGateway::inbound();
+        let mut m = plain(); // plaintext is not a valid ESP packet
+        assert_eq!(gw.process(&mut m), Verdict::Drop);
+        assert_eq!(gw.dropped, 1);
+    }
+
+    #[test]
+    fn calibrated_mu_matches_paper_ceiling() {
+        let gw = IpsecGateway::outbound();
+        let mu = gw.mu_pps(2100);
+        // Paper: 5.61 Mpps max outbound with 64B packets.
+        assert!(
+            (5.3e6..6.0e6).contains(&mu),
+            "IPsec µ = {mu}, expected ≈5.61 Mpps"
+        );
+    }
+}

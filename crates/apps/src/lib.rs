@@ -1,0 +1,32 @@
+//! # metronome-apps — the applications of the paper's evaluation
+//!
+//! Three DPDK applications adapted to Metronome (paper §V-G) plus the
+//! CPU-hungry co-tenant of the sharing experiments (§V-E):
+//!
+//! * [`l3fwd::L3Fwd`] — layer-3 forwarder, LPM (DIR-24-8) or exact-match;
+//!   the workhorse of Figs. 5–15.
+//! * [`ipsec::IpsecGateway`] — ESP tunnel gateway with real AES-128-CBC
+//!   transformation and offload-calibrated cost (Fig. 16a).
+//! * [`flowatcher::FloWatcher`] — per-packet + per-flow statistics monitor
+//!   in run-to-completion mode (Fig. 16b).
+//! * [`ferret::FerretJob`] — the PARSEC-style co-located CPU hog
+//!   (Fig. 12, Table II).
+//!
+//! Applications implement [`processor::PacketProcessor`]: a functional
+//! per-packet transformation plus a per-packet cycle cost calibrated from
+//! the paper's own measured capacities (see each module's docs).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ferret;
+pub mod flowatcher;
+pub mod ipsec;
+pub mod l3fwd;
+pub mod processor;
+
+pub use ferret::FerretJob;
+pub use flowatcher::FloWatcher;
+pub use ipsec::IpsecGateway;
+pub use l3fwd::L3Fwd;
+pub use processor::{PacketProcessor, Verdict};

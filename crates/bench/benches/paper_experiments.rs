@@ -1,0 +1,328 @@
+//! One Criterion group per paper table/figure: times a scaled-down kernel
+//! of each reproduction (the full-duration versions live in the
+//! `experiments` binary). Regenerate a figure's data with
+//! `cargo run --release -p metronome-experiments --bin experiments -- <id>`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metronome_core::MetronomeConfig;
+use metronome_dpdk::NicProfile;
+use metronome_os::sleep::{SleepModel, SleepService};
+use metronome_os::Governor;
+use metronome_runtime::{run, AppProfile, FerretSpec, Scenario, TrafficSpec};
+use metronome_sim::{Nanos, Rng};
+use std::hint::black_box;
+
+const QUICK: Nanos = Nanos(120_000_000); // 120 ms of simulated time
+
+fn metronome_line(v_target_us: u64, dur: Nanos) -> Scenario {
+    Scenario::metronome(
+        "bench",
+        MetronomeConfig {
+            v_target: Nanos::from_micros(v_target_us),
+            ..MetronomeConfig::default()
+        },
+        TrafficSpec::CbrGbps(10.0),
+    )
+    .with_duration(dur)
+}
+
+fn fig01_sleep_services(c: &mut Criterion) {
+    let model = SleepModel::idle_calibration();
+    c.bench_function("fig01_sleep_services/hr_sleep_10us_x1000", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut acc = Nanos::ZERO;
+            for _ in 0..1000 {
+                acc += model.actual_sleep(
+                    SleepService::HrSleep,
+                    Nanos::from_micros(10),
+                    &mut rng,
+                );
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig04_vacation_pdf(c: &mut Criterion) {
+    c.bench_function("fig04_vacation_pdf/m3_fixed_ts", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "fig4",
+                MetronomeConfig {
+                    fixed_ts: Some(Nanos::from_micros(50)),
+                    t_long: Nanos::from_micros(50),
+                    ..MetronomeConfig::default()
+                },
+                TrafficSpec::CbrGbps(0.1),
+            )
+            .with_duration(QUICK);
+            black_box(run(&sc).vacation_samples_us.len())
+        })
+    });
+}
+
+fn tab1_vacation_targets(c: &mut Criterion) {
+    c.bench_function("tab1_vacation_targets/v10_line_rate", |b| {
+        b.iter(|| black_box(run(&metronome_line(10, QUICK)).loss))
+    });
+}
+
+fn fig05_vbar_tradeoff(c: &mut Criterion) {
+    c.bench_function("fig05_vbar_tradeoff/v2_with_latency", |b| {
+        b.iter(|| {
+            let sc = metronome_line(2, QUICK).with_latency();
+            black_box(run(&sc).latency_us.map(|l| l.mean))
+        })
+    });
+}
+
+fn fig06_tl_sweep(c: &mut Criterion) {
+    c.bench_function("fig06_tl_sweep/tl300", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "fig6",
+                MetronomeConfig {
+                    t_long: Nanos::from_micros(300),
+                    ..MetronomeConfig::default()
+                },
+                TrafficSpec::CbrGbps(10.0),
+            )
+            .with_duration(QUICK);
+            black_box(run(&sc).busy_try_fraction)
+        })
+    });
+}
+
+fn fig07_m_sweep(c: &mut Criterion) {
+    c.bench_function("fig07_m_sweep/m5", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "fig7",
+                MetronomeConfig {
+                    m_threads: 5,
+                    ..MetronomeConfig::default()
+                },
+                TrafficSpec::CbrGbps(10.0),
+            )
+            .with_duration(QUICK);
+            black_box(run(&sc).busy_try_fraction)
+        })
+    });
+}
+
+fn fig08_latency_vs_m(c: &mut Criterion) {
+    c.bench_function("fig08_latency_vs_m/m6_1gbps", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "fig8",
+                MetronomeConfig {
+                    m_threads: 6,
+                    ..MetronomeConfig::default()
+                },
+                TrafficSpec::CbrGbps(1.0),
+            )
+            .with_duration(QUICK)
+            .with_latency_stride(31);
+            black_box(run(&sc).latency_us.map(|l| l.mean))
+        })
+    });
+}
+
+fn fig09_adaptation(c: &mut Criterion) {
+    c.bench_function("fig09_adaptation/mini_ramp", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "fig9",
+                MetronomeConfig::default(),
+                TrafficSpec::RampUpDown {
+                    peak_pps: 14e6,
+                    n_steps: 4,
+                    step: Nanos::from_millis(20),
+                },
+            )
+            .with_duration(Nanos::from_millis(160))
+            .with_series(Nanos::from_millis(10));
+            black_box(run(&sc).series.len())
+        })
+    });
+}
+
+fn fig10_three_way(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_three_way");
+    g.bench_function("static_10g", |b| {
+        b.iter(|| {
+            let sc = Scenario::static_dpdk("s", 1, TrafficSpec::CbrGbps(10.0))
+                .with_duration(QUICK);
+            black_box(run(&sc).cpu_total_pct)
+        })
+    });
+    g.bench_function("metronome_10g", |b| {
+        b.iter(|| black_box(run(&metronome_line(10, QUICK)).cpu_total_pct))
+    });
+    g.bench_function("xdp_10g", |b| {
+        b.iter(|| {
+            let sc = Scenario::xdp("x", 4, TrafficSpec::CbrGbps(10.0)).with_duration(QUICK);
+            black_box(run(&sc).cpu_total_pct)
+        })
+    });
+    g.finish();
+}
+
+fn fig11_power_governors(c: &mut Criterion) {
+    c.bench_function("fig11_power_governors/ondemand_idle", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome("f11", MetronomeConfig::default(), TrafficSpec::Silent)
+                .with_duration(QUICK)
+                .with_governor(Governor::Ondemand);
+            black_box(run(&sc).power_watts)
+        })
+    });
+}
+
+fn fig12_ferret(c: &mut Criterion) {
+    c.bench_function("fig12_ferret/metronome_sharing", |b| {
+        b.iter(|| {
+            let sc = metronome_line(10, Nanos::from_millis(300)).with_ferret(FerretSpec {
+                n_workers: 3,
+                standalone: Nanos::from_millis(60),
+                nice: 19,
+                on_net_cores: true,
+            });
+            black_box(run(&sc).ferret_slowdown())
+        })
+    });
+}
+
+fn tab2_sharing_throughput(c: &mut Criterion) {
+    c.bench_function("tab2_sharing_throughput/static_vs_ferret", |b| {
+        b.iter(|| {
+            let sc = Scenario::static_dpdk("t2", 1, TrafficSpec::CbrGbps(10.0))
+                .with_duration(Nanos::from_millis(300))
+                .with_ferret(FerretSpec {
+                    n_workers: 1,
+                    standalone: Nanos::from_millis(60),
+                    nice: 0,
+                    on_net_cores: true,
+                });
+            black_box(run(&sc).throughput_mpps)
+        })
+    });
+}
+
+fn fig13_multiqueue_grid(c: &mut Criterion) {
+    c.bench_function("fig13_multiqueue_grid/n4_m5", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "f13",
+                MetronomeConfig::multiqueue(5, 4),
+                TrafficSpec::CbrPps(37e6),
+            )
+            .with_nic(NicProfile::XL710)
+            .with_duration(QUICK);
+            black_box(run(&sc).cpu_total_pct)
+        })
+    });
+}
+
+fn fig14_busytries_rho(c: &mut Criterion) {
+    c.bench_function("fig14_busytries_rho/n2_m6", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "f14",
+                MetronomeConfig::multiqueue(6, 2),
+                TrafficSpec::CbrPps(37e6),
+            )
+            .with_nic(NicProfile::XL710)
+            .with_duration(QUICK);
+            let r = run(&sc);
+            black_box((r.busy_try_fraction, r.mean_rho()))
+        })
+    });
+}
+
+fn fig15_rate_sweep(c: &mut Criterion) {
+    c.bench_function("fig15_rate_sweep/20mpps", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "f15",
+                MetronomeConfig::multiqueue(5, 4),
+                TrafficSpec::CbrPps(20e6),
+            )
+            .with_nic(NicProfile::XL710)
+            .with_duration(QUICK);
+            black_box(run(&sc).power_watts)
+        })
+    });
+}
+
+fn tab3_unbalanced(c: &mut Criterion) {
+    c.bench_function("tab3_unbalanced/three_queues", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "t3",
+                MetronomeConfig::multiqueue(4, 3),
+                TrafficSpec::Unbalanced { total_pps: 37e6 },
+            )
+            .with_nic(NicProfile::XL710)
+            .with_duration(QUICK);
+            black_box(run(&sc).queues[0].rho)
+        })
+    });
+}
+
+fn fig16_applications(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_applications");
+    g.bench_function("ipsec_1mpps", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "ipsec",
+                MetronomeConfig::default(),
+                TrafficSpec::CbrPps(1e6),
+            )
+            .with_app(AppProfile::ipsec())
+            .with_duration(QUICK);
+            black_box(run(&sc).cpu_total_pct)
+        })
+    });
+    g.bench_function("flowatcher_5mpps", |b| {
+        b.iter(|| {
+            let sc = Scenario::metronome(
+                "flow",
+                MetronomeConfig::default(),
+                TrafficSpec::CbrPps(5e6),
+            )
+            .with_app(AppProfile::flowatcher())
+            .with_duration(QUICK);
+            black_box(run(&sc).cpu_total_pct)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets =
+        fig01_sleep_services,
+        fig04_vacation_pdf,
+        tab1_vacation_targets,
+        fig05_vbar_tradeoff,
+        fig06_tl_sweep,
+        fig07_m_sweep,
+        fig08_latency_vs_m,
+        fig09_adaptation,
+        fig10_three_way,
+        fig11_power_governors,
+        fig12_ferret,
+        tab2_sharing_throughput,
+        fig13_multiqueue_grid,
+        fig14_busytries_rho,
+        fig15_rate_sweep,
+        tab3_unbalanced,
+        fig16_applications
+}
+criterion_main!(paper);

@@ -1,0 +1,31 @@
+//! # metronome-bench — benchmark harness
+//!
+//! Three bench targets (run with `cargo bench`):
+//!
+//! * `paper_experiments` — Criterion timing of a scaled-down kernel of
+//!   every table/figure reproduction (one group per experiment), useful as
+//!   a regression canary for simulation throughput;
+//! * `micro` — Criterion microbenchmarks of the hot primitives (trylock,
+//!   Toeplitz, LPM, exact-match, AES, rings, event queue, arrival drains);
+//! * `ablations` — a measurement harness (not a timer) printing the
+//!   design-choice comparisons called out in DESIGN.md §5: diversity vs
+//!   equal timeouts, adaptive vs fixed TS, hr_sleep vs nanosleep, Tx batch
+//!   32 vs 1, burst reactivity vs XDP.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use metronome_core::MetronomeConfig;
+use metronome_runtime::{run, RunReport, Scenario, TrafficSpec};
+use metronome_sim::Nanos;
+
+/// A short Metronome line-rate run used by several benches.
+pub fn quick_line_rate_run(millis: u64) -> RunReport {
+    let sc = Scenario::metronome(
+        "bench-line",
+        MetronomeConfig::default(),
+        TrafficSpec::CbrGbps(10.0),
+    )
+    .with_duration(Nanos::from_millis(millis));
+    run(&sc)
+}

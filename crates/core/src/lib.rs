@@ -1,0 +1,62 @@
+//! # metronome-core — adaptive and precise intermittent packet retrieval
+//!
+//! The primary contribution of *Metronome* (Faltelli et al., CoNEXT 2020):
+//! replace DPDK's continuous busy polling with a sleep&wake scheme whose
+//! CPU usage is proportional to the load while the added latency stays
+//! pinned at a configurable target.
+//!
+//! The pieces, each its own module:
+//!
+//! * [`trylock`] — the user-space CMPXCHG race primitive (§III-B);
+//! * [`engine`] — the primary/backup diversity policy: race winners sleep
+//!   the short adaptive timeout `TS` and re-contend their queue, losers
+//!   sleep the long timeout `TL` and re-contend a random queue (§IV-A,
+//!   §IV-E);
+//! * [`model`] — the renewal/vacation analytical model, equations (1)–(14);
+//! * [`controller`] — the EWMA load estimator (eq. (11)) driving the
+//!   `TS` rule (eq. (13)/(14)) per queue;
+//! * [`predictor`] — closed-form CPU/wake-rate predictions from the same
+//!   renewal structure, validated against the simulation;
+//! * [`realtime`] — the protocol on real `std::thread`s with a
+//!   spin-assisted [`realtime::PreciseSleeper`] standing in for the
+//!   paper's `hr_sleep()` kernel service;
+//! * [`config`] — tunables with the paper's evaluation defaults
+//!   (`M = 3`, `V̄ = 10 µs`, `TL = 500 µs`, burst 32).
+//!
+//! The same policy/model code drives both the discrete-event simulation
+//! (see `metronome-runtime`) and the real-thread runtime, so what the
+//! benchmarks evaluate is what a user adopts.
+//!
+//! ## Quick start (real threads)
+//!
+//! ```
+//! use metronome_core::{config::MetronomeConfig, realtime::Metronome};
+//! use crossbeam::queue::ArrayQueue;
+//! use std::sync::Arc;
+//!
+//! let queues = vec![Arc::new(ArrayQueue::<u64>::new(1024))];
+//! let m = Metronome::start(MetronomeConfig::default(), queues.clone(), |_q, item| {
+//!     let _ = item; // process the packet
+//! });
+//! queues[0].push(42).unwrap();
+//! std::thread::sleep(std::time::Duration::from_millis(50));
+//! let stats = m.stop();
+//! assert_eq!(stats.total_processed(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod controller;
+pub mod engine;
+pub mod model;
+pub mod predictor;
+pub mod realtime;
+pub mod trylock;
+
+pub use config::MetronomeConfig;
+pub use controller::AdaptiveController;
+pub use engine::{Role, ThreadPolicy};
+pub use realtime::{Metronome, PreciseSleeper, RealtimeStats};
+pub use trylock::TryLock;

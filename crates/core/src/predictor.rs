@@ -1,0 +1,146 @@
+//! Analytical resource predictor: closed-form CPU and wake-rate estimates.
+//!
+//! The paper's model (§IV) predicts *timing*; operators also want the
+//! resource side before deploying: "if I run M threads at target V̄
+//! against load ρ, what CPU will Metronome use?" This module derives that
+//! from the same renewal structure, and the test suite validates it
+//! against the discrete-event simulation — closing the loop between the
+//! analysis and the system the way the paper's Fig. 4 does for vacations.
+//!
+//! Per renewal cycle (mean length `E[V] + E[B]`):
+//! * the serving thread is on-CPU for `E[B]` plus one wake/sleep path;
+//! * every other thread wakes on its own timer (TS or TL) and pays a
+//!   busy-try path.
+//!
+//! With the eq. (13) rule in force, `E[V] = V̄` and `E[B] = V̄·ρ/(1−ρ)`.
+
+use crate::model;
+
+/// Cost parameters of one deployment (times in seconds, like the model).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// CPU seconds charged per wake→race→sleep cycle of any thread
+    /// (syscall entry/exit, timer, context switches, trylock, poll).
+    pub wake_cycle_cost: f64,
+    /// Service rate µ in packets per second.
+    pub mu_pps: f64,
+}
+
+impl CostModel {
+    /// The repo's calibrated defaults at 2.1 GHz (see
+    /// `metronome-runtime::calib`): ≈2.1 µs per sleep&wake cycle,
+    /// l3fwd µ ≈ 29.4 Mpps.
+    pub fn calibrated() -> Self {
+        CostModel {
+            wake_cycle_cost: 2.1e-6,
+            mu_pps: 29.4e6,
+        }
+    }
+}
+
+/// Closed-form prediction for a single-queue deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct Prediction {
+    /// Smoothed load ρ = λ/µ.
+    pub rho: f64,
+    /// The TS the controller will settle on (seconds).
+    pub ts: f64,
+    /// Mean busy period (seconds).
+    pub busy: f64,
+    /// Total CPU across all threads, as a fraction of one core
+    /// (1.0 = 100%).
+    pub cpu_fraction: f64,
+    /// Total thread wake-ups per second.
+    pub wakes_per_sec: f64,
+}
+
+/// Predict steady-state resource usage for `m` threads at target vacation
+/// `v_target` (seconds) under offered load `lambda_pps`, with backup
+/// timeout `tl` (seconds).
+///
+/// Assumes ρ < 1 (below saturation) and the adaptive rule in force.
+///
+/// Accounting: with eq. (13) in force the system performs exactly one
+/// successful acquire per renewal cycle of mean length `V̄ + E[B]` —
+/// at low load that single rate already covers *all* wakes (every wake
+/// wins), at high load the M−1 backups add failed wakes at ≈(1−p)/TL
+/// each. CPU is the busy fraction plus the wake-path cost times the total
+/// wake rate.
+pub fn predict(m: usize, v_target: f64, tl: f64, lambda_pps: f64, cost: &CostModel) -> Prediction {
+    assert!(m >= 1);
+    assert!(v_target > 0.0 && tl >= v_target);
+    let rho = (lambda_pps / cost.mu_pps).clamp(0.0, 0.999_999);
+    let ts = model::ts_rule(m, rho, v_target);
+    let busy = model::busy_period_mean(v_target, rho);
+    let cycle = v_target + busy;
+
+    let acquire_rate = 1.0 / cycle;
+    // Backup threads (probability 1−p = ρ each) wake once per TL and fail.
+    let failure_rate = (m as f64 - 1.0) * rho / tl;
+    let wakes_per_sec = acquire_rate + failure_rate;
+
+    Prediction {
+        rho,
+        ts,
+        busy,
+        cpu_fraction: busy / cycle + wakes_per_sec * cost.wake_cycle_cost,
+        wakes_per_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_floor_matches_calibration() {
+        // M = 3, V̄ = 10 µs, zero traffic → the paper's ≈20% CPU floor.
+        let p = predict(3, 10e-6, 500e-6, 0.0, &CostModel::calibrated());
+        assert!(
+            (0.12..0.28).contains(&p.cpu_fraction),
+            "idle CPU {}",
+            p.cpu_fraction
+        );
+        // All threads primary at idle: TS = M·V̄.
+        assert!((p.ts - 30e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_rate_matches_fig10() {
+        // 14.88 Mpps, M = 3 → the paper's ≈60% total CPU.
+        let p = predict(3, 10e-6, 500e-6, 14.88e6, &CostModel::calibrated());
+        assert!(
+            (0.45..0.70).contains(&p.cpu_fraction),
+            "line-rate CPU {}",
+            p.cpu_fraction
+        );
+        assert!((p.rho - 0.506).abs() < 0.01);
+    }
+
+    #[test]
+    fn cpu_monotone_in_load() {
+        let cost = CostModel::calibrated();
+        let mut last = 0.0;
+        for mpps in [0.0, 2.0, 6.0, 10.0, 14.0] {
+            let p = predict(3, 10e-6, 500e-6, mpps * 1e6, &cost);
+            assert!(p.cpu_fraction >= last - 1e-9, "not monotone at {mpps}");
+            last = p.cpu_fraction;
+        }
+    }
+
+    #[test]
+    fn shorter_target_costs_more_cpu() {
+        let cost = CostModel::calibrated();
+        let tight = predict(3, 2e-6, 500e-6, 7.44e6, &cost);
+        let loose = predict(3, 10e-6, 500e-6, 7.44e6, &cost);
+        assert!(tight.cpu_fraction > loose.cpu_fraction);
+        assert!(tight.wakes_per_sec > loose.wakes_per_sec);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let p = predict(3, 10e-6, 500e-6, 40e6, &CostModel::calibrated());
+        assert!(p.rho < 1.0);
+        assert!(p.cpu_fraction <= 1.2, "{}", p.cpu_fraction);
+    }
+}

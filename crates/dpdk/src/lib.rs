@@ -1,0 +1,38 @@
+//! # metronome-dpdk — the DPDK-like substrate
+//!
+//! A from-scratch stand-in for the slice of DPDK the Metronome paper
+//! depends on. Real DPDK binds physical NICs via userspace drivers; this
+//! crate reproduces the *interfaces and semantics* that Metronome's
+//! algorithm and the paper's evaluation observe:
+//!
+//! * [`mbuf::Mbuf`] — packet buffers with Rx metadata (port, queue,
+//!   RSS hash, arrival timestamp).
+//! * [`mempool::Mempool`] — bounded pre-allocated buffer pools with
+//!   exhaustion accounting.
+//! * [`ring::Ring`] — Rx descriptor rings with burst dequeue and tail-drop,
+//!   plus [`ring::RxRingModel`], the allocation-free occupancy model the
+//!   discrete-event simulator uses (property-tested to agree with `Ring`).
+//! * [`nic`] — framing math (64 B ⇒ 14.88 Mpps at 10 G), device profiles
+//!   (X520, XL710 with its 37 Mpps silicon cap) and an RSS-dispatching
+//!   functional [`nic::Port`].
+//! * [`ethdev::TxBuffer`] — Tx batching with the exact latency-vs-CPU
+//!   trade-off the paper measures when lowering the batch from 32 to 1.
+//! * [`random::RteRand`] — the lock-free shared PRNG backup threads use to
+//!   pick their next queue (paper Appendix II).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ethdev;
+pub mod mbuf;
+pub mod mempool;
+pub mod nic;
+pub mod random;
+pub mod ring;
+
+pub use ethdev::TxBuffer;
+pub use mbuf::Mbuf;
+pub use mempool::Mempool;
+pub use nic::{NicProfile, Port};
+pub use random::RteRand;
+pub use ring::{Ring, RxRingModel};

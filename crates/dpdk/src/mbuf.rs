@@ -1,0 +1,97 @@
+//! Packet buffer (`rte_mbuf` analogue).
+//!
+//! An [`Mbuf`] owns the frame bytes plus the receive metadata a DPDK
+//! application reads: ingress port/queue, the NIC-computed RSS hash, and
+//! the arrival timestamp (our NIC model timestamps on DMA completion, which
+//! is what MoonGen's hardware timestamping measures against).
+
+use bytes::BytesMut;
+use metronome_sim::Nanos;
+
+/// A packet buffer with receive metadata.
+#[derive(Debug, Clone)]
+pub struct Mbuf {
+    data: BytesMut,
+    /// Ingress port id.
+    pub port: u16,
+    /// Ingress Rx queue index (RSS decision).
+    pub queue: u16,
+    /// RSS hash as computed by the NIC.
+    pub rss_hash: u32,
+    /// Arrival (DMA completion) timestamp.
+    pub arrival: Nanos,
+}
+
+impl Mbuf {
+    /// Wrap frame bytes with zeroed metadata.
+    pub fn from_bytes(data: BytesMut) -> Self {
+        Mbuf {
+            data,
+            port: 0,
+            queue: 0,
+            rss_hash: 0,
+            arrival: Nanos::ZERO,
+        }
+    }
+
+    /// Frame length in bytes (without wire overhead).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable frame bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable frame bytes (headers are rewritten in place, as in DPDK).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Replace the frame contents, keeping metadata (used by encapsulating
+    /// applications like the IPsec gateway).
+    pub fn replace_data(&mut self, data: BytesMut) {
+        self.data = data;
+    }
+
+    /// Take the buffer out, leaving an empty mbuf (zero-copy handoff).
+    pub fn take_data(&mut self) -> BytesMut {
+        core::mem::take(&mut self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_bytes() {
+        let m = Mbuf::from_bytes(BytesMut::from(&b"hello"[..]));
+        assert_eq!(m.len(), 5);
+        assert!(!m.is_empty());
+        assert_eq!(m.bytes(), b"hello");
+    }
+
+    #[test]
+    fn mutation_in_place() {
+        let mut m = Mbuf::from_bytes(BytesMut::from(&[0u8; 4][..]));
+        m.bytes_mut()[0] = 0xFF;
+        assert_eq!(m.bytes()[0], 0xFF);
+    }
+
+    #[test]
+    fn replace_and_take() {
+        let mut m = Mbuf::from_bytes(BytesMut::from(&b"aa"[..]));
+        m.replace_data(BytesMut::from(&b"bbbb"[..]));
+        assert_eq!(m.len(), 4);
+        let d = m.take_data();
+        assert_eq!(&d[..], b"bbbb");
+        assert!(m.is_empty());
+    }
+}

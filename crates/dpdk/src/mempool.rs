@@ -1,0 +1,162 @@
+//! Bounded packet-buffer pool (`rte_mempool` analogue).
+//!
+//! DPDK pre-allocates all mbufs from hugepage-backed pools; running out of
+//! pool buffers is a first-class failure mode (Rx stalls even though the
+//! ring has descriptors). The pool here reproduces that bounded-allocation
+//! discipline: a fixed population of buffers of fixed capacity, O(1)
+//! alloc/free, and counters for exhaustion events.
+
+use crate::mbuf::Mbuf;
+use bytes::BytesMut;
+
+/// Fixed-population buffer pool.
+pub struct Mempool {
+    free: Vec<BytesMut>,
+    buf_capacity: usize,
+    population: usize,
+    alloc_failures: u64,
+    allocs: u64,
+    frees: u64,
+}
+
+impl Mempool {
+    /// Pool of `population` buffers, each able to hold `buf_capacity` bytes
+    /// (DPDK's default dataroom is 2048).
+    pub fn new(population: usize, buf_capacity: usize) -> Self {
+        assert!(population > 0, "empty pool");
+        Mempool {
+            free: (0..population)
+                .map(|_| BytesMut::with_capacity(buf_capacity))
+                .collect(),
+            buf_capacity,
+            population,
+            alloc_failures: 0,
+            allocs: 0,
+            frees: 0,
+        }
+    }
+
+    /// Total buffers the pool owns.
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Buffers currently available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Buffers currently handed out.
+    pub fn in_use(&self) -> usize {
+        self.population - self.free.len()
+    }
+
+    /// Times an allocation failed because the pool was empty.
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
+    }
+
+    /// Allocate an empty mbuf, or `None` if the pool is exhausted.
+    pub fn alloc(&mut self) -> Option<Mbuf> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                self.allocs += 1;
+                Some(Mbuf::from_bytes(buf))
+            }
+            None => {
+                self.alloc_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Allocate and fill with `frame` bytes. Fails if the pool is empty or
+    /// the frame exceeds the pool's buffer capacity.
+    pub fn alloc_with(&mut self, frame: &[u8]) -> Option<Mbuf> {
+        if frame.len() > self.buf_capacity {
+            return None;
+        }
+        let mut m = self.alloc()?;
+        let mut data = m.take_data();
+        data.extend_from_slice(frame);
+        m.replace_data(data);
+        Some(m)
+    }
+
+    /// Return an mbuf's buffer to the pool.
+    ///
+    /// # Panics
+    /// In debug builds, if more buffers are freed than were allocated
+    /// (double free).
+    pub fn free(&mut self, mut mbuf: Mbuf) {
+        debug_assert!(
+            self.free.len() < self.population,
+            "mempool over-free (double free?)"
+        );
+        let mut buf = mbuf.take_data();
+        buf.clear();
+        self.free.push(buf);
+        self.frees += 1;
+    }
+
+    /// (allocations, frees) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.allocs, self.frees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = Mempool::new(2, 64);
+        assert_eq!(p.available(), 2);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_eq!(p.available(), 0);
+        assert_eq!(p.in_use(), 2);
+        assert!(p.alloc().is_none());
+        assert_eq!(p.alloc_failures(), 1);
+        p.free(a);
+        assert_eq!(p.available(), 1);
+        assert!(p.alloc().is_some());
+        p.free(b);
+    }
+
+    #[test]
+    fn alloc_with_copies_frame() {
+        let mut p = Mempool::new(1, 64);
+        let m = p.alloc_with(b"abcd").unwrap();
+        assert_eq!(m.bytes(), b"abcd");
+    }
+
+    #[test]
+    fn alloc_with_rejects_oversized() {
+        let mut p = Mempool::new(1, 4);
+        assert!(p.alloc_with(b"too long for four").is_none());
+        // The failed oversized alloc must not leak a buffer.
+        assert_eq!(p.available(), 1);
+    }
+
+    #[test]
+    fn recycled_buffers_are_clean() {
+        let mut p = Mempool::new(1, 64);
+        let m = p.alloc_with(b"dirty").unwrap();
+        p.free(m);
+        let m2 = p.alloc().unwrap();
+        assert!(m2.is_empty());
+    }
+
+    #[test]
+    fn counters_track() {
+        let mut p = Mempool::new(4, 64);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        p.free(a);
+        p.free(b);
+        assert_eq!(p.counters(), (2, 2));
+    }
+}

@@ -1,0 +1,267 @@
+//! NIC models: link framing math, device profiles, RSS dispatch.
+//!
+//! The paper evaluates on two devices we reproduce as profiles:
+//!
+//! * **Intel X520** (82599, `ixgbe`): 10 GbE, line rate at 64 B frames is
+//!   14.88 Mpps; single Rx queue in the paper's §V-A..V-E tests.
+//! * **Intel XL710** (`i40e`): 40 GbE, but "limited by a maximum processing
+//!   rate of 37 Mpps" (paper §V-F, citing the XL710 spec update) — the
+//!   silicon cap binds before the 40 G link does at 64 B (59.52 Mpps).
+//!
+//! Framing math: an Ethernet frame of `len` bytes (FCS included) occupies
+//! `len + 20` bytes on the wire (7 preamble + 1 SFD + 12 IFG), so
+//! 10 Gb/s ÷ (84 B × 8) = 14.88 Mpps at 64 B.
+
+use crate::mbuf::Mbuf;
+use crate::ring::Ring;
+use metronome_net::toeplitz::Toeplitz;
+use metronome_net::FiveTuple;
+
+/// Per-frame wire overhead: preamble (7) + SFD (1) + inter-frame gap (12).
+pub const WIRE_OVERHEAD_BYTES: u64 = 20;
+/// The canonical worst-case frame size used throughout the evaluation.
+pub const FRAME_64B: u32 = 64;
+/// 10 GbE line rate at 64 B frames, packets per second.
+pub const LINE_RATE_10G_64B_PPS: f64 = 14_880_952.38;
+
+/// Maximum packets per second a link of `gbps` sustains at `frame_len`
+/// bytes per frame (FCS included).
+pub fn line_rate_pps(gbps: f64, frame_len: u32) -> f64 {
+    let bits_per_frame = (frame_len as u64 + WIRE_OVERHEAD_BYTES) * 8;
+    gbps * 1e9 / bits_per_frame as f64
+}
+
+/// Convert offered bandwidth to packets per second at a frame size.
+pub fn gbps_to_pps(gbps: f64, frame_len: u32) -> f64 {
+    line_rate_pps(gbps, frame_len)
+}
+
+/// Convert packets per second to occupied bandwidth at a frame size.
+pub fn pps_to_gbps(pps: f64, frame_len: u32) -> f64 {
+    pps * ((frame_len as u64 + WIRE_OVERHEAD_BYTES) * 8) as f64 / 1e9
+}
+
+/// Static description of a NIC device type.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NicProfile {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Link speed in Gb/s.
+    pub link_gbps: f64,
+    /// Packet-processing cap of the silicon, if it binds before the link
+    /// (packets per second).
+    pub silicon_max_pps: Option<f64>,
+    /// Maximum number of Rx queues the device exposes.
+    pub max_rx_queues: usize,
+}
+
+impl NicProfile {
+    /// Intel X520 / 82599 (ixgbe): 10 GbE, no silicon cap below line rate.
+    pub const X520: NicProfile = NicProfile {
+        name: "Intel X520 (82599)",
+        link_gbps: 10.0,
+        silicon_max_pps: None,
+        max_rx_queues: 16,
+    };
+
+    /// Intel XL710 (i40e): 40 GbE with a 37 Mpps processing cap
+    /// (XL710 spec update §2 clarification #13, cited by the paper).
+    pub const XL710: NicProfile = NicProfile {
+        name: "Intel XL710",
+        link_gbps: 40.0,
+        silicon_max_pps: Some(37_000_000.0),
+        max_rx_queues: 64,
+    };
+
+    /// Achievable receive rate at `frame_len`-byte frames: the binding
+    /// minimum of link rate and silicon cap.
+    pub fn max_pps(&self, frame_len: u32) -> f64 {
+        let link = line_rate_pps(self.link_gbps, frame_len);
+        match self.silicon_max_pps {
+            Some(cap) => link.min(cap),
+            None => link,
+        }
+    }
+}
+
+/// A functional NIC port: RSS-dispatches delivered frames into per-queue
+/// descriptor rings. Used by the functional/real-thread path; the
+/// discrete-event simulator models queues with `RxRingModel` instead.
+pub struct Port {
+    profile: NicProfile,
+    rss: Toeplitz,
+    queues: Vec<Ring>,
+}
+
+impl Port {
+    /// Port with `n_queues` Rx queues of `ring_size` descriptors each.
+    ///
+    /// # Panics
+    /// If `n_queues` is zero or exceeds the profile's queue count.
+    pub fn new(profile: NicProfile, n_queues: usize, ring_size: usize) -> Self {
+        assert!(
+            n_queues >= 1 && n_queues <= profile.max_rx_queues,
+            "queue count {n_queues} unsupported by {}",
+            profile.name
+        );
+        Port {
+            profile,
+            rss: Toeplitz::default(),
+            queues: (0..n_queues).map(|_| Ring::new(ring_size)).collect(),
+        }
+    }
+
+    /// Device profile.
+    pub fn profile(&self) -> &NicProfile {
+        &self.profile
+    }
+
+    /// Number of configured Rx queues.
+    pub fn n_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The RSS queue a flow maps to.
+    pub fn rss_queue(&self, tuple: &FiveTuple) -> usize {
+        if self.queues.len() == 1 {
+            0
+        } else {
+            self.rss.queue_for(&tuple.rss_input(), self.queues.len())
+        }
+    }
+
+    /// Deliver a received frame: computes RSS, stamps metadata, enqueues
+    /// into the owning queue (tail-dropping if full). Returns the queue
+    /// index, or `None` if the packet was dropped.
+    pub fn deliver(&mut self, mut mbuf: Mbuf, tuple: &FiveTuple) -> Option<usize> {
+        let q = self.rss_queue(tuple);
+        mbuf.queue = q as u16;
+        mbuf.rss_hash = self.rss.hash(&tuple.rss_input());
+        if self.queues[q].enqueue(mbuf) {
+            Some(q)
+        } else {
+            None
+        }
+    }
+
+    /// Burst-receive from a queue (DPDK `rte_eth_rx_burst`).
+    pub fn rx_burst(&mut self, queue: usize, max: usize, out: &mut Vec<Mbuf>) -> usize {
+        self.queues[queue].dequeue_burst(max, out)
+    }
+
+    /// Occupancy of a queue.
+    pub fn queue_len(&self, queue: usize) -> usize {
+        self.queues[queue].len()
+    }
+
+    /// (enqueued, dequeued, dropped) counters of a queue.
+    pub fn queue_counters(&self, queue: usize) -> (u64, u64, u64) {
+        self.queues[queue].counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn line_rate_matches_paper_numbers() {
+        // 14.88 Mpps at 10G/64B — the number quoted everywhere in §V.
+        let pps = line_rate_pps(10.0, 64);
+        assert!((pps - 14_880_952.38).abs() < 1.0, "{pps}");
+        // 40G/64B would be 59.52 Mpps, but XL710 caps at 37 Mpps.
+        assert!((line_rate_pps(40.0, 64) - 59_523_809.5).abs() < 10.0);
+        assert!((NicProfile::XL710.max_pps(64) - 37e6).abs() < 1.0);
+        assert!((NicProfile::X520.max_pps(64) - 14_880_952.38).abs() < 1.0);
+    }
+
+    #[test]
+    fn timestamped_64b_frames_line_rate() {
+        // §V footnote 5: latency tests add a 20B timestamp, i.e. 84B frames.
+        // 10^10 / ((84+20)*8) = 12.02 Mpps.
+        let pps = line_rate_pps(10.0, 84);
+        assert!((pps - 12_019_230.77).abs() < 1.0, "{pps}");
+    }
+
+    #[test]
+    fn pps_gbps_round_trip() {
+        let pps = gbps_to_pps(5.0, 64);
+        let gbps = pps_to_gbps(pps, 64);
+        assert!((gbps - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rss_dispatch_is_flow_stable() {
+        let mut port = Port::new(NicProfile::XL710, 4, 512);
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        let q1 = port.rss_queue(&t);
+        let m = Mbuf::from_bytes(BytesMut::from(&[0u8; 60][..]));
+        let q2 = port.deliver(m, &t).unwrap();
+        assert_eq!(q1, q2);
+        // Same flow always lands on the same queue.
+        for _ in 0..10 {
+            assert_eq!(port.rss_queue(&t), q1);
+        }
+    }
+
+    #[test]
+    fn single_queue_skips_rss() {
+        let port = Port::new(NicProfile::X520, 1, 512);
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(1, 2, 3, 4),
+            9,
+            Ipv4Addr::new(5, 6, 7, 8),
+            10,
+        );
+        assert_eq!(port.rss_queue(&t), 0);
+    }
+
+    #[test]
+    fn rx_burst_drains_fifo() {
+        let mut port = Port::new(NicProfile::X520, 1, 32);
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1,
+            Ipv4Addr::new(10, 0, 0, 2),
+            2,
+        );
+        for _ in 0..5 {
+            let m = Mbuf::from_bytes(BytesMut::from(&[0u8; 60][..]));
+            port.deliver(m, &t);
+        }
+        let mut out = Vec::new();
+        assert_eq!(port.rx_burst(0, 32, &mut out), 5);
+        assert_eq!(port.queue_len(0), 0);
+    }
+
+    #[test]
+    fn drop_counted_when_ring_full() {
+        let mut port = Port::new(NicProfile::X520, 1, 32);
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1,
+            Ipv4Addr::new(10, 0, 0, 2),
+            2,
+        );
+        for _ in 0..40 {
+            let m = Mbuf::from_bytes(BytesMut::from(&[0u8; 60][..]));
+            port.deliver(m, &t);
+        }
+        let (enq, _, drop) = port.queue_counters(0);
+        assert_eq!(enq, 32);
+        assert_eq!(drop, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn too_many_queues_rejected() {
+        Port::new(NicProfile::X520, 17, 512);
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 1: `hr_sleep()` vs `nanosleep()` latency boxplots at 1/10/100 µs.
+//!
+//! Paper targets (§III-A, Fig. 1): hr_sleep resumes after ≈3.85 / 13.46 /
+//! 108.45 µs with tight IQRs; nanosleep with the minimal 1 µs slack is
+//! slightly slower and noisier at every granularity.
+
+use crate::{render_csv, render_table, ExpConfig, ExpOutput};
+use metronome_os::config::TimerSlack;
+use metronome_os::sleep::{SleepModel, SleepService};
+use metronome_sim::stats::Boxplot;
+use metronome_sim::{Nanos, Rng};
+
+/// Sample the resume-latency distribution of one service/request pair.
+fn sample(service: SleepService, request: Nanos, n: usize, seed: u64) -> Boxplot {
+    // Fig. 1 was measured on an otherwise idle NUMA node.
+    let model = SleepModel::idle_calibration();
+    let mut rng = Rng::new(seed);
+    let samples: Vec<f64> = (0..n)
+        .map(|_| model.actual_sleep(service, request, &mut rng).as_micros_f64())
+        .collect();
+    Boxplot::from_samples(&samples).expect("nonempty")
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    // Paper: "a million samples ... are collected".
+    let n = if cfg.full { 1_000_000 } else { 100_000 };
+    let services = [
+        ("hr_sleep", SleepService::HrSleep),
+        (
+            "nanosleep(slack=1us)",
+            SleepService::Nanosleep(TimerSlack::MinimalOneMicro),
+        ),
+        (
+            "nanosleep(default slack)",
+            SleepService::Nanosleep(TimerSlack::DefaultFifty),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for req_us in [1u64, 10, 100] {
+        for (name, svc) in &services {
+            let bp = sample(*svc, Nanos::from_micros(req_us), n, cfg.seed ^ req_us);
+            rows.push(vec![
+                format!("{req_us}"),
+                name.to_string(),
+                format!("{:.3}", bp.mean),
+                format!("{:.3}", bp.q1),
+                format!("{:.3}", bp.median),
+                format!("{:.3}", bp.q3),
+                format!("{:.4}", bp.std_dev),
+            ]);
+            csv_rows.push(vec![
+                req_us.to_string(),
+                name.to_string(),
+                bp.mean.to_string(),
+                bp.q1.to_string(),
+                bp.median.to_string(),
+                bp.q3.to_string(),
+                bp.std_dev.to_string(),
+            ]);
+        }
+    }
+    let headers = [
+        "request_us",
+        "service",
+        "mean_us",
+        "q1_us",
+        "median_us",
+        "q3_us",
+        "std_us",
+    ];
+    ExpOutput {
+        id: "fig1",
+        title: "Figure 1: hr_sleep vs nanosleep resume latency (boxplots)".into(),
+        table: render_table(&headers, &rows),
+        csvs: vec![("fig1_sleep_services.csv".into(), render_csv(&headers, &csv_rows))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_fig1_ordering() {
+        let hr = sample(SleepService::HrSleep, Nanos::from_micros(10), 20_000, 1);
+        let nano = sample(
+            SleepService::Nanosleep(TimerSlack::MinimalOneMicro),
+            Nanos::from_micros(10),
+            20_000,
+            1,
+        );
+        assert!((hr.mean - 13.46).abs() < 0.2, "hr mean {}", hr.mean);
+        assert!(nano.mean > hr.mean);
+        assert!(nano.std_dev > hr.std_dev);
+    }
+
+    #[test]
+    fn output_has_nine_rows() {
+        let out = run(&ExpConfig {
+            full: false,
+            seed: 7,
+        });
+        assert_eq!(out.table.lines().count(), 2 + 9);
+        assert_eq!(out.csvs.len(), 1);
+    }
+}

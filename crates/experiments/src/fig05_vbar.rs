@@ -1,0 +1,78 @@
+//! Figure 5: latency and CPU usage vs target vacation time.
+//!
+//! Paper shape (M = 3, V̄ ∈ {2, 5, 7, 10} µs at 10 and 5 Gbps): the shorter
+//! the target vacation, the lower the latency and the higher the CPU —
+//! the knob that trades latency for CPU (§IV-D).
+
+use crate::{render_csv, render_table, ExpConfig, ExpOutput};
+use metronome_core::MetronomeConfig;
+use metronome_runtime::{run as run_scenario, Scenario, TrafficSpec};
+use metronome_sim::Nanos;
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let mut rows = Vec::new();
+    for gbps in [10.0f64, 5.0] {
+        for v_us in [2u64, 5, 7, 10] {
+            let mcfg = MetronomeConfig {
+                v_target: Nanos::from_micros(v_us),
+                ..MetronomeConfig::default()
+            };
+            let sc = Scenario::metronome(
+                format!("fig5-{gbps}g-v{v_us}"),
+                mcfg,
+                TrafficSpec::CbrGbps(gbps),
+            )
+            .with_duration(cfg.dur(1.5, 30.0))
+            .with_latency()
+            .with_seed(cfg.seed ^ (v_us << 8) ^ gbps as u64);
+            let r = run_scenario(&sc);
+            let lat = r.latency_us.expect("latency sampled");
+            rows.push(vec![
+                format!("{gbps}"),
+                v_us.to_string(),
+                format!("{:.2}", lat.mean),
+                format!("{:.2}", lat.median),
+                format!("{:.1}", r.cpu_total_pct),
+                format!("{:.4}", r.loss_permille()),
+            ]);
+        }
+    }
+    let headers = ["gbps", "target_V_us", "latency_mean_us", "latency_median_us", "cpu_pct", "loss_permille"];
+    ExpOutput {
+        id: "fig5",
+        title: "Figure 5: latency and CPU vs target vacation (10/5 Gbps)".into(),
+        table: render_table(&headers, &rows),
+        csvs: vec![(
+            "fig5_vbar_tradeoff.csv".into(),
+            render_csv(&headers, &rows),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metronome_runtime::run as run_scenario;
+
+    fn one(v_us: u64, gbps: f64) -> (f64, f64) {
+        let mcfg = MetronomeConfig {
+            v_target: Nanos::from_micros(v_us),
+            ..MetronomeConfig::default()
+        };
+        let sc = Scenario::metronome("t", mcfg, TrafficSpec::CbrGbps(gbps))
+            .with_duration(Nanos::from_secs(1))
+            .with_latency()
+            .with_seed(5);
+        let r = run_scenario(&sc);
+        (r.latency_us.unwrap().mean, r.cpu_total_pct)
+    }
+
+    #[test]
+    fn tradeoff_direction_holds() {
+        let (lat2, cpu2) = one(2, 10.0);
+        let (lat10, cpu10) = one(10, 10.0);
+        assert!(lat2 < lat10, "latency {lat2} !< {lat10}");
+        assert!(cpu2 > cpu10, "cpu {cpu2} !> {cpu10}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 8: latency versus the thread count `M` at 10 and 1 Gbps.
+//!
+//! Paper shape: adding threads *hurts* latency — eq. (13) stretches `TS`
+//! with `M`, and primaries hand off to backups more often, so both the
+//! mean (at 10 Gbps) and especially the variance (at 1 Gbps) grow.
+
+use crate::{render_csv, render_table, ExpConfig, ExpOutput};
+use metronome_core::MetronomeConfig;
+use metronome_runtime::{run as run_scenario, Scenario, TrafficSpec};
+use metronome_sim::stats::Boxplot;
+
+/// One latency run with M threads at a rate.
+pub fn run_m(m: usize, gbps: f64, cfg: &ExpConfig) -> Boxplot {
+    let mcfg = MetronomeConfig {
+        m_threads: m,
+        ..MetronomeConfig::default()
+    };
+    let sc = Scenario::metronome(
+        format!("fig8-m{m}-{gbps}g"),
+        mcfg,
+        TrafficSpec::CbrGbps(gbps),
+    )
+    .with_duration(cfg.dur(1.5, 30.0))
+    .with_latency_stride(if gbps < 2.0 { 61 } else { 509 })
+    .with_seed(cfg.seed ^ ((m as u64) << 12) ^ gbps as u64);
+    run_scenario(&sc).latency_us.expect("latency sampled")
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let mut rows = Vec::new();
+    for gbps in [10.0f64, 1.0] {
+        for m in 2usize..=6 {
+            let bp = run_m(m, gbps, cfg);
+            rows.push(vec![
+                format!("{gbps}"),
+                m.to_string(),
+                format!("{:.2}", bp.mean),
+                format!("{:.2}", bp.q1),
+                format!("{:.2}", bp.median),
+                format!("{:.2}", bp.q3),
+                format!("{:.2}", bp.std_dev),
+            ]);
+        }
+    }
+    let headers = ["gbps", "M", "mean_us", "q1_us", "median_us", "q3_us", "std_us"];
+    ExpOutput {
+        id: "fig8",
+        title: "Figure 8: latency vs number of threads M (10/1 Gbps)".into(),
+        table: render_table(&headers, &rows),
+        csvs: vec![("fig8_latency_vs_m.csv".into(), render_csv(&headers, &rows))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_grows_with_m_at_line_rate() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 41,
+        };
+        let m2 = run_m(2, 10.0, &cfg);
+        let m6 = run_m(6, 10.0, &cfg);
+        assert!(
+            m6.mean > m2.mean,
+            "latency must grow with M: {} !> {}",
+            m6.mean,
+            m2.mean
+        );
+    }
+}

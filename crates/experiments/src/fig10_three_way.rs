@@ -1,0 +1,128 @@
+//! Figure 10: l3fwd under static DPDK, Metronome and XDP — latency and CPU.
+//!
+//! Paper shapes at {10, 5, 1, 0.5} Gbps:
+//! * latency: static lowest (≈7–10 µs) and tight; Metronome ≈2× static
+//!   with more variance; XDP comparable at low rates but worst at line
+//!   rate (moderation + softirq batching);
+//! * CPU: static pinned at 100%; Metronome proportional (≈60% → ≈19%);
+//!   XDP highest under load (≈200%+ over its 4 cores) yet exactly 0 at
+//!   idle. XDP runs on 4 cores at 10/5 Gbps and 1 core at 1/0.5 Gbps —
+//!   the paper's "minimal number of cores ... in order not to lose
+//!   packets".
+
+use crate::{render_csv, render_table, ExpConfig, ExpOutput};
+use metronome_core::MetronomeConfig;
+use metronome_runtime::{run as run_scenario, RunReport, Scenario, TrafficSpec};
+
+/// Systems compared by the figure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum System {
+    /// Busy-polling DPDK.
+    Static,
+    /// The paper's contribution.
+    Metronome,
+    /// Interrupt-driven XDP.
+    Xdp,
+}
+
+/// One cell of the figure.
+pub fn run_cell(system: System, gbps: f64, cfg: &ExpConfig) -> RunReport {
+    let traffic = TrafficSpec::CbrGbps(gbps);
+    let dur = cfg.dur(1.5, 30.0);
+    let stride = if gbps < 2.0 { 61 } else { 509 };
+    let seed = cfg.seed ^ ((gbps * 16.0) as u64) ^ ((system as u64) << 24);
+    let sc = match system {
+        System::Static => Scenario::static_dpdk(format!("fig10-static-{gbps}g"), 1, traffic),
+        System::Metronome => Scenario::metronome(
+            format!("fig10-metronome-{gbps}g"),
+            MetronomeConfig::default(),
+            traffic,
+        ),
+        System::Xdp => {
+            // Minimal cores not to lose packets: one XDP core caps at
+            // ≈6.7 Mpps, so 10/5 Gbps need 4 queues (as in the paper),
+            // lower rates run on one.
+            let queues = if gbps >= 5.0 { 4 } else { 1 };
+            Scenario::xdp(format!("fig10-xdp-{gbps}g"), queues, traffic)
+        }
+    };
+    run_scenario(&sc.with_duration(dur).with_latency_stride(stride).with_seed(seed))
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let mut rows = Vec::new();
+    for gbps in [10.0f64, 5.0, 1.0, 0.5] {
+        for (name, system) in [
+            ("static", System::Static),
+            ("metronome", System::Metronome),
+            ("xdp", System::Xdp),
+        ] {
+            let r = run_cell(system, gbps, cfg);
+            let lat = r.latency_us.expect("latency sampled");
+            rows.push(vec![
+                format!("{gbps}"),
+                name.into(),
+                format!("{:.2}", lat.mean),
+                format!("{:.2}", lat.q1),
+                format!("{:.2}", lat.median),
+                format!("{:.2}", lat.q3),
+                format!("{:.1}", r.cpu_total_pct),
+                format!("{:.4}", r.loss_permille()),
+                format!("{:.2}", r.throughput_mpps),
+            ]);
+        }
+    }
+    let headers = [
+        "gbps",
+        "system",
+        "lat_mean_us",
+        "lat_q1_us",
+        "lat_median_us",
+        "lat_q3_us",
+        "cpu_pct",
+        "loss_permille",
+        "tput_mpps",
+    ];
+    ExpOutput {
+        id: "fig10",
+        title: "Figure 10: static DPDK vs Metronome vs XDP (latency, CPU)".into(),
+        table: render_table(&headers, &rows),
+        csvs: vec![("fig10_three_way.csv".into(), render_csv(&headers, &rows))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_ordering_at_line_rate() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 61,
+        };
+        let st = run_cell(System::Static, 10.0, &cfg);
+        let me = run_cell(System::Metronome, 10.0, &cfg);
+        let xd = run_cell(System::Xdp, 10.0, &cfg);
+        // Metronome < static < XDP (total CPU), everyone at line rate.
+        assert!(me.cpu_total_pct < st.cpu_total_pct);
+        assert!(st.cpu_total_pct < xd.cpu_total_pct);
+        for r in [&st, &me, &xd] {
+            assert!(r.loss < 1e-3, "{} lost {}", r.name, r.loss);
+        }
+    }
+
+    #[test]
+    fn latency_ordering_at_line_rate() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 62,
+        };
+        let st = run_cell(System::Static, 10.0, &cfg).latency_us.unwrap();
+        let me = run_cell(System::Metronome, 10.0, &cfg).latency_us.unwrap();
+        let xd = run_cell(System::Xdp, 10.0, &cfg).latency_us.unwrap();
+        assert!(st.mean < me.mean, "static {} !< metronome {}", st.mean, me.mean);
+        assert!(me.mean < xd.mean, "metronome {} !< xdp {}", me.mean, xd.mean);
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 11: power vs CPU under the `ondemand` and `performance`
+//! governors at {10, 1, 0} Gbps.
+//!
+//! Paper shapes: "except for the 10Gbps throughput under the performance
+//! power governor scenario, Metronome achieves less power consumption than
+//! the traditional DPDK does, with the maximum gain reached when operating
+//! under no traffic with the ondemand governor (around 27%)" — and under
+//! ondemand Metronome's CPU usage is *higher* than under performance
+//! (lower clocks stretch the same work).
+
+use crate::{render_csv, render_table, ExpConfig, ExpOutput};
+use metronome_core::MetronomeConfig;
+use metronome_os::Governor;
+use metronome_runtime::{run as run_scenario, RunReport, Scenario, TrafficSpec};
+
+/// One cell: system × governor × rate.
+pub fn run_cell(metronome: bool, governor: Governor, gbps: f64, cfg: &ExpConfig) -> RunReport {
+    let traffic = if gbps == 0.0 {
+        TrafficSpec::Silent
+    } else {
+        TrafficSpec::CbrGbps(gbps)
+    };
+    let sc = if metronome {
+        Scenario::metronome(
+            format!("fig11-met-{governor:?}-{gbps}g"),
+            MetronomeConfig::default(),
+            traffic,
+        )
+    } else {
+        Scenario::static_dpdk(format!("fig11-static-{governor:?}-{gbps}g"), 1, traffic)
+    };
+    run_scenario(
+        &sc.with_duration(cfg.dur(1.5, 30.0))
+            .with_governor(governor)
+            .with_seed(cfg.seed ^ (gbps as u64) << 3),
+    )
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let mut rows = Vec::new();
+    for governor in [Governor::Ondemand, Governor::Performance] {
+        for gbps in [10.0f64, 1.0, 0.0] {
+            for (name, metronome) in [("static", false), ("metronome", true)] {
+                let r = run_cell(metronome, governor, gbps, cfg);
+                rows.push(vec![
+                    format!("{governor:?}").to_lowercase(),
+                    format!("{gbps}"),
+                    name.into(),
+                    format!("{:.1}", r.cpu_total_pct),
+                    format!("{:.2}", r.power_watts),
+                    format!("{:.4}", r.loss_permille()),
+                ]);
+            }
+        }
+    }
+    let headers = ["governor", "gbps", "system", "cpu_pct", "power_w", "loss_permille"];
+    ExpOutput {
+        id: "fig11",
+        title: "Figure 11: power vs CPU for ondemand/performance governors".into(),
+        table: render_table(&headers, &rows),
+        csvs: vec![("fig11_power_governors.csv".into(), render_csv(&headers, &rows))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metronome_power_gain_largest_idle_ondemand() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 71,
+        };
+        let st = run_cell(false, Governor::Ondemand, 0.0, &cfg);
+        let me = run_cell(true, Governor::Ondemand, 0.0, &cfg);
+        let gain = 1.0 - me.power_watts / st.power_watts;
+        // Paper: ≈27% package-power gain at zero traffic under ondemand.
+        assert!(
+            (0.10..0.45).contains(&gain),
+            "idle ondemand gain {gain} (static {} W, metronome {} W)",
+            st.power_watts,
+            me.power_watts
+        );
+    }
+
+    #[test]
+    fn ondemand_raises_metronome_cpu_but_cuts_power() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 72,
+        };
+        let perf = run_cell(true, Governor::Performance, 1.0, &cfg);
+        let onde = run_cell(true, Governor::Ondemand, 1.0, &cfg);
+        assert!(
+            onde.cpu_total_pct > perf.cpu_total_pct,
+            "ondemand cpu {} !> performance cpu {}",
+            onde.cpu_total_pct,
+            perf.cpu_total_pct
+        );
+        assert!(
+            onde.power_watts < perf.power_watts,
+            "ondemand power {} !< performance power {}",
+            onde.power_watts,
+            perf.power_watts
+        );
+    }
+}

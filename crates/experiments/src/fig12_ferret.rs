@@ -1,0 +1,216 @@
+//! Figure 12 + Table II: co-existence with the `ferret` co-tenant.
+//!
+//! Paper shapes:
+//! * Fig. 12 — sharing a core with static DPDK roughly *triples* ferret's
+//!   completion time; sharing three cores with Metronome adds only ≈10%;
+//! * Table II — static DPDK's throughput halves next to ferret
+//!   (14.88 → 7.34 Mpps) while Metronome keeps full line rate
+//!   (14.88 → 14.88).
+//!
+//! Scheduling setup follows §V-E: the Metronome case gives the packet
+//! threads a "slight scheduling advantage" (nice −20 vs the VM's 19); the
+//! static comparison runs both at default priority (the static poller
+//! never yields anyway — priorities only decide who starves).
+
+use crate::{render_csv, render_table, ExpConfig, ExpOutput};
+use metronome_core::MetronomeConfig;
+use metronome_runtime::{run as run_scenario, FerretSpec, RunReport, Scenario, TrafficSpec};
+use metronome_sim::Nanos;
+
+/// The four runs of the experiment.
+pub struct FerretRuns {
+    /// ferret alone on one core.
+    pub alone_1core: RunReport,
+    /// ferret alone on three cores.
+    pub alone_3core: RunReport,
+    /// ferret + static DPDK on the same single core.
+    pub with_static: RunReport,
+    /// ferret (3 workers) + Metronome (3 threads) on the same three cores.
+    pub with_metronome: RunReport,
+    /// static DPDK alone at line rate (Table II reference).
+    pub static_alone: RunReport,
+    /// Metronome alone at line rate (Table II reference).
+    pub metronome_alone: RunReport,
+}
+
+/// Execute all runs.
+pub fn run_all(cfg: &ExpConfig) -> FerretRuns {
+    let standalone = if cfg.full {
+        Nanos::from_secs(4)
+    } else {
+        Nanos::from_millis(500)
+    };
+    let horizon = standalone.scaled(5);
+    let line = TrafficSpec::CbrGbps(10.0);
+
+    let ferret = |workers: usize, nice: i8| FerretSpec {
+        n_workers: workers,
+        standalone,
+        nice,
+        on_net_cores: true,
+    };
+
+    let alone_1core = run_scenario(
+        &Scenario::idle("fig12-ferret-alone-1c")
+            .with_duration(horizon)
+            .with_ferret(FerretSpec {
+                n_workers: 1,
+                standalone,
+                nice: 0,
+                on_net_cores: false,
+            })
+            .with_seed(cfg.seed ^ 1),
+    );
+    let alone_3core = run_scenario(
+        &Scenario::idle("fig12-ferret-alone-3c")
+            .with_duration(horizon)
+            .with_ferret(FerretSpec {
+                n_workers: 3,
+                standalone,
+                nice: 0,
+                on_net_cores: false,
+            })
+            .with_seed(cfg.seed ^ 2),
+    );
+    let with_static = run_scenario(
+        &Scenario::static_dpdk("fig12-static+ferret", 1, line.clone())
+            .with_duration(horizon)
+            .with_ferret(ferret(1, 0))
+            .with_seed(cfg.seed ^ 3),
+    );
+    let with_metronome = run_scenario(
+        &Scenario::metronome(
+            "fig12-metronome+ferret",
+            MetronomeConfig::default(),
+            line.clone(),
+        )
+        .with_duration(horizon)
+        .with_ferret(ferret(3, 19))
+        .with_seed(cfg.seed ^ 4),
+    );
+    let static_alone = run_scenario(
+        &Scenario::static_dpdk("tab2-static-alone", 1, line.clone())
+            .with_duration(cfg.dur(1.5, 30.0))
+            .with_seed(cfg.seed ^ 5),
+    );
+    let metronome_alone = run_scenario(
+        &Scenario::metronome("tab2-metronome-alone", MetronomeConfig::default(), line)
+            .with_duration(cfg.dur(1.5, 30.0))
+            .with_seed(cfg.seed ^ 6),
+    );
+    FerretRuns {
+        alone_1core,
+        alone_3core,
+        with_static,
+        with_metronome,
+        static_alone,
+        metronome_alone,
+    }
+}
+
+fn secs(n: Option<Nanos>) -> String {
+    match n {
+        Some(t) => format!("{:.3}", t.as_secs_f64()),
+        None => "did-not-finish".into(),
+    }
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let r = run_all(cfg);
+    let fig12_headers = ["setup", "cores", "ferret_time_s", "slowdown"];
+    let slowdown = |rep: &RunReport| {
+        rep.ferret_slowdown()
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "-".into())
+    };
+    let fig12_rows = vec![
+        vec![
+            "ferret alone".into(),
+            "1".into(),
+            secs(r.alone_1core.ferret_completion),
+            slowdown(&r.alone_1core),
+        ],
+        vec![
+            "ferret + static DPDK".into(),
+            "1".into(),
+            secs(r.with_static.ferret_completion),
+            slowdown(&r.with_static),
+        ],
+        vec![
+            "ferret alone".into(),
+            "3".into(),
+            secs(r.alone_3core.ferret_completion),
+            slowdown(&r.alone_3core),
+        ],
+        vec![
+            "ferret + Metronome".into(),
+            "3".into(),
+            secs(r.with_metronome.ferret_completion),
+            slowdown(&r.with_metronome),
+        ],
+    ];
+    let tab2_headers = ["system", "alone_mpps", "with_ferret_mpps"];
+    let tab2_rows = vec![
+        vec![
+            "static DPDK".into(),
+            format!("{:.2}", r.static_alone.throughput_mpps),
+            format!("{:.2}", r.with_static.throughput_mpps),
+        ],
+        vec![
+            "Metronome".into(),
+            format!("{:.2}", r.metronome_alone.throughput_mpps),
+            format!("{:.2}", r.with_metronome.throughput_mpps),
+        ],
+    ];
+    let mut table = String::from("Figure 12 — ferret execution time:\n");
+    table.push_str(&render_table(&fig12_headers, &fig12_rows));
+    table.push_str("\nTable II — throughput (Mpps):\n");
+    table.push_str(&render_table(&tab2_headers, &tab2_rows));
+    ExpOutput {
+        id: "fig12",
+        title: "Figure 12 + Table II: CPU sharing with ferret".into(),
+        table,
+        csvs: vec![
+            (
+                "fig12_ferret.csv".into(),
+                render_csv(&fig12_headers, &fig12_rows),
+            ),
+            (
+                "table2_sharing_throughput.csv".into(),
+                render_csv(&tab2_headers, &tab2_rows),
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shapes_hold() {
+        let r = run_all(&ExpConfig {
+            full: false,
+            seed: 81,
+        });
+        // Table II: static halves, Metronome keeps line rate.
+        assert!(r.static_alone.throughput_mpps > 14.5);
+        assert!(r.with_static.throughput_mpps < 11.0);
+        assert!(r.metronome_alone.throughput_mpps > 14.5);
+        assert!(r.with_metronome.throughput_mpps > 14.5);
+        // Fig. 12: static sharing inflates ferret far more than Metronome.
+        let s_static = r.with_static.ferret_slowdown().expect("static run finished");
+        let s_metro = r
+            .with_metronome
+            .ferret_slowdown()
+            .expect("metronome run finished");
+        assert!(s_static > 2.0, "static slowdown {s_static}");
+        assert!(s_metro < 1.8, "metronome slowdown {s_metro}");
+        assert!(s_static > s_metro + 0.8);
+        // Alone runs complete in their standalone time (within daemon
+        // noise).
+        let a1 = r.alone_1core.ferret_slowdown().unwrap();
+        assert!((0.95..1.15).contains(&a1), "alone slowdown {a1}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Figures 13 & 14: the multiqueue grid on the XL710 (37 Mpps).
+//!
+//! For N ∈ {2, 3, 4} Rx queues, both governors, and M from N to 8 threads,
+//! measure CPU, package power (Fig. 13), busy tries and ρ (Fig. 14), with
+//! static DPDK (N busy cores) as the reference line.
+//!
+//! Paper shapes: more queues ⇒ lower per-queue ρ ⇒ fewer busy tries and a
+//! bigger Metronome win; more threads ⇒ linearly more busy tries;
+//! ondemand trades some CPU time for power, with ρ higher because slower
+//! clocks stretch the busy periods.
+
+use crate::{render_csv, render_table, ExpConfig, ExpOutput};
+use metronome_core::MetronomeConfig;
+use metronome_dpdk::NicProfile;
+use metronome_os::Governor;
+use metronome_runtime::{run as run_scenario, RunReport, Scenario, TrafficSpec};
+
+/// Metronome cell: N queues, M threads, governor.
+pub fn run_metronome(n: usize, m: usize, governor: Governor, cfg: &ExpConfig) -> RunReport {
+    let mcfg = MetronomeConfig::multiqueue(m, n);
+    let sc = Scenario::metronome(
+        format!("fig13-met-n{n}-m{m}-{governor:?}"),
+        mcfg,
+        TrafficSpec::CbrPps(37e6),
+    )
+    .with_nic(NicProfile::XL710)
+    .with_duration(cfg.dur(1.0, 20.0))
+    .with_governor(governor)
+    .with_seed(cfg.seed ^ ((n as u64) << 16) ^ ((m as u64) << 8));
+    run_scenario(&sc)
+}
+
+/// Static reference: N busy-poll threads.
+pub fn run_static(n: usize, governor: Governor, cfg: &ExpConfig) -> RunReport {
+    let sc = Scenario::static_dpdk(
+        format!("fig13-static-n{n}-{governor:?}"),
+        n,
+        TrafficSpec::CbrPps(37e6),
+    )
+    .with_nic(NicProfile::XL710)
+    .with_duration(cfg.dur(1.0, 20.0))
+    .with_governor(governor)
+    .with_seed(cfg.seed ^ ((n as u64) << 20));
+    run_scenario(&sc)
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let mut rows = Vec::new();
+    for governor in [Governor::Performance, Governor::Ondemand] {
+        for n in [2usize, 3, 4] {
+            let st = run_static(n, governor, cfg);
+            rows.push(vec![
+                format!("{governor:?}").to_lowercase(),
+                n.to_string(),
+                "static".into(),
+                format!("{:.0}", st.cpu_total_pct),
+                format!("{:.2}", st.power_watts),
+                "-".into(),
+                "-".into(),
+                format!("{:.2}", st.throughput_mpps),
+                format!("{:.3}", st.loss_permille()),
+            ]);
+            for m in n..=8 {
+                let r = run_metronome(n, m, governor, cfg);
+                rows.push(vec![
+                    format!("{governor:?}").to_lowercase(),
+                    n.to_string(),
+                    format!("M={m}"),
+                    format!("{:.0}", r.cpu_total_pct),
+                    format!("{:.2}", r.power_watts),
+                    format!("{:.1}", r.busy_try_fraction * 100.0),
+                    format!("{:.3}", r.mean_rho()),
+                    format!("{:.2}", r.throughput_mpps),
+                    format!("{:.3}", r.loss_permille()),
+                ]);
+            }
+        }
+    }
+    let headers = [
+        "governor",
+        "queues",
+        "system",
+        "cpu_pct",
+        "power_w",
+        "busy_tries_pct",
+        "rho",
+        "tput_mpps",
+        "loss_permille",
+    ];
+    ExpOutput {
+        id: "fig13",
+        title: "Figures 13/14: multiqueue XL710 grid — CPU, power, busy tries, rho".into(),
+        table: render_table(&headers, &rows),
+        csvs: vec![(
+            "fig13_14_multiqueue_grid.csv".into(),
+            render_csv(&headers, &rows),
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_queues_lower_rho_and_busy_tries() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 91,
+        };
+        let n2 = run_metronome(2, 4, Governor::Performance, &cfg);
+        let n4 = run_metronome(4, 4, Governor::Performance, &cfg);
+        assert!(
+            n4.mean_rho() < n2.mean_rho(),
+            "rho {} !< {}",
+            n4.mean_rho(),
+            n2.mean_rho()
+        );
+        assert!(n2.throughput_mpps > 35.0, "{}", n2.throughput_mpps);
+        assert!(n4.throughput_mpps > 36.5, "{}", n4.throughput_mpps);
+    }
+
+    #[test]
+    fn metronome_beats_static_cpu_on_4_queues() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 92,
+        };
+        let st = run_static(4, Governor::Performance, &cfg);
+        let me = run_metronome(4, 5, Governor::Performance, &cfg);
+        assert!((395.0..405.0).contains(&st.cpu_total_pct), "{}", st.cpu_total_pct);
+        assert!(
+            me.cpu_total_pct < st.cpu_total_pct * 0.6,
+            "metronome {} vs static {}",
+            me.cpu_total_pct,
+            st.cpu_total_pct
+        );
+    }
+
+    #[test]
+    fn more_threads_more_busy_tries() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 93,
+        };
+        let m2 = run_metronome(2, 2, Governor::Performance, &cfg);
+        let m8 = run_metronome(2, 8, Governor::Performance, &cfg);
+        assert!(m8.busy_try_fraction > m2.busy_try_fraction);
+    }
+}

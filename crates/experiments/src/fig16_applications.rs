@@ -1,0 +1,119 @@
+//! Figure 16: CPU usage of the other applications (single Rx queue).
+//!
+//! * IPsec Security Gateway — static saturates one core for any rate; the
+//!   Metronome port reaches the same 5.61 Mpps ceiling (one thread ends up
+//!   holding the lock permanently) and "clearly outperforms the static
+//!   approach as rates get decreased".
+//! * FloWatcher — "a 50% gain even under line rate traffic and almost a 5x
+//!   gain with 0.5 Mpps traffic".
+
+use crate::{render_csv, render_table, ExpConfig, ExpOutput};
+use metronome_core::MetronomeConfig;
+use metronome_runtime::{run as run_scenario, AppProfile, RunReport, Scenario, TrafficSpec};
+
+/// One rate point for one app and system.
+pub fn run_point(app: AppProfile, metronome: bool, mpps: f64, cfg: &ExpConfig) -> RunReport {
+    let traffic = TrafficSpec::CbrPps(mpps * 1e6);
+    let sc = if metronome {
+        Scenario::metronome(
+            format!("fig16-{}-met-{mpps}mpps", app.name),
+            MetronomeConfig::default(),
+            traffic,
+        )
+    } else {
+        Scenario::static_dpdk(format!("fig16-{}-static-{mpps}mpps", app.name), 1, traffic)
+    };
+    run_scenario(
+        &sc.with_app(app)
+            .with_duration(cfg.dur(1.0, 20.0))
+            .with_seed(cfg.seed ^ (mpps * 8.0) as u64),
+    )
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let mut rows = Vec::new();
+    let ipsec_rates = [5.61f64, 3.0, 1.0, 0.5, 0.1];
+    let flow_rates = [14.88f64, 10.0, 5.0, 1.0, 0.5];
+    for (app, rates) in [
+        (AppProfile::ipsec(), &ipsec_rates[..]),
+        (AppProfile::flowatcher(), &flow_rates[..]),
+    ] {
+        for &mpps in rates {
+            for (name, metronome) in [("static", false), ("metronome", true)] {
+                let r = run_point(app, metronome, mpps, cfg);
+                rows.push(vec![
+                    app.name.into(),
+                    format!("{mpps}"),
+                    name.into(),
+                    format!("{:.1}", r.cpu_total_pct),
+                    format!("{:.2}", r.throughput_mpps),
+                    format!("{:.3}", r.loss_permille()),
+                ]);
+            }
+        }
+    }
+    let headers = ["app", "rate_mpps", "system", "cpu_pct", "tput_mpps", "loss_permille"];
+    ExpOutput {
+        id: "fig16",
+        title: "Figure 16: IPsec gateway and FloWatcher CPU usage".into(),
+        table: render_table(&headers, &rows),
+        csvs: vec![("fig16_applications.csv".into(), render_csv(&headers, &rows))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipsec_metronome_matches_static_ceiling() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 121,
+        };
+        let st = run_point(AppProfile::ipsec(), false, 5.61, &cfg);
+        let me = run_point(AppProfile::ipsec(), true, 5.61, &cfg);
+        // Both systems reach (nearly) the same ceiling.
+        assert!(
+            (me.throughput_mpps - st.throughput_mpps).abs() < 0.3,
+            "metronome {} vs static {}",
+            me.throughput_mpps,
+            st.throughput_mpps
+        );
+        // At the ceiling one Metronome thread polls continuously, so CPU
+        // is comparable to static.
+        assert!(me.cpu_total_pct > 80.0);
+    }
+
+    #[test]
+    fn ipsec_metronome_wins_at_low_rates() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 122,
+        };
+        let st = run_point(AppProfile::ipsec(), false, 0.5, &cfg);
+        let me = run_point(AppProfile::ipsec(), true, 0.5, &cfg);
+        assert!((99.0..101.0).contains(&st.cpu_total_pct));
+        assert!(me.cpu_total_pct < 50.0, "{}", me.cpu_total_pct);
+    }
+
+    #[test]
+    fn flowatcher_gains_match_paper() {
+        let cfg = ExpConfig {
+            full: false,
+            seed: 123,
+        };
+        // "a 50% gain even under line rate traffic"
+        let me_line = run_point(AppProfile::flowatcher(), true, 14.88, &cfg);
+        assert!(me_line.loss < 1e-3, "loss {}", me_line.loss);
+        assert!(
+            (35.0..75.0).contains(&me_line.cpu_total_pct),
+            "line-rate CPU {}",
+            me_line.cpu_total_pct
+        );
+        // "almost a 5x gain with 0.5 Mpps traffic"
+        let me_low = run_point(AppProfile::flowatcher(), true, 0.5, &cfg);
+        assert!(me_low.cpu_total_pct < 33.0, "{}", me_low.cpu_total_pct);
+    }
+}

@@ -1,0 +1,98 @@
+//! Table III: the unbalanced-traffic multiqueue test.
+//!
+//! A looped 1000-packet trace, 30% on one UDP flow and 70% random, sent at
+//! line rate over 3 RSS queues. Paper statistics:
+//!
+//! | queue | busy tries | total tries | ρ      |
+//! |-------|-----------|-------------|--------|
+//! | #1    | 1.94%     | 5,970,660   | 0.3208 |
+//! | #2    | 4.39%     | 2,625,007   | 0.7269 |
+//! | #3    | 2.02%     | 5,704,167   | 0.3552 |
+//!
+//! Shape: the hot queue (≈53% of traffic) has the highest busy-try
+//! percentage and ρ but *less than half the lock tries* of the cold
+//! queues — a busy queue keeps one primary, idle queues see many
+//! primaries (§IV-A validated in §V-F.4).
+
+use crate::{render_csv, render_table, ExpConfig, ExpOutput};
+use metronome_core::MetronomeConfig;
+use metronome_dpdk::NicProfile;
+use metronome_runtime::{run as run_scenario, RunReport, Scenario, TrafficSpec};
+
+/// Run the unbalanced scenario (N = 3 queues, M = 4 threads, XL710 at its
+/// 37 Mpps cap).
+pub fn run_unbalanced(cfg: &ExpConfig) -> RunReport {
+    let sc = Scenario::metronome(
+        "tab3-unbalanced",
+        MetronomeConfig::multiqueue(4, 3),
+        TrafficSpec::Unbalanced { total_pps: 37e6 },
+    )
+    .with_nic(NicProfile::XL710)
+    .with_duration(cfg.dur(2.0, 180.0))
+    .with_seed(cfg.seed);
+    run_scenario(&sc)
+}
+
+/// Run the experiment.
+pub fn run(cfg: &ExpConfig) -> ExpOutput {
+    let r = run_unbalanced(cfg);
+    let mut rows = Vec::new();
+    for (i, q) in r.queues.iter().enumerate() {
+        rows.push(vec![
+            format!("#{}", i + 1),
+            format!("{:.2}", q.busy_try_fraction * 100.0),
+            (q.total_tries + q.busy_tries).to_string(),
+            format!("{:.4}", q.rho),
+            format!("{:.2}", q.drained as f64 / r.forwarded.max(1) as f64 * 100.0),
+        ]);
+    }
+    rows.push(vec![
+        "loss".into(),
+        format!("{:.4}‰", r.loss_permille()),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    let headers = ["queue", "busy_tries_pct", "lock_tries", "rho", "traffic_share_pct"];
+    ExpOutput {
+        id: "table3",
+        title: "Table III: per-queue statistics under unbalanced traffic".into(),
+        table: render_table(&headers, &rows),
+        csvs: vec![("table3_unbalanced.csv".into(), render_csv(&headers, &rows))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_queue_has_high_rho_but_fewer_tries() {
+        let r = run_unbalanced(&ExpConfig {
+            full: false,
+            seed: 111,
+        });
+        assert_eq!(r.queues.len(), 3);
+        let hot = r
+            .queues
+            .iter()
+            .max_by(|a, b| a.rho.partial_cmp(&b.rho).unwrap())
+            .unwrap();
+        let cold: Vec<_> = r.queues.iter().filter(|q| q.rho < hot.rho).collect();
+        assert_eq!(cold.len(), 2, "expected one hot queue");
+        // Hot queue: ρ well above the cold ones...
+        for c in &cold {
+            assert!(hot.rho > c.rho + 0.15, "hot {} vs cold {}", hot.rho, c.rho);
+            // ...but fewer lock tries (paper: less than half).
+            let hot_tries = hot.total_tries + hot.busy_tries;
+            let cold_tries = c.total_tries + c.busy_tries;
+            assert!(
+                (hot_tries as f64) < 0.75 * cold_tries as f64,
+                "hot tries {hot_tries} vs cold {cold_tries}"
+            );
+            // Hot queue busy-try share is the largest.
+            assert!(hot.busy_try_fraction >= c.busy_try_fraction);
+        }
+        assert!(r.loss < 0.01, "loss {}", r.loss);
+    }
+}

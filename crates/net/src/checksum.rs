@@ -1,0 +1,81 @@
+//! RFC 1071 Internet checksum.
+
+/// One's-complement sum folded to 16 bits over `data`.
+///
+/// Odd-length inputs are zero-padded on the right, per RFC 1071.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(raw_sum(data))
+}
+
+/// Running (unfolded) one's-complement sum; compose with [`finish`] to build
+/// checksums over discontiguous regions (e.g. pseudo-header + payload).
+pub fn raw_sum(data: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    sum
+}
+
+/// Fold a 32-bit running sum to 16 bits.
+pub fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Complete a checksum from a running sum.
+pub fn finish(sum: u32) -> u16 {
+    !fold(sum)
+}
+
+/// Verify a region whose checksum field is already populated: the folded
+/// sum over the whole region must be 0xFFFF.
+pub fn verify(data: &[u8]) -> bool {
+    fold(raw_sum(data)) == 0xFFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2 (before ~).
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(raw_sum(&data)), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_right() {
+        assert_eq!(raw_sum(&[0xab]), 0xab00);
+    }
+
+    #[test]
+    fn empty_checksum() {
+        assert_eq!(internet_checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        // A fake header with a checksum field at offset 2.
+        let mut h = [0x45u8, 0x00, 0x00, 0x00, 0x12, 0x34, 0xab, 0xcd];
+        let cks = internet_checksum(&h);
+        h[2..4].copy_from_slice(&cks.to_be_bytes());
+        assert!(verify(&h));
+        h[7] ^= 0xFF;
+        assert!(!verify(&h));
+    }
+
+    #[test]
+    fn fold_handles_large_sums() {
+        assert_eq!(fold(0x0001_FFFF), 1); // 0xFFFF + 1 carries twice
+        assert_eq!(fold(0xFFFF_FFFF), 0xFFFF);
+    }
+}

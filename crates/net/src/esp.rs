@@ -1,0 +1,287 @@
+//! ESP (IPsec Encapsulating Security Payload) tunnel-mode encap/decap.
+//!
+//! The paper's second application is DPDK's IPsec Security Gateway sample,
+//! acting as "an IPsec end tunnel for both inbound and outbound network
+//! trafﬁc ... encryption of the incoming packets through the AES-CBC
+//! 128-bit algorithm as packets are later sent to the unprotected port"
+//! (§V-G). This module provides the packet transformation that gateway
+//! performs: RFC 4303 ESP framing in tunnel mode with AES-128-CBC, without
+//! authentication (matching the sample's cipher-only configuration used in
+//! the paper's throughput test).
+
+use crate::aes::{Aes128, BLOCK};
+use crate::checksum::internet_checksum;
+use crate::flow::IpProto;
+use crate::headers::{ETH_HEADER_LEN, IPV4_HEADER_LEN};
+use bytes::{BufMut, BytesMut};
+use std::net::Ipv4Addr;
+
+/// ESP header: SPI (4) + sequence number (4).
+pub const ESP_HEADER_LEN: usize = 8;
+/// IV length for AES-CBC.
+pub const ESP_IV_LEN: usize = 16;
+/// Trailer: pad length (1) + next header (1), inside the encrypted payload.
+pub const ESP_TRAILER_LEN: usize = 2;
+
+/// A unidirectional Security Association.
+#[derive(Clone)]
+pub struct SecurityAssociation {
+    /// Security Parameter Index carried in the ESP header.
+    pub spi: u32,
+    /// Tunnel outer source address.
+    pub tunnel_src: Ipv4Addr,
+    /// Tunnel outer destination address.
+    pub tunnel_dst: Ipv4Addr,
+    cipher: Aes128,
+    next_seq: u32,
+}
+
+/// Errors from ESP processing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EspError {
+    /// Packet too short to carry the claimed structure.
+    Truncated,
+    /// Encrypted payload not block-aligned.
+    BadAlignment,
+    /// Pad-length byte inconsistent with payload size (wrong key or
+    /// corrupted packet).
+    BadPadding,
+    /// SPI in the packet does not match this SA.
+    WrongSpi,
+}
+
+impl SecurityAssociation {
+    /// Create an SA with the given SPI, tunnel endpoints and AES-128 key.
+    pub fn new(spi: u32, tunnel_src: Ipv4Addr, tunnel_dst: Ipv4Addr, key: &[u8; 16]) -> Self {
+        SecurityAssociation {
+            spi,
+            tunnel_src,
+            tunnel_dst,
+            cipher: Aes128::new(key),
+            next_seq: 1,
+        }
+    }
+
+    /// Tunnel-mode encapsulation of a full Ethernet frame.
+    ///
+    /// The inner IPv4 packet (everything after the Ethernet header) is
+    /// padded, encrypted and wrapped in `outer IPv4 | ESP | IV | ciphertext`;
+    /// the original Ethernet header is re-used for the outer frame.
+    /// `iv` is caller-provided (deterministic tests; a real gateway uses an
+    /// unpredictable IV per packet).
+    pub fn encapsulate(&mut self, frame: &[u8], iv: &[u8; ESP_IV_LEN]) -> Result<BytesMut, EspError> {
+        if frame.len() < ETH_HEADER_LEN + IPV4_HEADER_LEN {
+            return Err(EspError::Truncated);
+        }
+        let inner_ip = &frame[ETH_HEADER_LEN..];
+
+        // Plaintext = inner IP packet + padding + pad_len + next_header.
+        let content_len = inner_ip.len() + ESP_TRAILER_LEN;
+        let padded_len = content_len.div_ceil(BLOCK) * BLOCK;
+        let pad_len = padded_len - content_len;
+        let mut plaintext = Vec::with_capacity(padded_len);
+        plaintext.extend_from_slice(inner_ip);
+        // RFC 4303 monotonic padding 1,2,3,...
+        for i in 0..pad_len {
+            plaintext.push((i + 1) as u8);
+        }
+        plaintext.push(pad_len as u8);
+        plaintext.push(4); // next header: 4 = IPv4 (tunnel mode)
+
+        self.cipher.cbc_encrypt(iv, &mut plaintext);
+
+        let esp_payload_len = ESP_HEADER_LEN + ESP_IV_LEN + plaintext.len();
+        let outer_total = IPV4_HEADER_LEN + esp_payload_len;
+        let mut out = BytesMut::with_capacity(ETH_HEADER_LEN + outer_total);
+
+        // Outer Ethernet: reuse the original header (the gateway rewrites
+        // MACs separately when forwarding).
+        out.put_slice(&frame[..ETH_HEADER_LEN]);
+
+        // Outer IPv4.
+        let ip_start = out.len();
+        out.put_u8(0x45);
+        out.put_u8(0);
+        out.put_u16(outer_total as u16);
+        out.put_u16(0);
+        out.put_u16(0);
+        out.put_u8(64);
+        out.put_u8(IpProto::Esp.number());
+        out.put_u16(0);
+        out.put_slice(&self.tunnel_src.octets());
+        out.put_slice(&self.tunnel_dst.octets());
+        let cks = internet_checksum(&out[ip_start..ip_start + IPV4_HEADER_LEN]);
+        out[ip_start + 10..ip_start + 12].copy_from_slice(&cks.to_be_bytes());
+
+        // ESP header + IV + ciphertext.
+        out.put_u32(self.spi);
+        out.put_u32(self.next_seq);
+        self.next_seq = self.next_seq.wrapping_add(1);
+        out.put_slice(iv);
+        out.put_slice(&plaintext);
+
+        Ok(out)
+    }
+
+    /// Tunnel-mode decapsulation: returns the inner Ethernet frame
+    /// (outer Ethernet header + decrypted inner IP packet).
+    pub fn decapsulate(&self, frame: &[u8]) -> Result<BytesMut, EspError> {
+        let esp_start = ETH_HEADER_LEN + IPV4_HEADER_LEN;
+        if frame.len() < esp_start + ESP_HEADER_LEN + ESP_IV_LEN + BLOCK {
+            return Err(EspError::Truncated);
+        }
+        let spi = u32::from_be_bytes(frame[esp_start..esp_start + 4].try_into().unwrap());
+        if spi != self.spi {
+            return Err(EspError::WrongSpi);
+        }
+        let iv_start = esp_start + ESP_HEADER_LEN;
+        let iv: [u8; ESP_IV_LEN] = frame[iv_start..iv_start + ESP_IV_LEN]
+            .try_into()
+            .unwrap();
+        let mut ciphertext = frame[iv_start + ESP_IV_LEN..].to_vec();
+        if ciphertext.is_empty() || ciphertext.len() % BLOCK != 0 {
+            return Err(EspError::BadAlignment);
+        }
+        self.cipher.cbc_decrypt(&iv, &mut ciphertext);
+
+        // Validate and strip the trailer.
+        let next_header = ciphertext[ciphertext.len() - 1];
+        let pad_len = ciphertext[ciphertext.len() - 2] as usize;
+        if next_header != 4 || pad_len + ESP_TRAILER_LEN > ciphertext.len() {
+            return Err(EspError::BadPadding);
+        }
+        // Verify the monotonic pad bytes — catches wrong-key decrypts early.
+        let pad_start = ciphertext.len() - ESP_TRAILER_LEN - pad_len;
+        for (i, &b) in ciphertext[pad_start..ciphertext.len() - ESP_TRAILER_LEN]
+            .iter()
+            .enumerate()
+        {
+            if b != (i + 1) as u8 {
+                return Err(EspError::BadPadding);
+            }
+        }
+        let inner_ip = &ciphertext[..pad_start];
+
+        let mut out = BytesMut::with_capacity(ETH_HEADER_LEN + inner_ip.len());
+        out.put_slice(&frame[..ETH_HEADER_LEN]);
+        out.put_slice(inner_ip);
+        Ok(out)
+    }
+
+    /// Current outbound sequence number (next to be used).
+    pub fn next_sequence(&self) -> u32 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FiveTuple;
+    use crate::headers::{build_udp_frame, parse_frame, Mac};
+
+    fn sa() -> SecurityAssociation {
+        SecurityAssociation::new(
+            0x1001,
+            Ipv4Addr::new(172, 16, 0, 1),
+            Ipv4Addr::new(172, 16, 0, 2),
+            &[0x42; 16],
+        )
+    }
+
+    fn plain_frame() -> BytesMut {
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1111,
+            Ipv4Addr::new(10, 0, 0, 2),
+            2222,
+        );
+        build_udp_frame(Mac::local(1), Mac::local(2), &t, b"secret payload!", 64)
+    }
+
+    #[test]
+    fn encap_decap_round_trip() {
+        let mut out_sa = sa();
+        let in_sa = sa();
+        let original = plain_frame();
+        let iv = [0x17; 16];
+        let encrypted = out_sa.encapsulate(&original, &iv).unwrap();
+        let recovered = in_sa.decapsulate(&encrypted).unwrap();
+        assert_eq!(&recovered[..], &original[..]);
+    }
+
+    #[test]
+    fn outer_header_is_esp_tunnel() {
+        let mut out_sa = sa();
+        let encrypted = out_sa.encapsulate(&plain_frame(), &[0; 16]).unwrap();
+        let p = parse_frame(&encrypted).unwrap();
+        assert_eq!(p.tuple.proto, IpProto::Esp);
+        assert_eq!(p.tuple.src_ip, Ipv4Addr::new(172, 16, 0, 1));
+        assert_eq!(p.tuple.dst_ip, Ipv4Addr::new(172, 16, 0, 2));
+    }
+
+    #[test]
+    fn ciphertext_hides_payload() {
+        let mut out_sa = sa();
+        let original = plain_frame();
+        let encrypted = out_sa.encapsulate(&original, &[0x55; 16]).unwrap();
+        // The inner UDP payload bytes must not appear in the ESP packet.
+        let needle = b"secret payload!";
+        let hay = &encrypted[..];
+        assert!(
+            !hay.windows(needle.len()).any(|w| w == needle),
+            "plaintext leaked"
+        );
+    }
+
+    #[test]
+    fn sequence_increments() {
+        let mut out_sa = sa();
+        assert_eq!(out_sa.next_sequence(), 1);
+        out_sa.encapsulate(&plain_frame(), &[0; 16]).unwrap();
+        out_sa.encapsulate(&plain_frame(), &[0; 16]).unwrap();
+        assert_eq!(out_sa.next_sequence(), 3);
+    }
+
+    #[test]
+    fn wrong_spi_rejected() {
+        let mut out_sa = sa();
+        let encrypted = out_sa.encapsulate(&plain_frame(), &[0; 16]).unwrap();
+        let other = SecurityAssociation::new(
+            0x2002,
+            Ipv4Addr::new(172, 16, 0, 1),
+            Ipv4Addr::new(172, 16, 0, 2),
+            &[0x42; 16],
+        );
+        assert_eq!(other.decapsulate(&encrypted), Err(EspError::WrongSpi));
+    }
+
+    #[test]
+    fn wrong_key_rejected_via_padding() {
+        let mut out_sa = sa();
+        let encrypted = out_sa.encapsulate(&plain_frame(), &[0; 16]).unwrap();
+        let wrong_key = SecurityAssociation::new(
+            0x1001,
+            Ipv4Addr::new(172, 16, 0, 1),
+            Ipv4Addr::new(172, 16, 0, 2),
+            &[0x43; 16],
+        );
+        assert_eq!(wrong_key.decapsulate(&encrypted), Err(EspError::BadPadding));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let in_sa = sa();
+        assert_eq!(in_sa.decapsulate(&[0u8; 30]), Err(EspError::Truncated));
+    }
+
+    #[test]
+    fn corrupted_ciphertext_rejected() {
+        let mut out_sa = sa();
+        let mut encrypted = out_sa.encapsulate(&plain_frame(), &[0; 16]).unwrap();
+        let n = encrypted.len();
+        encrypted[n - 1] ^= 0xFF; // flips trailer after decrypt
+        let in_sa = sa();
+        assert!(in_sa.decapsulate(&encrypted).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Flow identity: the classic 5-tuple.
+//!
+//! The 5-tuple is what RSS hashes over (so it decides which Rx queue a
+//! packet lands in), what FloWatcher keys its per-flow statistics on, and
+//! what the unbalanced-traffic experiment (paper Table III) skews.
+
+use core::fmt;
+use std::net::Ipv4Addr;
+
+/// IP protocol numbers used by the workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum IpProto {
+    /// TCP (6).
+    Tcp = 6,
+    /// UDP (17). The paper's traffic is UDP.
+    Udp = 17,
+    /// ESP (50), produced by the IPsec gateway.
+    Esp = 50,
+}
+
+impl IpProto {
+    /// Wire value.
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Parse from the wire value.
+    pub fn from_number(n: u8) -> Option<IpProto> {
+        match n {
+            6 => Some(IpProto::Tcp),
+            17 => Some(IpProto::Udp),
+            50 => Some(IpProto::Esp),
+            _ => None,
+        }
+    }
+}
+
+/// Connection 5-tuple: source/destination address and port plus protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: IpProto,
+}
+
+impl FiveTuple {
+    /// Convenience constructor for UDP flows (the evaluation traffic).
+    pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: IpProto::Udp,
+        }
+    }
+
+    /// The reverse direction of this flow.
+    pub fn reversed(self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// Serialize in the byte order Toeplitz hashing consumes
+    /// (src ip, dst ip, src port, dst port — all big-endian).
+    pub fn rss_input(&self) -> [u8; 12] {
+        let mut buf = [0u8; 12];
+        buf[0..4].copy_from_slice(&self.src_ip.octets());
+        buf[4..8].copy_from_slice(&self.dst_ip.octets());
+        buf[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf
+    }
+
+    /// A fast non-cryptographic 64-bit identity hash (FNV-1a over the
+    /// canonical byte serialization). Stable across runs; used as a compact
+    /// flow id by generators and monitors.
+    pub fn id_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut feed = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for b in self.rss_input() {
+            feed(b);
+        }
+        feed(self.proto.number());
+        h
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {}:{} -> {}:{}",
+            self.proto, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft() -> FiveTuple {
+        FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            2000,
+        )
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let f = ft();
+        let r = f.reversed();
+        assert_eq!(r.src_ip, f.dst_ip);
+        assert_eq!(r.dst_port, f.src_port);
+        assert_eq!(r.reversed(), f);
+    }
+
+    #[test]
+    fn rss_input_layout() {
+        let f = ft();
+        let b = f.rss_input();
+        assert_eq!(&b[0..4], &[10, 0, 0, 1]);
+        assert_eq!(&b[4..8], &[10, 0, 0, 2]);
+        assert_eq!(&b[8..10], &1000u16.to_be_bytes());
+        assert_eq!(&b[10..12], &2000u16.to_be_bytes());
+    }
+
+    #[test]
+    fn id_hash_distinguishes_flows() {
+        let f = ft();
+        assert_ne!(f.id_hash(), f.reversed().id_hash());
+        assert_eq!(f.id_hash(), ft().id_hash());
+    }
+
+    #[test]
+    fn proto_round_trip() {
+        for p in [IpProto::Tcp, IpProto::Udp, IpProto::Esp] {
+            assert_eq!(IpProto::from_number(p.number()), Some(p));
+        }
+        assert_eq!(IpProto::from_number(99), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Toeplitz hashing — the RSS algorithm Intel NICs implement.
+//!
+//! The paper's multiqueue experiments (§IV-E, §V-F) rely on the NIC's RSS
+//! feature to spread flows across Rx queues: "Traffic is distributed equally
+//! among the RX queues through RSS". We implement the real Microsoft/Intel
+//! Toeplitz construction so that (a) per-flow queue affinity is faithful —
+//! a flow never migrates between queues, which is what makes the Table III
+//! unbalanced-traffic experiment meaningful — and (b) the hash matches
+//! published test vectors.
+
+/// The default 40-byte RSS key Intel ships (ixgbe/i40e default; also the
+/// key in Microsoft's RSS verification suite).
+pub const INTEL_DEFAULT_KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// A symmetric variant (repeating 0x6d5a) that hashes both directions of a
+/// flow identically — useful for monitors that must see request and reply
+/// on the same queue.
+pub const SYMMETRIC_KEY: [u8; 40] = {
+    let mut k = [0u8; 40];
+    let mut i = 0;
+    while i < 40 {
+        k[i] = if i % 2 == 0 { 0x6d } else { 0x5a };
+        i += 1;
+    }
+    k
+};
+
+/// Toeplitz hasher over a fixed key.
+#[derive(Clone, Debug)]
+pub struct Toeplitz {
+    key: [u8; 40],
+}
+
+impl Default for Toeplitz {
+    fn default() -> Self {
+        Toeplitz {
+            key: INTEL_DEFAULT_KEY,
+        }
+    }
+}
+
+impl Toeplitz {
+    /// Hasher with a custom 40-byte key.
+    pub fn with_key(key: [u8; 40]) -> Self {
+        Toeplitz { key }
+    }
+
+    /// Hash arbitrary input (for IPv4 2-tuple/4-tuple RSS the input is the
+    /// big-endian concatenation of addresses and ports — see
+    /// [`crate::flow::FiveTuple::rss_input`]).
+    pub fn hash(&self, input: &[u8]) -> u32 {
+        debug_assert!(input.len() <= 36, "input exceeds key window");
+        let mut result = 0u32;
+        // Sliding 32-bit window over the key, advanced one bit per input bit.
+        let mut window = u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
+        let mut next_key_bit = 32usize;
+        for &byte in input {
+            for bit in (0..8).rev() {
+                if (byte >> bit) & 1 == 1 {
+                    result ^= window;
+                }
+                // Shift the window left one bit, pulling in the next key bit.
+                let next = if next_key_bit < 320 {
+                    (self.key[next_key_bit / 8] >> (7 - next_key_bit % 8)) & 1
+                } else {
+                    0
+                };
+                window = (window << 1) | next as u32;
+                next_key_bit += 1;
+            }
+        }
+        result
+    }
+
+    /// Map a hash to one of `n_queues` via the indirection-table modulo
+    /// (Intel NICs use a 128-entry indirection table initialized round-robin,
+    /// which reduces to modulo for equal spreading).
+    pub fn queue_for(&self, input: &[u8], n_queues: usize) -> usize {
+        debug_assert!(n_queues > 0);
+        (self.hash(input) as usize) % n_queues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FiveTuple;
+    use std::net::Ipv4Addr;
+
+    /// Microsoft RSS verification suite vectors (IPv4 with TCP ports),
+    /// input layout: src ip, dst ip, src port, dst port — as produced by
+    /// `FiveTuple::rss_input` (note: MS docs list dst before src for the
+    /// "destination address first" convention; these vectors use the
+    /// canonical src-first layout used by DPDK's softrss with reordered
+    /// fields).
+    fn ms_vector(
+        dst: Ipv4Addr,
+        dport: u16,
+        src: Ipv4Addr,
+        sport: u16,
+    ) -> [u8; 12] {
+        // Microsoft's published vectors concatenate (src, dst, sport, dport)?
+        // The canonical published layout is (src ip, dst ip, src port,
+        // dst port) where "source" is the packet's source. We build it
+        // explicitly to keep the test self-describing.
+        let t = FiveTuple::udp(src, sport, dst, dport);
+        t.rss_input()
+    }
+
+    #[test]
+    fn microsoft_published_vector_1() {
+        // From the Windows RSS verification suite:
+        // dst 161.142.100.80:1766, src 66.9.149.187:2794 -> 0x51ccc178
+        let tz = Toeplitz::default();
+        let input = ms_vector(
+            Ipv4Addr::new(161, 142, 100, 80),
+            1766,
+            Ipv4Addr::new(66, 9, 149, 187),
+            2794,
+        );
+        assert_eq!(tz.hash(&input), 0x51cc_c178);
+    }
+
+    #[test]
+    fn microsoft_published_vector_2() {
+        // dst 65.69.140.83:4739, src 199.92.111.2:14230 -> 0xc626b0ea
+        let tz = Toeplitz::default();
+        let input = ms_vector(
+            Ipv4Addr::new(65, 69, 140, 83),
+            4739,
+            Ipv4Addr::new(199, 92, 111, 2),
+            14230,
+        );
+        assert_eq!(tz.hash(&input), 0xc626_b0ea);
+    }
+
+    #[test]
+    fn microsoft_published_vector_3() {
+        // dst 12.22.207.184:38024, src 24.19.198.95:12898 -> 0x5c2b394a
+        let tz = Toeplitz::default();
+        let input = ms_vector(
+            Ipv4Addr::new(12, 22, 207, 184),
+            38024,
+            Ipv4Addr::new(24, 19, 198, 95),
+            12898,
+        );
+        assert_eq!(tz.hash(&input), 0x5c2b_394a);
+    }
+
+    #[test]
+    fn ipv4_2tuple_vector() {
+        // Address-only (2-tuple) vector: dst 161.142.100.80, src 66.9.149.187
+        // -> 0x323e8fc2.
+        let tz = Toeplitz::default();
+        let mut input = [0u8; 8];
+        input[0..4].copy_from_slice(&Ipv4Addr::new(66, 9, 149, 187).octets());
+        input[4..8].copy_from_slice(&Ipv4Addr::new(161, 142, 100, 80).octets());
+        assert_eq!(tz.hash(&input), 0x323e_8fc2);
+    }
+
+    #[test]
+    fn deterministic_and_flow_stable() {
+        let tz = Toeplitz::default();
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1234,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        assert_eq!(tz.hash(&t.rss_input()), tz.hash(&t.rss_input()));
+    }
+
+    #[test]
+    fn symmetric_key_is_direction_invariant() {
+        let tz = Toeplitz::with_key(SYMMETRIC_KEY);
+        let t = FiveTuple::udp(
+            Ipv4Addr::new(10, 1, 2, 3),
+            1111,
+            Ipv4Addr::new(10, 3, 2, 1),
+            2222,
+        );
+        assert_eq!(tz.hash(&t.rss_input()), tz.hash(&t.reversed().rss_input()));
+    }
+
+    #[test]
+    fn queue_mapping_in_range_and_spread() {
+        let tz = Toeplitz::default();
+        let n = 4;
+        let mut counts = [0usize; 4];
+        for i in 0..1000u32 {
+            let t = FiveTuple::udp(
+                Ipv4Addr::from(0x0a000000 + i),
+                (1000 + i) as u16,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            );
+            let q = tz.queue_for(&t.rss_input(), n);
+            assert!(q < n);
+            counts[q] += 1;
+        }
+        // Roughly equal spread: each queue within [150, 350] of the 250 mean.
+        for (q, &c) in counts.iter().enumerate() {
+            assert!((150..=350).contains(&c), "queue {q} got {c}/1000");
+        }
+    }
+
+    #[test]
+    fn empty_input_hashes_to_zero() {
+        assert_eq!(Toeplitz::default().hash(&[]), 0);
+    }
+}

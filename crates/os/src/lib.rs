@@ -1,0 +1,33 @@
+//! # metronome-os — the operating-system model
+//!
+//! Simulated Linux-like substrate for the Metronome reproduction: the paper
+//! evaluates on a Linux 5.4 box whose scheduler, timers, cpufreq governors
+//! and RAPL power counters all shape the results. This crate models each:
+//!
+//! * [`executor::OsSim`] — preemptive CFS-like scheduler executing
+//!   [`executor::Behavior`] state machines on virtual-time cores, with
+//!   wakeup preemption, sleeper fairness, minimum-granularity timeslicing,
+//!   contention inflation (cache/TLB thrash between co-scheduled hot
+//!   threads) and rare kernel-daemon interference.
+//! * [`sleep::SleepModel`] — `hr_sleep()` vs `nanosleep()` oversleep and
+//!   cost, calibrated against the paper's Fig. 1 down to tenths of a
+//!   microsecond.
+//! * [`config::Governor`] — `performance` and `ondemand` frequency control
+//!   (10 ms sampling, up-threshold jumps), feeding cycle-accurate work
+//!   stretching.
+//! * [`power::PowerMeter`] — RAPL-style package energy: per-core active
+//!   power ∝ f^2.4, C1/C6 idle residency, wake-transition energy, uncore
+//!   floor.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod executor;
+pub mod power;
+pub mod sleep;
+
+pub use config::{DaemonConfig, FreqPlan, Governor, OsConfig, PowerConfig, SchedConfig, TimerSlack};
+pub use executor::{Action, Behavior, CoreId, OsSim, RunCtx, ThreadId};
+pub use power::PowerMeter;
+pub use sleep::{SleepModel, SleepService};

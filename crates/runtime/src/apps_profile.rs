@@ -1,0 +1,79 @@
+//! Application cost profiles for the discrete-event simulator.
+//!
+//! The DES processes packets in aggregate, so all it needs from an
+//! application is its calibrated cycle cost. Profiles are derived from the
+//! functional processors in `metronome-apps` (one source of truth for the
+//! numbers) or built ad hoc for baselines like `xdp_router_ipv4`.
+
+use metronome_apps::processor::PacketProcessor;
+use metronome_apps::{FloWatcher, IpsecGateway, L3Fwd};
+
+/// A named per-packet cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppProfile {
+    /// Application name for reports.
+    pub name: &'static str,
+    /// CPU cycles per packet.
+    pub cycles_per_packet: u64,
+    /// Fixed CPU cycles per retrieved burst.
+    pub cycles_per_burst: u64,
+}
+
+impl AppProfile {
+    /// Derive a profile from any functional processor.
+    pub fn of(p: &dyn PacketProcessor) -> AppProfile {
+        AppProfile {
+            name: p.name(),
+            cycles_per_packet: p.cycles_per_packet(),
+            cycles_per_burst: p.cycles_per_burst(),
+        }
+    }
+
+    /// l3fwd in LPM mode — the paper's default workload.
+    pub fn l3fwd() -> AppProfile {
+        AppProfile::of(&L3Fwd::with_sample_routes(4))
+    }
+
+    /// The IPsec security gateway (outbound).
+    pub fn ipsec() -> AppProfile {
+        AppProfile::of(&IpsecGateway::outbound())
+    }
+
+    /// FloWatcher in run-to-completion mode.
+    pub fn flowatcher() -> AppProfile {
+        AppProfile::of(&FloWatcher::new(65_536))
+    }
+
+    /// Cycles to retrieve and process a burst of `k` packets.
+    pub fn burst_cycles(&self, k: u64) -> u64 {
+        self.cycles_per_burst + k * self.cycles_per_packet
+    }
+
+    /// Single-core drain rate µ (packets/second) at `mhz`, amortizing the
+    /// burst overhead over full 32-packet bursts.
+    pub fn mu_pps(&self, mhz: u32) -> f64 {
+        let cycles = self.cycles_per_packet as f64 + self.cycles_per_burst as f64 / 32.0;
+        mhz as f64 * 1e6 / cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_calibration_targets() {
+        assert!((26e6..30e6).contains(&AppProfile::l3fwd().mu_pps(2100)));
+        assert!((5.3e6..6.0e6).contains(&AppProfile::ipsec().mu_pps(2100)));
+        assert!(AppProfile::flowatcher().mu_pps(2100) > 14.88e6);
+    }
+
+    #[test]
+    fn burst_cycles_linear() {
+        let p = AppProfile::l3fwd();
+        assert_eq!(
+            p.burst_cycles(32) - p.burst_cycles(0),
+            32 * p.cycles_per_packet
+        );
+    }
+}

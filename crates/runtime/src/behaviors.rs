@@ -1,0 +1,381 @@
+//! The thread bodies: Metronome workers, static DPDK pollers, XDP NAPI
+//! loops and ferret workers, all as `metronome_os::Behavior` state
+//! machines over the shared [`World`].
+
+use crate::apps_profile::AppProfile;
+use crate::calib;
+use crate::world::{FerretCompletion, World};
+use metronome_os::executor::{Action, Behavior, RunCtx};
+use metronome_os::sleep::SleepService;
+use metronome_sim::stats::Ewma;
+use metronome_sim::{Cycles, Nanos};
+
+/// Convert a wall duration into cycles at the context's frequency.
+fn cycles_for(dur: Nanos, freq_mhz: u32) -> Cycles {
+    Cycles::from_duration(dur, freq_mhz)
+}
+
+// ---------------------------------------------------------------------------
+// Metronome worker (paper Listing 2)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum MetroPhase {
+    /// First dispatch: stagger the start phase.
+    Init,
+    /// Race for the queue.
+    TryAcquire,
+    /// A burst of `k` packets from queue `q` is being processed.
+    Chunk { q: usize, k: u64 },
+    /// About to sleep for `dur`.
+    GoSleep { dur: Nanos },
+    /// Just woke from a timer sleep.
+    AfterSleep,
+}
+
+/// One Metronome packet-retrieval thread.
+pub struct MetronomeWorker {
+    /// Index into `world.policies`.
+    idx: usize,
+    app: AppProfile,
+    burst: u64,
+    service: SleepService,
+    phase: MetroPhase,
+}
+
+impl MetronomeWorker {
+    /// Worker `idx` running `app` with the given Rx burst size and sleep
+    /// service.
+    pub fn new(idx: usize, app: AppProfile, burst: u64, service: SleepService) -> Self {
+        MetronomeWorker {
+            idx,
+            app,
+            burst,
+            service,
+            phase: MetroPhase::Init,
+        }
+    }
+}
+
+impl Behavior<World> for MetronomeWorker {
+    fn on_run(&mut self, world: &mut World, ctx: &mut RunCtx<'_>) -> Action {
+        let tid = self.idx;
+        loop {
+            match self.phase {
+                MetroPhase::Init => {
+                    // Threads in a real deployment start milliseconds apart
+                    // (spawn + EAL init); a uniform stagger over one TL
+                    // keeps the first wakes from racing in lockstep.
+                    let tl = world.controller.tl();
+                    let stagger = Nanos(ctx.rng.below(tl.as_nanos().max(1)));
+                    self.phase = MetroPhase::AfterSleep;
+                    return Action::WaitUntil(ctx.now.saturating_add(stagger));
+                }
+                MetroPhase::TryAcquire => {
+                    let q = world.policies[tid].queue_to_contend();
+                    if world.try_acquire(q, tid, ctx.now) {
+                        world.policies[tid].on_race_won();
+                        // Account the acquire, then start draining.
+                        self.phase = MetroPhase::Chunk { q, k: 0 };
+                        return Action::Work(Cycles(calib::ACQUIRE_CYCLES));
+                    }
+                    // Busy try: become backup, pick a random queue, sleep TL
+                    // (or TS in the equal-timeout ablation).
+                    let n_queues = world.controller.n_queues();
+                    world.policies[tid].on_race_lost(n_queues, ctx.rng.next_u64());
+                    let dur = if world.equal_timeouts {
+                        world.controller.ts(q)
+                    } else {
+                        world.controller.tl()
+                    };
+                    self.phase = MetroPhase::GoSleep { dur };
+                    return Action::Work(Cycles(
+                        calib::BUSY_TRY_CYCLES + calib::SLEEP_CALL_CYCLES,
+                    ));
+                }
+                MetroPhase::Chunk { q, k } => {
+                    if k > 0 {
+                        // The chunk just finished computing: account Tx.
+                        world.chunk_done(q, ctx.now, k);
+                    }
+                    let taken = world.queues[q].take_burst(ctx.now, self.burst);
+                    if taken > 0 {
+                        self.phase = MetroPhase::Chunk { q, k: taken };
+                        return Action::Work(Cycles(self.app.burst_cycles(taken)));
+                    }
+                    // Queue depleted: flush a stale partial batch, release,
+                    // compute TS, sleep.
+                    if k == 0 {
+                        world.policies[tid].on_empty_poll();
+                    }
+                    if world.queues[q].tx_stale(ctx.now) {
+                        world.flush_queue_tx(q, ctx.now);
+                    }
+                    world.release(q, tid, ctx.now);
+                    let dur = world.controller.ts(q);
+                    self.phase = MetroPhase::GoSleep { dur };
+                    return Action::Work(Cycles(
+                        calib::EMPTY_POLL_CYCLES
+                            + calib::RELEASE_CYCLES
+                            + calib::SLEEP_CALL_CYCLES,
+                    ));
+                }
+                MetroPhase::GoSleep { dur } => {
+                    self.phase = MetroPhase::AfterSleep;
+                    return Action::Sleep {
+                        service: self.service,
+                        duration: dur,
+                    };
+                }
+                MetroPhase::AfterSleep => {
+                    world.policies[tid].on_wake();
+                    // Opportunistically drain a stale Tx batch on the queue
+                    // we are about to contend (no owner ⇒ nobody else will).
+                    let q = world.policies[tid].queue_to_contend();
+                    if world.queues[q].owner.is_none() && world.queues[q].tx_stale(ctx.now) {
+                        world.flush_queue_tx(q, ctx.now);
+                    }
+                    self.phase = MetroPhase::TryAcquire;
+                    return Action::Work(Cycles(calib::WAKE_PATH_CYCLES));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static DPDK poller (paper Listing 1)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum StaticPhase {
+    Poll,
+    Chunk { k: u64 },
+}
+
+/// A classic DPDK busy-poll thread bound to one queue.
+///
+/// Never sleeps: when its queue is empty it keeps spinning (the empty
+/// polls are aggregated into one `Work` block until the next arrival so
+/// the simulation stays cheap — CPU accounting is identical).
+pub struct StaticPoller {
+    q: usize,
+    app: AppProfile,
+    burst: u64,
+    phase: StaticPhase,
+}
+
+impl StaticPoller {
+    /// Poller bound to queue `q`.
+    pub fn new(q: usize, app: AppProfile, burst: u64) -> Self {
+        StaticPoller {
+            q,
+            app,
+            burst,
+            phase: StaticPhase::Poll,
+        }
+    }
+}
+
+impl Behavior<World> for StaticPoller {
+    fn on_run(&mut self, world: &mut World, ctx: &mut RunCtx<'_>) -> Action {
+        let q = self.q;
+        loop {
+            match self.phase {
+                StaticPhase::Poll => {
+                    let taken = world.queues[q].take_burst(ctx.now, self.burst);
+                    if taken > 0 {
+                        self.phase = StaticPhase::Chunk { k: taken };
+                        return Action::Work(Cycles(self.app.burst_cycles(taken)));
+                    }
+                    if world.queues[q].tx_stale(ctx.now) {
+                        world.flush_queue_tx(q, ctx.now);
+                    }
+                    // Aggregate the empty polls until the next arrival (or
+                    // the Tx drain deadline, whichever comes first).
+                    let spin_until = match world.queues[q].peek_next_arrival() {
+                        Some(t) if t > ctx.now => t,
+                        Some(_) => ctx.now, // packet due now; poll again
+                        None => ctx.now.saturating_add(Nanos::from_millis(1)),
+                    };
+                    let cap = ctx.now.saturating_add(calib::TX_DRAIN_TIMEOUT);
+                    let horizon = spin_until.min(cap);
+                    let dur = horizon.saturating_sub(ctx.now);
+                    let spin = cycles_for(dur, ctx.freq_mhz)
+                        .0
+                        .max(calib::EMPTY_POLL_CYCLES);
+                    // Stay in Poll; the Work block models the spinning.
+                    return Action::Work(Cycles(spin));
+                }
+                StaticPhase::Chunk { k } => {
+                    world.chunk_done(q, ctx.now, k);
+                    self.phase = StaticPhase::Poll;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// XDP / NAPI baseline (paper §V-D)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum XdpPhase {
+    /// IRQs enabled, core idle, waiting for packets.
+    IrqWait,
+    /// Softirq entry after an interrupt.
+    IrqEntry,
+    /// NAPI polling loop.
+    Poll,
+    /// A chunk finished processing.
+    Chunk { k: u64 },
+    /// Budget exhausted or queue empty — exit softirq, re-enable IRQs.
+    IrqExit,
+}
+
+/// An XDP queue handler: 1:1 queue-to-core, interrupt driven, NAPI-polled.
+pub struct XdpHandler {
+    q: usize,
+    cycles_per_packet: u64,
+    last_irq: Nanos,
+    /// EWMA of packets per interrupt, driving adaptive moderation.
+    batch_ewma: Ewma,
+    /// Packets retrieved since the current IRQ fired.
+    irq_packets: u64,
+    phase: XdpPhase,
+}
+
+impl XdpHandler {
+    /// Handler for queue `q` (runs `xdp_router_ipv4`-equivalent cost).
+    pub fn new(q: usize) -> Self {
+        XdpHandler {
+            q,
+            cycles_per_packet: calib::XDP_CYCLES_PER_PACKET,
+            last_irq: Nanos::ZERO,
+            batch_ewma: Ewma::new(0.2),
+            irq_packets: 0,
+            phase: XdpPhase::IrqWait,
+        }
+    }
+
+    fn itr(&self) -> Nanos {
+        // Adaptive interrupt moderation: long window under sustained load,
+        // short window when traffic is light.
+        if self.batch_ewma.value_or(0.0) > calib::NAPI_BUDGET as f64 / 2.0 {
+            calib::XDP_ITR_HIGH
+        } else {
+            calib::XDP_ITR_LOW
+        }
+    }
+}
+
+impl Behavior<World> for XdpHandler {
+    fn on_run(&mut self, world: &mut World, ctx: &mut RunCtx<'_>) -> Action {
+        let q = self.q;
+        loop {
+            match self.phase {
+                XdpPhase::IrqWait => {
+                    match world.queues[q].peek_next_arrival() {
+                        None => {
+                            // No traffic at all: re-check later, zero CPU.
+                            return Action::WaitUntil(
+                                ctx.now.saturating_add(Nanos::from_millis(100)),
+                            );
+                        }
+                        Some(t) => {
+                            // The NIC raises the interrupt after delivery
+                            // latency, but never before the moderation (ITR)
+                            // window since the previous IRQ has elapsed —
+                            // even if packets are already waiting. This gate
+                            // is what keeps interrupt rates bounded under
+                            // load (and is what the erratum in our first
+                            // model missed: without it, a drain-tail arrival
+                            // landing during the IRQ-exit path re-raises
+                            // immediately and the handler livelocks at 100%
+                            // CPU — Mogul & Ramakrishnan's receive livelock,
+                            // which NAPI+ITR exist to prevent).
+                            let base = if t > ctx.now {
+                                t.saturating_add(calib::IRQ_DELIVERY)
+                            } else {
+                                ctx.now
+                            };
+                            let fire = base.max(self.last_irq.saturating_add(self.itr()));
+                            self.phase = XdpPhase::IrqEntry;
+                            if fire > ctx.now {
+                                return Action::WaitUntil(fire);
+                            }
+                        }
+                    }
+                }
+                XdpPhase::IrqEntry => {
+                    self.last_irq = ctx.now;
+                    self.phase = XdpPhase::Poll;
+                    return Action::Work(Cycles(calib::XDP_IRQ_CYCLES));
+                }
+                XdpPhase::Poll => {
+                    let taken = world.queues[q].take_burst(ctx.now, calib::NAPI_BUDGET);
+                    self.irq_packets += taken;
+                    if taken > 0 {
+                        self.phase = XdpPhase::Chunk { k: taken };
+                        return Action::Work(Cycles(taken * self.cycles_per_packet + 200));
+                    }
+                    self.phase = XdpPhase::IrqExit;
+                }
+                XdpPhase::Chunk { k } => {
+                    world.chunk_done(q, ctx.now, k);
+                    // NAPI: stay in polling mode while packets keep coming.
+                    self.phase = XdpPhase::Poll;
+                }
+                XdpPhase::IrqExit => {
+                    // Adaptive moderation keys off packets per interrupt,
+                    // not per poll chunk (the drain tail's tiny chunks
+                    // would otherwise bias the estimate low).
+                    self.batch_ewma.update(self.irq_packets as f64);
+                    self.irq_packets = 0;
+                    self.phase = XdpPhase::IrqWait;
+                    return Action::Work(Cycles(600));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ferret co-tenant (paper §V-E)
+// ---------------------------------------------------------------------------
+
+/// One ferret worker: a fixed amount of CPU work executed in chunks, with
+/// its completion time recorded in the world.
+pub struct FerretWorker {
+    /// Worker index (for the completion record).
+    pub worker: usize,
+    remaining: Cycles,
+    chunk: Cycles,
+}
+
+impl FerretWorker {
+    /// Worker with `total` cycles of work in `chunk`-sized slices.
+    pub fn new(worker: usize, total: Cycles, chunk: Cycles) -> Self {
+        FerretWorker {
+            worker,
+            remaining: total,
+            chunk: Cycles(chunk.0.max(1)),
+        }
+    }
+}
+
+impl Behavior<World> for FerretWorker {
+    fn on_run(&mut self, world: &mut World, ctx: &mut RunCtx<'_>) -> Action {
+        if self.remaining.0 == 0 {
+            world.ferret_done.push(FerretCompletion {
+                worker: self.worker,
+                at: ctx.now,
+            });
+            return Action::Exit;
+        }
+        let step = Cycles(self.remaining.0.min(self.chunk.0));
+        self.remaining = self.remaining.saturating_sub(step);
+        Action::Work(step)
+    }
+}

@@ -1,0 +1,145 @@
+//! Experiment outputs.
+
+use metronome_sim::stats::Boxplot;
+use metronome_sim::Nanos;
+
+/// Per-queue outcome of a run.
+#[derive(Clone, Debug)]
+pub struct QueueReport {
+    /// Mean measured vacation period, µs.
+    pub mean_vacation_us: f64,
+    /// Mean measured busy period, µs.
+    pub mean_busy_us: f64,
+    /// Mean packets found queued at busy-period start (Table I's `NV`).
+    pub nv: f64,
+    /// Final smoothed load estimate.
+    pub rho: f64,
+    /// Successful trylock acquisitions.
+    pub total_tries: u64,
+    /// Failed trylock attempts.
+    pub busy_tries: u64,
+    /// busy_tries / (busy_tries + total_tries).
+    pub busy_try_fraction: f64,
+    /// Packets drained from this queue.
+    pub drained: u64,
+    /// Packets tail-dropped at this queue's ring.
+    pub dropped: u64,
+}
+
+/// One point of the Fig. 9 adaptation time series.
+#[derive(Clone, Copy, Debug)]
+pub struct RampPoint {
+    /// Sample time, seconds.
+    pub t_s: f64,
+    /// True offered rate, Mpps.
+    pub true_mpps: f64,
+    /// Metronome's estimate `ρ̂·µ`, Mpps.
+    pub est_mpps: f64,
+    /// Current `TS`, µs (queue 0).
+    pub ts_us: f64,
+    /// Current smoothed ρ (queue 0).
+    pub rho: f64,
+    /// Total packet-thread CPU over the last window, percent.
+    pub cpu_pct: f64,
+}
+
+/// The full outcome of one scenario run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Scenario label.
+    pub name: String,
+    /// Simulated duration.
+    pub duration: Nanos,
+    /// Packets offered by the NIC (accepted + dropped).
+    pub offered: u64,
+    /// Packets retrieved and processed.
+    pub forwarded: u64,
+    /// Packets tail-dropped at the rings.
+    pub dropped: u64,
+    /// Forwarding throughput in Mpps.
+    pub throughput_mpps: f64,
+    /// Loss fraction (0..1).
+    pub loss: f64,
+    /// Total CPU of the packet threads, percent of one core (can exceed
+    /// 100 with multiple threads — same convention as the paper's plots).
+    pub cpu_total_pct: f64,
+    /// Per-thread CPU percentages.
+    pub cpu_per_thread_pct: Vec<f64>,
+    /// Average package power, watts.
+    pub power_watts: f64,
+    /// End-to-end latency summary (µs), if sampling was enabled.
+    pub latency_us: Option<Boxplot>,
+    /// Per-queue details.
+    pub queues: Vec<QueueReport>,
+    /// Aggregate busy-try fraction.
+    pub busy_try_fraction: f64,
+    /// Total thread wake-ups.
+    pub total_wakes: u64,
+    /// When the ferret job finished (last worker), if it ran and finished.
+    pub ferret_completion: Option<Nanos>,
+    /// Ferret's uncontended duration, for slowdown ratios.
+    pub ferret_standalone: Option<Nanos>,
+    /// Fig. 9 time series (empty unless requested).
+    pub series: Vec<RampPoint>,
+    /// Raw vacation-period samples in µs (Fig. 4 / Table I), capped.
+    pub vacation_samples_us: Vec<f64>,
+}
+
+impl RunReport {
+    /// Loss in per-mille, the unit Table I uses.
+    pub fn loss_permille(&self) -> f64 {
+        self.loss * 1000.0
+    }
+
+    /// Mean measured vacation across queues, µs.
+    pub fn mean_vacation_us(&self) -> f64 {
+        let with_data: Vec<&QueueReport> = self
+            .queues
+            .iter()
+            .filter(|q| q.mean_vacation_us > 0.0)
+            .collect();
+        if with_data.is_empty() {
+            0.0
+        } else {
+            with_data.iter().map(|q| q.mean_vacation_us).sum::<f64>() / with_data.len() as f64
+        }
+    }
+
+    /// Mean measured busy period across queues, µs.
+    pub fn mean_busy_us(&self) -> f64 {
+        let with_data: Vec<&QueueReport> =
+            self.queues.iter().filter(|q| q.mean_busy_us > 0.0).collect();
+        if with_data.is_empty() {
+            0.0
+        } else {
+            with_data.iter().map(|q| q.mean_busy_us).sum::<f64>() / with_data.len() as f64
+        }
+    }
+
+    /// Mean NV across queues.
+    pub fn mean_nv(&self) -> f64 {
+        let with_data: Vec<&QueueReport> = self.queues.iter().filter(|q| q.nv > 0.0).collect();
+        if with_data.is_empty() {
+            0.0
+        } else {
+            with_data.iter().map(|q| q.nv).sum::<f64>() / with_data.len() as f64
+        }
+    }
+
+    /// Ferret slowdown vs its standalone duration, if it ran to completion.
+    pub fn ferret_slowdown(&self) -> Option<f64> {
+        match (self.ferret_completion, self.ferret_standalone) {
+            (Some(done), Some(alone)) if !alone.is_zero() => Some(done / alone),
+            _ => None,
+        }
+    }
+
+    /// Mean ρ across queues.
+    pub fn mean_rho(&self) -> f64 {
+        if self.queues.is_empty() {
+            0.0
+        } else {
+            self.queues.iter().map(|q| q.rho).sum::<f64>() / self.queues.len() as f64
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Scenario execution: wire world + OS + behaviors, run, collect.
+
+use crate::behaviors::{FerretWorker, MetronomeWorker, StaticPoller, XdpHandler};
+use crate::calib;
+use crate::report::{QueueReport, RampPoint, RunReport};
+use crate::scenario::{Scenario, SystemKind};
+use crate::world::{SimQueue, World};
+use metronome_apps::FerretJob;
+use metronome_core::controller::AdaptiveController;
+use metronome_core::MetronomeConfig;
+use metronome_os::executor::OsSim;
+use metronome_os::ThreadId;
+use metronome_sim::Nanos;
+
+/// Execute a scenario and produce its report.
+pub fn run(sc: &Scenario) -> RunReport {
+    // ---- build the world ---------------------------------------------------
+    let arrivals = sc.traffic.build(sc.n_queues, &sc.nic, sc.seed);
+    let metro_cfg = match &sc.system {
+        SystemKind::Metronome(cfg) => cfg.clone(),
+        // Baselines still need a controller object for the world's queue
+        // bookkeeping; it just never drives any sleeping.
+        _ => MetronomeConfig {
+            m_threads: sc.n_queues.max(1),
+            n_queues: sc.n_queues,
+            ..MetronomeConfig::default()
+        },
+    };
+    let tx_batch = metro_cfg.tx_batch as u64;
+    let queues: Vec<SimQueue> = arrivals
+        .into_iter()
+        .map(|a| SimQueue::new(sc.ring_size, a, tx_batch, sc.latency_stride))
+        .collect();
+    let controller = AdaptiveController::new(metro_cfg.clone());
+    let n_net = sc.n_net_threads();
+    let mut world = World::new(
+        queues,
+        controller,
+        n_net,
+        calib::BASE_PATH_LATENCY,
+        sc.seed,
+    );
+    world.equal_timeouts = sc.equal_timeouts;
+
+    // ---- build the OS -------------------------------------------------------
+    let ferret_cores = match &sc.ferret {
+        Some(f) if !f.on_net_cores => f.n_workers,
+        _ => 0,
+    };
+    let mut os_cfg = sc.os.clone();
+    // The paper measures one isolated 8-core NUMA node regardless of how
+    // many cores the workload occupies — package power is only comparable
+    // across systems if the idle cores are present in every run.
+    os_cfg.n_cores = (n_net + ferret_cores)
+        .max(sc.ferret.as_ref().map_or(0, |f| f.n_workers))
+        .max(sc.os.n_cores)
+        .max(1);
+    let mut os: OsSim<World> = OsSim::new(os_cfg, sc.seed);
+
+    let mut net_tids: Vec<ThreadId> = Vec::new();
+    match &sc.system {
+        SystemKind::Metronome(cfg) => {
+            for i in 0..cfg.m_threads {
+                let b = MetronomeWorker::new(
+                    i,
+                    sc.app,
+                    cfg.burst as u64,
+                    sc.sleep_service,
+                );
+                net_tids.push(os.spawn(format!("metronome-{i}"), i, sc.net_nice, Box::new(b)));
+            }
+        }
+        SystemKind::StaticDpdk => {
+            for q in 0..sc.n_queues {
+                let b = StaticPoller::new(q, sc.app, metro_cfg.burst as u64);
+                net_tids.push(os.spawn(format!("static-{q}"), q, sc.net_nice, Box::new(b)));
+            }
+        }
+        SystemKind::Xdp => {
+            for q in 0..sc.n_queues {
+                let b = XdpHandler::new(q);
+                net_tids.push(os.spawn(format!("xdp-{q}"), q, sc.net_nice, Box::new(b)));
+            }
+        }
+        SystemKind::Idle => {}
+    }
+
+    let mut ferret_standalone = None;
+    if let Some(f) = &sc.ferret {
+        let mhz = sc.os.freq.max_mhz();
+        let job = FerretJob::sized_for(f.standalone, f.n_workers, mhz);
+        ferret_standalone = Some(f.standalone);
+        for w in 0..f.n_workers {
+            let core = if f.on_net_cores { w % n_net.max(1) } else { n_net + w };
+            let b = FerretWorker::new(w, job.cycles_per_worker(), job.chunk);
+            os.spawn(format!("ferret-{w}"), core, f.nice, Box::new(b));
+        }
+    }
+
+    // ---- run ----------------------------------------------------------------
+    let mu = sc.app.mu_pps(sc.os.freq.max_mhz());
+    let mut series = Vec::new();
+    if let Some(every) = sc.series_every {
+        let mut t = Nanos::ZERO;
+        let mut last_cpu = Nanos::ZERO;
+        while t < sc.duration {
+            t = (t + every).min(sc.duration);
+            os.run_until(&mut world, t);
+            let cpu_now: Nanos = net_tids.iter().map(|&tid| os.thread_cpu(tid)).sum();
+            let window_cpu = cpu_now.saturating_sub(last_cpu);
+            last_cpu = cpu_now;
+            let est: f64 = (0..sc.n_queues)
+                .map(|q| world.controller.estimated_rate_pps(q, mu / sc.n_queues as f64))
+                .sum();
+            series.push(RampPoint {
+                t_s: t.as_secs_f64(),
+                true_mpps: sc.traffic.nominal_pps(t) / 1e6,
+                est_mpps: est / 1e6,
+                ts_us: world.controller.ts(0).as_micros_f64(),
+                rho: world.controller.rho(0),
+                cpu_pct: window_cpu.as_secs_f64() / every.as_secs_f64() * 100.0,
+            });
+        }
+    } else {
+        os.run_until(&mut world, sc.duration);
+    }
+
+    // Final flush so held Tx batches don't skew tail latency samples.
+    for q in 0..sc.n_queues {
+        world.flush_queue_tx(q, sc.duration);
+    }
+
+    // ---- collect -------------------------------------------------------------
+    let wall = sc.duration.as_secs_f64();
+    let cpu_per_thread: Vec<f64> = net_tids
+        .iter()
+        .map(|&tid| os.thread_cpu(tid).as_secs_f64() / wall * 100.0)
+        .collect();
+    let queues: Vec<QueueReport> = (0..sc.n_queues)
+        .map(|qi| {
+            let q = &world.queues[qi];
+            let st = world.controller.queue(qi);
+            QueueReport {
+                mean_vacation_us: q.vacations.mean(),
+                mean_busy_us: q.busy_periods.mean(),
+                nv: q.nv.mean(),
+                rho: world.controller.rho(qi),
+                total_tries: st.total_tries,
+                busy_tries: st.busy_tries,
+                busy_try_fraction: st.busy_try_fraction(),
+                drained: q.drained_total(),
+                dropped: q.dropped_total(),
+            }
+        })
+        .collect();
+
+    let forwarded = world.total_drained();
+    let ferret_completion = sc.ferret.as_ref().and_then(|f| {
+        (world.ferret_done.len() == f.n_workers)
+            .then(|| world.ferret_done.iter().map(|c| c.at).max().unwrap())
+    });
+
+    RunReport {
+        name: sc.name.clone(),
+        duration: sc.duration,
+        offered: world.total_offered(),
+        forwarded,
+        dropped: world.total_dropped(),
+        throughput_mpps: forwarded as f64 / wall / 1e6,
+        loss: world.loss_fraction(),
+        cpu_total_pct: cpu_per_thread.iter().sum(),
+        cpu_per_thread_pct: cpu_per_thread,
+        power_watts: os.package_watts(sc.duration),
+        latency_us: world.latency_us.boxplot(),
+        queues,
+        busy_try_fraction: world.controller.busy_try_fraction(),
+        total_wakes: net_tids.iter().map(|&tid| os.thread_wakeups(tid)).sum(),
+        ferret_completion,
+        ferret_standalone,
+        series,
+        vacation_samples_us: std::mem::take(&mut world.vacation_samples_us),
+    }
+}

@@ -1,0 +1,447 @@
+//! Experiment configuration: which system, which workload, which knobs.
+
+use crate::apps_profile::AppProfile;
+use crate::calib;
+use metronome_core::MetronomeConfig;
+use metronome_dpdk::nic::{gbps_to_pps, NicProfile};
+use metronome_os::config::{DaemonConfig, Governor, OsConfig};
+use metronome_os::sleep::SleepService;
+use metronome_sim::{Nanos, Rng};
+use metronome_traffic::{ArrivalProcess, BurstyCbr, Cbr, OnOff, Poisson, Silent, Staircase, UnbalancedTrace};
+
+/// Which packet-retrieval system runs.
+#[derive(Clone, Debug)]
+pub enum SystemKind {
+    /// The paper's contribution.
+    Metronome(MetronomeConfig),
+    /// Classic DPDK busy polling, one thread per queue.
+    StaticDpdk,
+    /// XDP/NAPI interrupt-driven baseline, one core per queue.
+    Xdp,
+    /// No packet system at all — baseline for co-tenant-alone runs
+    /// (the "ferret alone" bars of Fig. 12).
+    Idle,
+}
+
+/// The offered workload.
+#[derive(Clone, Debug)]
+pub enum TrafficSpec {
+    /// Constant rate in packets per second (spread evenly over queues).
+    CbrPps(f64),
+    /// Constant rate in Gb/s of 64 B frames.
+    CbrGbps(f64),
+    /// Poisson arrivals at the given mean pps.
+    PoissonPps(f64),
+    /// The Fig. 9 staircase: up to `peak_pps` in `n_steps` steps of
+    /// `step` duration each, then back down.
+    RampUpDown {
+        /// Peak aggregate rate.
+        peak_pps: f64,
+        /// Steps up (and down).
+        n_steps: usize,
+        /// Duration of each step.
+        step: Nanos,
+    },
+    /// Table III: 30% of traffic on one flow, 70% spread randomly,
+    /// dispatched by real Toeplitz RSS shares.
+    Unbalanced {
+        /// Aggregate rate.
+        total_pps: f64,
+    },
+    /// On/off bursts (XDP reactivity comparisons).
+    OnOff {
+        /// Rate during a burst.
+        burst_pps: f64,
+        /// Burst length.
+        on: Nanos,
+        /// Silence length.
+        off: Nanos,
+    },
+    /// No traffic (idle CPU/power floors).
+    Silent,
+}
+
+impl TrafficSpec {
+    /// Build the per-queue arrival processes. The aggregate rate is capped
+    /// at what the NIC can deliver (`nic.max_pps(64)`).
+    pub fn build(
+        &self,
+        n_queues: usize,
+        nic: &NicProfile,
+        seed: u64,
+    ) -> Vec<Box<dyn ArrivalProcess>> {
+        let cap = nic.max_pps(64);
+        let per_queue = |total: f64| (total.min(cap)) / n_queues as f64;
+        match self {
+            TrafficSpec::CbrPps(pps) => {
+                let rate = per_queue(*pps);
+                let wire_gap = Nanos((1e9 / cap) as u64);
+                (0..n_queues)
+                    .map(|i| {
+                        // Stagger queue phases so arrivals interleave like
+                        // RSS-dispatched traffic rather than in lockstep.
+                        let offset = if *pps > 0.0 {
+                            Nanos((i as f64 * 1e9 / pps.min(cap)) as u64)
+                        } else {
+                            Nanos::ZERO
+                        };
+                        if rate > 0.0 && rate < 0.7 * cap / n_queues as f64 {
+                            // Sub-line-rate CBR arrives as generator DMA
+                            // trains (see BurstyCbr docs).
+                            Box::new(BurstyCbr::new(rate, 32, wire_gap, offset))
+                                as Box<dyn ArrivalProcess>
+                        } else {
+                            Box::new(Cbr::new(rate, offset)) as Box<dyn ArrivalProcess>
+                        }
+                    })
+                    .collect()
+            }
+            TrafficSpec::CbrGbps(gbps) => {
+                TrafficSpec::CbrPps(gbps_to_pps(*gbps, 64)).build(n_queues, nic, seed)
+            }
+            TrafficSpec::PoissonPps(pps) => {
+                let rate = per_queue(*pps);
+                (0..n_queues)
+                    .map(|i| {
+                        Box::new(Poisson::new(
+                            rate,
+                            Nanos::ZERO,
+                            Rng::new(seed).stream(0xA0 + i as u64),
+                        )) as Box<dyn ArrivalProcess>
+                    })
+                    .collect()
+            }
+            TrafficSpec::RampUpDown {
+                peak_pps,
+                n_steps,
+                step,
+            } => {
+                let peak = per_queue(*peak_pps);
+                (0..n_queues)
+                    .map(|_| {
+                        Box::new(Staircase::ramp_up_down(peak, *n_steps, *step))
+                            as Box<dyn ArrivalProcess>
+                    })
+                    .collect()
+            }
+            TrafficSpec::Unbalanced { total_pps } => {
+                let trace = UnbalancedTrace::table3(seed);
+                let shares = trace.queue_shares(n_queues);
+                let total = total_pps.min(cap);
+                shares
+                    .iter()
+                    .map(|&s| Box::new(Cbr::new(total * s, Nanos::ZERO)) as Box<dyn ArrivalProcess>)
+                    .collect()
+            }
+            TrafficSpec::OnOff { burst_pps, on, off } => {
+                let rate = per_queue(*burst_pps);
+                (0..n_queues)
+                    .map(|_| Box::new(OnOff::new(rate, *on, *off)) as Box<dyn ArrivalProcess>)
+                    .collect()
+            }
+            TrafficSpec::Silent => (0..n_queues)
+                .map(|_| Box::new(Silent) as Box<dyn ArrivalProcess>)
+                .collect(),
+        }
+    }
+
+    /// Nominal aggregate rate at `t` (pps), before NIC capping.
+    pub fn nominal_pps(&self, t: Nanos) -> f64 {
+        match self {
+            TrafficSpec::CbrPps(pps) => *pps,
+            TrafficSpec::CbrGbps(gbps) => gbps_to_pps(*gbps, 64),
+            TrafficSpec::PoissonPps(pps) => *pps,
+            TrafficSpec::RampUpDown {
+                peak_pps,
+                n_steps,
+                step,
+            } => {
+                // Mirror Staircase::ramp_up_down's schedule.
+                let s = Staircase::ramp_up_down(*peak_pps, *n_steps, *step);
+                s.rate_pps(t)
+            }
+            TrafficSpec::Unbalanced { total_pps } => *total_pps,
+            TrafficSpec::OnOff { burst_pps, on, off } => {
+                let cycle = (*on + *off).as_nanos();
+                if cycle == 0 || t.as_nanos() % cycle < on.as_nanos() {
+                    *burst_pps
+                } else {
+                    0.0
+                }
+            }
+            TrafficSpec::Silent => 0.0,
+        }
+    }
+}
+
+/// Co-located ferret job specification (paper §V-E).
+#[derive(Clone, Debug)]
+pub struct FerretSpec {
+    /// Worker threads.
+    pub n_workers: usize,
+    /// Standalone (uncontended) completion time of the whole job.
+    pub standalone: Nanos,
+    /// Niceness of the ferret/VM threads.
+    pub nice: i8,
+    /// Pin ferret workers to the same cores as the packet threads
+    /// (the sharing experiments) instead of separate cores.
+    pub on_net_cores: bool,
+}
+
+/// A complete experiment description.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Report label.
+    pub name: String,
+    /// System under test.
+    pub system: SystemKind,
+    /// Application cost profile.
+    pub app: AppProfile,
+    /// Offered workload.
+    pub traffic: TrafficSpec,
+    /// Simulated duration.
+    pub duration: Nanos,
+    /// Rx queues.
+    pub n_queues: usize,
+    /// Descriptor ring size per queue.
+    pub ring_size: usize,
+    /// NIC device profile.
+    pub nic: NicProfile,
+    /// OS model configuration (governor, scheduler, daemon, power).
+    pub os: OsConfig,
+    /// Niceness of the packet-retrieval threads (paper: −20 for
+    /// Metronome's "slight scheduling advantage").
+    pub net_nice: i8,
+    /// Optional co-located ferret job.
+    pub ferret: Option<FerretSpec>,
+    /// Sleep primitive used by Metronome threads.
+    pub sleep_service: SleepService,
+    /// Equal-timeout ablation: backups sleep `TS` instead of `TL`.
+    pub equal_timeouts: bool,
+    /// Latency sampling stride (0 disables latency measurement).
+    pub latency_stride: u64,
+    /// Record a time series every this often (Fig. 9).
+    pub series_every: Option<Nanos>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    fn base(name: impl Into<String>, system: SystemKind, n_queues: usize) -> Self {
+        Scenario {
+            name: name.into(),
+            system,
+            app: AppProfile::l3fwd(),
+            traffic: TrafficSpec::Silent,
+            duration: Nanos::from_secs(2),
+            n_queues,
+            ring_size: calib::RX_RING_SIZE,
+            nic: NicProfile::X520,
+            os: OsConfig::default(),
+            net_nice: 0,
+            ferret: None,
+            sleep_service: SleepService::HrSleep,
+            equal_timeouts: false,
+            latency_stride: 0,
+            series_every: None,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A Metronome scenario (nice −20 per the paper's setup).
+    pub fn metronome(name: impl Into<String>, cfg: MetronomeConfig, traffic: TrafficSpec) -> Self {
+        cfg.validate().expect("invalid Metronome config");
+        let n_queues = cfg.n_queues;
+        let mut s = Scenario::base(name, SystemKind::Metronome(cfg), n_queues);
+        s.net_nice = -20;
+        s.traffic = traffic;
+        s
+    }
+
+    /// A static-DPDK scenario (one busy-poll thread per queue).
+    pub fn static_dpdk(name: impl Into<String>, n_queues: usize, traffic: TrafficSpec) -> Self {
+        let mut s = Scenario::base(name, SystemKind::StaticDpdk, n_queues);
+        s.traffic = traffic;
+        s
+    }
+
+    /// An XDP scenario (one interrupt-driven core per queue).
+    pub fn xdp(name: impl Into<String>, n_queues: usize, traffic: TrafficSpec) -> Self {
+        let mut s = Scenario::base(name, SystemKind::Xdp, n_queues);
+        s.traffic = traffic;
+        s
+    }
+
+    /// A scenario with no packet system (co-tenant baselines).
+    pub fn idle(name: impl Into<String>) -> Self {
+        Scenario::base(name, SystemKind::Idle, 1)
+    }
+
+    /// Set the application profile.
+    pub fn with_app(mut self, app: AppProfile) -> Self {
+        self.app = app;
+        self
+    }
+
+    /// Set the run duration.
+    pub fn with_duration(mut self, d: Nanos) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Set the cpufreq governor.
+    pub fn with_governor(mut self, g: Governor) -> Self {
+        self.os.governor = g;
+        self
+    }
+
+    /// Use the XL710 40 G profile (and its 37 Mpps cap).
+    pub fn with_nic(mut self, nic: NicProfile) -> Self {
+        self.nic = nic;
+        self
+    }
+
+    /// Set the descriptor ring size.
+    pub fn with_ring(mut self, size: usize) -> Self {
+        self.ring_size = size;
+        self
+    }
+
+    /// Enable latency measurement with the default MoonGen-like stride.
+    pub fn with_latency(mut self) -> Self {
+        self.latency_stride = calib::LATENCY_SAMPLE_STRIDE;
+        self
+    }
+
+    /// Enable latency measurement with a custom stride.
+    pub fn with_latency_stride(mut self, stride: u64) -> Self {
+        self.latency_stride = stride;
+        self
+    }
+
+    /// Record the Fig. 9-style time series.
+    pub fn with_series(mut self, every: Nanos) -> Self {
+        self.series_every = Some(every);
+        self
+    }
+
+    /// Add a co-located ferret job.
+    pub fn with_ferret(mut self, f: FerretSpec) -> Self {
+        self.ferret = Some(f);
+        self
+    }
+
+    /// Choose the sleep service (nanosleep ablations).
+    pub fn with_sleep_service(mut self, s: SleepService) -> Self {
+        self.sleep_service = s;
+        self
+    }
+
+    /// Enable the equal-timeout ablation.
+    pub fn with_equal_timeouts(mut self) -> Self {
+        self.equal_timeouts = true;
+        self
+    }
+
+    /// Set the packet threads' niceness.
+    pub fn with_net_nice(mut self, nice: i8) -> Self {
+        self.net_nice = nice;
+        self
+    }
+
+    /// Disable kernel-daemon interference (clean model-validation runs).
+    pub fn without_daemon(mut self) -> Self {
+        self.os.daemon = DaemonConfig::disabled();
+        self
+    }
+
+    /// Set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of packet-retrieval threads this scenario spawns.
+    pub fn n_net_threads(&self) -> usize {
+        match &self.system {
+            SystemKind::Metronome(cfg) => cfg.m_threads,
+            SystemKind::StaticDpdk | SystemKind::Xdp => self.n_queues,
+            SystemKind::Idle => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_split_across_queues() {
+        let spec = TrafficSpec::CbrPps(4e6);
+        let mut qs = spec.build(4, &NicProfile::XL710, 1);
+        assert_eq!(qs.len(), 4);
+        let n = qs[0].drain(Nanos::from_millis(10), None);
+        // 1 Mpps per queue for 10 ms ≈ 10k packets; sub-line-rate CBR is
+        // emitted as 32-packet DMA trains, so the window edge can hold a
+        // partial train.
+        assert!((n as f64 - 10_000.0).abs() <= 32.0, "{n}");
+    }
+
+    #[test]
+    fn traffic_capped_at_nic_limit() {
+        // 59 Mpps offered on an XL710 caps at 37 Mpps.
+        let spec = TrafficSpec::CbrPps(59e6);
+        let mut qs = spec.build(1, &NicProfile::XL710, 1);
+        let n = qs[0].drain(Nanos::from_millis(1), None);
+        assert!((n as f64 - 37_000.0).abs() < 5.0, "{n}");
+    }
+
+    #[test]
+    fn gbps_conversion_uses_64b_framing() {
+        let spec = TrafficSpec::CbrGbps(10.0);
+        assert!((spec.nominal_pps(Nanos::ZERO) - 14_880_952.38).abs() < 1.0);
+    }
+
+    #[test]
+    fn unbalanced_shares_skewed() {
+        let spec = TrafficSpec::Unbalanced { total_pps: 3e6 };
+        let mut qs = spec.build(3, &NicProfile::X520, 42);
+        let counts: Vec<u64> = qs
+            .iter_mut()
+            .map(|q| q.drain(Nanos::from_millis(100), None))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let max = *counts.iter().max().unwrap();
+        let share = max as f64 / total as f64;
+        assert!((0.45..0.6).contains(&share), "hot share {share}");
+    }
+
+    #[test]
+    fn scenario_builders() {
+        let s = Scenario::metronome(
+            "m",
+            MetronomeConfig::default(),
+            TrafficSpec::CbrGbps(10.0),
+        )
+        .with_latency()
+        .with_governor(Governor::Ondemand)
+        .with_duration(Nanos::from_secs(1));
+        assert_eq!(s.net_nice, -20);
+        assert_eq!(s.n_net_threads(), 3);
+        assert!(s.latency_stride > 0);
+
+        let x = Scenario::xdp("x", 4, TrafficSpec::CbrGbps(10.0));
+        assert_eq!(x.n_net_threads(), 4);
+    }
+
+    #[test]
+    fn ramp_nominal_rate_follows_schedule() {
+        let spec = TrafficSpec::RampUpDown {
+            peak_pps: 14e6,
+            n_steps: 15,
+            step: Nanos::from_secs(2),
+        };
+        assert!(spec.nominal_pps(Nanos::from_secs(29)) > 13e6);
+        assert!(spec.nominal_pps(Nanos::from_secs(1)) < 2e6);
+    }
+}

@@ -1,0 +1,23 @@
+use metronome_core::MetronomeConfig;
+use metronome_runtime::{run, Scenario, TrafficSpec};
+use metronome_sim::Nanos;
+
+#[test]
+fn probe_fig4() {
+    let mcfg = MetronomeConfig {
+        m_threads: 2,
+        fixed_ts: Some(Nanos::from_micros(50)),
+        t_long: Nanos::from_micros(50),
+        ..MetronomeConfig::default()
+    };
+    let sc = Scenario::metronome("probe", mcfg, TrafficSpec::CbrGbps(1.0))
+        .with_duration(Nanos::from_millis(20))
+        .without_daemon()
+        .with_seed(1);
+    let r = run(&sc);
+    println!("samples={} wakes={} tries(q0)={} busy={}",
+        r.vacation_samples_us.len(), r.total_wakes,
+        r.queues[0].total_tries, r.queues[0].busy_tries);
+    println!("first 60 vacation samples: {:?}",
+        &r.vacation_samples_us[..r.vacation_samples_us.len().min(60)].iter().map(|v| (v*10.0).round()/10.0).collect::<Vec<_>>());
+}

@@ -1,0 +1,35 @@
+//! # metronome-sim — deterministic discrete-event simulation engine
+//!
+//! Foundation crate for the Metronome (CoNEXT 2020) reproduction. Everything
+//! the higher layers need to run *reproducible* whole-system experiments
+//! lives here:
+//!
+//! * [`time::Nanos`] / [`time::Cycles`] — integer virtual time and CPU-cycle
+//!   accounting (cycles ↔ time conversion is frequency-aware so governor
+//!   models work).
+//! * [`event::EventQueue`] — the event heap with deterministic FIFO
+//!   tie-breaking and O(log n) cancellation.
+//! * [`rng::Rng`] — xoshiro256** with SplitMix64 seeding and independent
+//!   sub-streams per component.
+//! * [`stats`] — the estimators every experiment reports through: Welford
+//!   mean/variance, EWMA (paper eq. (11)), time-weighted means, log-linear
+//!   latency histograms, reservoir-sampled boxplots, and downsampled series.
+//!
+//! ## Determinism contract
+//!
+//! Given the same seed and configuration, every simulation built on this
+//! crate produces bit-identical results on every platform: integer time, a
+//! stable event ordering, and self-contained PRNG streams. The experiment
+//! harness and the regression test suite depend on this.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventId, EventQueue};
+pub use rng::Rng;
+pub use time::{Cycles, Nanos};

@@ -1,0 +1,118 @@
+//! Exponentially weighted moving average.
+//!
+//! The paper's adaptation loop (§IV-D, eq. (11)) estimates the load as
+//! `ρ(i) = (1-α)·ρ(i-1) + α·B(i)/(V(i)+B(i))` — a plain EWMA over the
+//! per-cycle busy fraction. This type is that estimator, reused anywhere a
+//! smoothed scalar is needed (governor utilization sampling, rate display).
+
+/// EWMA with smoothing factor `alpha` in `(0, 1]`.
+///
+/// Larger `alpha` tracks faster; smaller `alpha` smooths harder. The first
+/// observation initializes the average directly (no zero-bias warmup).
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an estimator with the given smoothing factor.
+    ///
+    /// # Panics
+    /// If `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Incorporate an observation and return the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => (1.0 - self.alpha) * prev + self.alpha * x,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, or `default` if nothing was observed yet.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Current average, if any observation was made.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Discard state (back to "no observations").
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = Ewma::new(0.125);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(8.0), 8.0);
+        assert_eq!(e.value(), Some(8.0));
+    }
+
+    #[test]
+    fn recurrence_matches_paper_eq11() {
+        // ρ(i) = (1-α)ρ(i-1) + α·x with α = 0.25
+        let mut e = Ewma::new(0.25);
+        e.update(1.0);
+        let v = e.update(0.0); // 0.75*1 + 0.25*0
+        assert!((v - 0.75).abs() < 1e-12);
+        let v = e.update(1.0); // 0.75*0.75 + 0.25
+        assert!((v - 0.8125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.1);
+        for _ in 0..500 {
+            e.update(3.5);
+        }
+        assert!((e.value().unwrap() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut e = Ewma::new(1.0);
+        e.update(1.0);
+        e.update(42.0);
+        assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    fn value_or_default() {
+        let e = Ewma::new(0.5);
+        assert_eq!(e.value_or(0.123), 0.123);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut e = Ewma::new(0.5);
+        e.update(1.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Log-linear histogram for latency-style positive quantities.
+//!
+//! HdrHistogram-like layout: values are bucketed into power-of-two ranges,
+//! each split into `sub_buckets` linear slots, giving a bounded relative
+//! error (≈ 1/sub_buckets) over many orders of magnitude with O(1) insert
+//! and a few KiB of memory. Latencies in the simulator span ~100 ns (wire
+//! time) to ~1 s (pathological stalls), which a linear histogram cannot
+//! cover affordably.
+
+/// Log-linear histogram over `u64` values (typically nanoseconds).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    sub_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with 2^`sub_bits` linear sub-buckets per octave.
+    ///
+    /// `sub_bits = 5` (32 sub-buckets, ≈3% relative error) is plenty for
+    /// latency reporting; `sub_bits = 7` gives ≈0.8%.
+    pub fn new(sub_bits: u32) -> Self {
+        assert!((1..=16).contains(&sub_bits), "sub_bits in 1..=16");
+        // 64 octaves × sub_buckets is the worst case; index() caps octaves.
+        let n = (64 - sub_bits as usize + 1) * (1 << sub_bits);
+        Histogram {
+            sub_bits,
+            counts: vec![0; n],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Default configuration for latency distributions (≈3% error).
+    pub fn latency() -> Self {
+        Histogram::new(5)
+    }
+
+    fn index(&self, value: u64) -> usize {
+        let sub = self.sub_bits;
+        if value < (1 << sub) {
+            // First octave is exact.
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let octave = (msb - sub + 1) as usize;
+        let within = ((value >> (msb - sub)) - (1 << sub)) as usize;
+        octave * (1 << sub) + within
+    }
+
+    /// Lowest value that maps to the bucket with the given index
+    /// (the inverse of `index`, used for quantile reconstruction).
+    fn bucket_low(&self, idx: usize) -> u64 {
+        let sub = self.sub_bits as usize;
+        let per = 1usize << sub;
+        if idx < per {
+            return idx as u64;
+        }
+        let octave = idx / per;
+        let within = idx % per;
+        // Octave o >= 1 covers [2^(sub+o-1), 2^(sub+o)), each slot spanning
+        // 2^(o-1) values.
+        let base = 1u64 << (sub + octave - 1);
+        base + (within as u64) * (1u64 << (octave - 1))
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record `n` identical observations.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = self.index(value);
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact arithmetic mean of recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact minimum (`None` if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Exact maximum (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Approximate `q`-quantile (bucket lower bound; relative error bounded
+    /// by the sub-bucket resolution).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Clamp to the true extremes for the outer quantiles.
+                let v = self.bucket_low(i);
+                return Some(v.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median shortcut.
+    pub fn median(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// Merge another histogram with identical configuration.
+    ///
+    /// # Panics
+    /// If the two histograms were built with different `sub_bits`.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.sub_bits, other.sub_bits, "incompatible histograms");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterate non-empty buckets as `(bucket_low, count)`.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (self.bucket_low(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::latency();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = Histogram::new(5);
+        for v in 0..32 {
+            h.record(v);
+        }
+        // First octave is exact: every value its own bucket.
+        let buckets: Vec<_> = h.iter_buckets().collect();
+        assert_eq!(buckets.len(), 32);
+        for (i, (low, count)) in buckets.iter().enumerate() {
+            assert_eq!(*low, i as u64);
+            assert_eq!(*count, 1);
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::latency();
+        for v in [100, 200, 300, 1_000_000] {
+            h.record(v);
+        }
+        assert!((h.mean() - 250_150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_relative_error_bounded() {
+        let mut h = Histogram::new(5);
+        // Values across several octaves.
+        let vals: Vec<u64> = (0..10_000).map(|i| 50 + i * 37).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = sorted[((q * (sorted.len() - 1) as f64) as usize).min(sorted.len() - 1)];
+            let approx = h.quantile(q).unwrap();
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.05, "q={q}: exact {exact} approx {approx} rel {rel}");
+        }
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let mut h = Histogram::latency();
+        h.record(17);
+        h.record(93_000_001);
+        assert_eq!(h.min(), Some(17));
+        assert_eq!(h.max(), Some(93_000_001));
+        assert_eq!(h.quantile(0.0), Some(17));
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = Histogram::new(5);
+        let mut b = Histogram::new(5);
+        a.record_n(1234, 7);
+        for _ in 0..7 {
+            b.record(1234);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new(5);
+        let mut b = Histogram::new(5);
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_mismatched_config() {
+        let mut a = Histogram::new(5);
+        let b = Histogram::new(6);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn bucket_low_is_monotone() {
+        let h = Histogram::new(5);
+        let mut prev = 0;
+        for i in 0..500 {
+            let low = h.bucket_low(i);
+            assert!(low >= prev, "bucket {i}: {low} < {prev}");
+            prev = low;
+        }
+    }
+
+    #[test]
+    fn index_bucket_low_consistent() {
+        let h = Histogram::new(5);
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1000, 65_535, 1 << 30] {
+            let idx = h.index(v);
+            let low = h.bucket_low(idx);
+            assert!(low <= v, "v={v} idx={idx} low={low}");
+            // Next bucket must start above v.
+            let next_low = h.bucket_low(idx + 1);
+            assert!(next_low > v, "v={v} idx={idx} next_low={next_low}");
+        }
+    }
+}

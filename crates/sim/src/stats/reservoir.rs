@@ -1,0 +1,226 @@
+//! Reservoir sampling and boxplot summaries.
+//!
+//! Latency boxplots (paper Figs. 1, 8, 10) need order statistics. Keeping
+//! every sample of a minute-long line-rate run would cost gigabytes, so we
+//! keep a uniform reservoir (Vitter's Algorithm R) whose percentiles are
+//! unbiased estimates of the population's.
+
+use super::quantile_sorted;
+use crate::rng::Rng;
+
+/// Fixed-capacity uniform sample of a stream.
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    cap: usize,
+    seen: u64,
+    samples: Vec<f64>,
+    rng: Rng,
+}
+
+impl Reservoir {
+    /// Reservoir holding at most `cap` samples, using the given seed for the
+    /// replacement draws (deterministic across runs).
+    pub fn new(cap: usize, seed: u64) -> Self {
+        assert!(cap > 0, "capacity must be positive");
+        Reservoir {
+            cap,
+            seen: 0,
+            samples: Vec::with_capacity(cap.min(4096)),
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Offer one observation to the reservoir.
+    pub fn add(&mut self, x: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(x);
+        } else {
+            // Replace a random slot with probability cap/seen.
+            let j = self.rng.below(self.seen);
+            if (j as usize) < self.cap {
+                self.samples[j as usize] = x;
+            }
+        }
+    }
+
+    /// Total observations offered (not the retained count).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing was offered.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Retained samples (unsorted, in reservoir order).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Five-number summary plus mean of the retained sample.
+    pub fn boxplot(&self) -> Option<Boxplot> {
+        Boxplot::from_samples(&self.samples)
+    }
+}
+
+/// Five-number summary (Tukey boxplot) of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Boxplot {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Number of samples summarized.
+    pub count: usize,
+}
+
+impl Boxplot {
+    /// Summarize a sample (need not be sorted). Returns `None` if empty.
+    pub fn from_samples(samples: &[f64]) -> Option<Boxplot> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        Some(Boxplot {
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25).unwrap(),
+            median: quantile_sorted(&sorted, 0.50).unwrap(),
+            q3: quantile_sorted(&sorted, 0.75).unwrap(),
+            max: sorted[n - 1],
+            mean,
+            std_dev: var.sqrt(),
+            count: n,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Lower Tukey whisker (lowest sample ≥ q1 − 1.5·IQR approximated as the
+    /// fence itself, clamped to min).
+    pub fn whisker_low(&self) -> f64 {
+        (self.q1 - 1.5 * self.iqr()).max(self.min)
+    }
+
+    /// Upper Tukey whisker.
+    pub fn whisker_high(&self) -> f64 {
+        (self.q3 + 1.5 * self.iqr()).min(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = Reservoir::new(100, 1);
+        for i in 0..50 {
+            r.add(i as f64);
+        }
+        assert_eq!(r.len(), 50);
+        assert_eq!(r.seen(), 50);
+        let mut s = r.samples().to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(s, (0..50).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn caps_at_capacity() {
+        let mut r = Reservoir::new(10, 2);
+        for i in 0..10_000 {
+            r.add(i as f64);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Mean of a uniform sample of 0..100k should be ≈50k.
+        let mut r = Reservoir::new(2_000, 3);
+        let n = 100_000;
+        for i in 0..n {
+            r.add(i as f64);
+        }
+        let mean = r.samples().iter().sum::<f64>() / r.len() as f64;
+        let expected = (n - 1) as f64 / 2.0;
+        // Std error ≈ (n/sqrt(12)) / sqrt(2000) ≈ 645; allow 4 sigma.
+        assert!(
+            (mean - expected).abs() < 3_000.0,
+            "reservoir mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Reservoir::new(16, 42);
+        let mut b = Reservoir::new(16, 42);
+        for i in 0..1_000 {
+            a.add(i as f64);
+            b.add(i as f64);
+        }
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn boxplot_of_known_sample() {
+        let bp = Boxplot::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(bp.min, 1.0);
+        assert_eq!(bp.median, 3.0);
+        assert_eq!(bp.max, 5.0);
+        assert_eq!(bp.q1, 2.0);
+        assert_eq!(bp.q3, 4.0);
+        assert_eq!(bp.mean, 3.0);
+        assert_eq!(bp.count, 5);
+        assert!((bp.std_dev - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_empty_is_none() {
+        assert!(Boxplot::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn boxplot_single_sample() {
+        let bp = Boxplot::from_samples(&[7.5]).unwrap();
+        assert_eq!(bp.min, 7.5);
+        assert_eq!(bp.max, 7.5);
+        assert_eq!(bp.median, 7.5);
+        assert_eq!(bp.std_dev, 0.0);
+    }
+
+    #[test]
+    fn whiskers_clamped_to_extremes() {
+        let bp = Boxplot::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        assert!(bp.whisker_high() <= bp.max);
+        assert!(bp.whisker_low() >= bp.min);
+    }
+}

@@ -1,0 +1,125 @@
+//! Downsampled time-series recorder.
+//!
+//! Fig. 9 of the paper plots the estimated rate, `TS`, CPU usage and `ρ`
+//! against wall time over a 60-second ramp. [`Series`] records (time, value)
+//! points at a caller-chosen minimum spacing, so a second-long experiment at
+//! microsecond event granularity still yields a plottable few hundred points.
+
+use crate::time::Nanos;
+
+/// Append-only (time, value) series with a minimum inter-sample spacing.
+#[derive(Clone, Debug)]
+pub struct Series {
+    name: String,
+    min_gap: Nanos,
+    points: Vec<(Nanos, f64)>,
+}
+
+impl Series {
+    /// New series; points arriving closer than `min_gap` after the previous
+    /// retained point are dropped (the most recent value can be flushed
+    /// explicitly with [`Series::force`]).
+    pub fn new(name: impl Into<String>, min_gap: Nanos) -> Self {
+        Series {
+            name: name.into(),
+            min_gap,
+            points: Vec::new(),
+        }
+    }
+
+    /// Series name (used as a CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Offer a point; retained only if at least `min_gap` after the last.
+    pub fn push(&mut self, t: Nanos, v: f64) {
+        match self.points.last() {
+            Some(&(last_t, _)) if t < last_t.saturating_add(self.min_gap) => {}
+            _ => self.points.push((t, v)),
+        }
+    }
+
+    /// Record a point unconditionally (e.g. the final value of a run).
+    pub fn force(&mut self, t: Nanos, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// Retained points.
+    pub fn points(&self) -> &[(Nanos, f64)] {
+        &self.points
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last retained value, if any.
+    pub fn last(&self) -> Option<(Nanos, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Render as CSV lines `seconds,value` (no header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.points.len() * 16);
+        for (t, v) in &self.points {
+            out.push_str(&format!("{:.6},{v}\n", t.as_secs_f64()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_min_gap() {
+        let mut s = Series::new("cpu", Nanos::from_millis(10));
+        s.push(Nanos::ZERO, 1.0);
+        s.push(Nanos::from_millis(5), 2.0); // too close, dropped
+        s.push(Nanos::from_millis(10), 3.0); // exactly the gap, kept
+        s.push(Nanos::from_millis(12), 4.0); // dropped
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[1], (Nanos::from_millis(10), 3.0));
+    }
+
+    #[test]
+    fn force_bypasses_gap() {
+        let mut s = Series::new("x", Nanos::from_secs(1));
+        s.push(Nanos::ZERO, 1.0);
+        s.force(Nanos(1), 2.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn zero_gap_keeps_all() {
+        let mut s = Series::new("x", Nanos::ZERO);
+        for i in 0..10 {
+            s.push(Nanos(i), i as f64);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut s = Series::new("x", Nanos::ZERO);
+        s.push(Nanos::from_secs(1), 0.5);
+        assert_eq!(s.to_csv(), "1.000000,0.5\n");
+    }
+
+    #[test]
+    fn last_and_empty() {
+        let mut s = Series::new("x", Nanos::ZERO);
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        s.push(Nanos(5), 9.0);
+        assert_eq!(s.last(), Some((Nanos(5), 9.0)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Time-weighted averaging of piecewise-constant signals.
+
+use crate::time::Nanos;
+
+/// Average of a signal that holds a value until explicitly changed.
+///
+/// Used for CPU utilization (a core is either busy or idle), queue depth,
+/// active thread counts, and core frequency: `set(t, v)` records that the
+/// signal takes value `v` from time `t` onward, and [`TimeWeighted::mean_until`]
+/// integrates the step function over the observed window.
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    start: Option<Nanos>,
+    last_t: Nanos,
+    last_v: f64,
+    integral: f64, // ∫ v dt in (value · seconds)
+    min: f64,
+    max: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// Fresh accumulator with no observations.
+    pub fn new() -> Self {
+        TimeWeighted {
+            start: None,
+            last_t: Nanos::ZERO,
+            last_v: 0.0,
+            integral: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record that the signal takes value `v` starting at time `t`.
+    ///
+    /// Times must be non-decreasing; out-of-order updates panic in debug
+    /// builds and are clamped in release builds.
+    pub fn set(&mut self, t: Nanos, v: f64) {
+        match self.start {
+            None => {
+                self.start = Some(t);
+                self.last_t = t;
+                self.last_v = v;
+            }
+            Some(_) => {
+                debug_assert!(t >= self.last_t, "time-weighted update out of order");
+                let t = t.max(self.last_t);
+                self.integral += self.last_v * (t - self.last_t).as_secs_f64();
+                self.last_t = t;
+                self.last_v = v;
+            }
+        }
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Close the window at time `t` and return the time-weighted mean.
+    ///
+    /// Returns 0 for an empty or zero-length window. The accumulator remains
+    /// usable; calling `mean_until` repeatedly with increasing `t` is fine.
+    pub fn mean_until(&self, t: Nanos) -> f64 {
+        let Some(start) = self.start else {
+            return 0.0;
+        };
+        let t = t.max(self.last_t);
+        let span = (t - start).as_secs_f64();
+        if span <= 0.0 {
+            return self.last_v;
+        }
+        let total = self.integral + self.last_v * (t - self.last_t).as_secs_f64();
+        total / span
+    }
+
+    /// Current (latest) value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Smallest value ever set (`None` before the first `set`).
+    pub fn min(&self) -> Option<f64> {
+        self.start.map(|_| self.min)
+    }
+
+    /// Largest value ever set (`None` before the first `set`).
+    pub fn max(&self) -> Option<f64> {
+        self.start.map(|_| self.max)
+    }
+
+    /// Integral of the signal in value·seconds up to the last `set`.
+    pub fn integral_so_far(&self) -> f64 {
+        self.integral
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mean_is_zero() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean_until(Nanos::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn constant_signal() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Nanos::ZERO, 5.0);
+        assert!((tw.mean_until(Nanos::from_secs(10)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_wave_half_duty() {
+        let mut tw = TimeWeighted::new();
+        // 1 for [0,1)s, 0 for [1,2)s, 1 for [2,3)s, 0 for [3,4)s.
+        for i in 0..4u64 {
+            tw.set(Nanos::from_secs(i), (1 - i % 2) as f64);
+        }
+        assert!((tw.mean_until(Nanos::from_secs(4)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_by_duration() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Nanos::ZERO, 10.0); // 10 for 3 seconds
+        tw.set(Nanos::from_secs(3), 0.0); // 0 for 1 second
+        let m = tw.mean_until(Nanos::from_secs(4));
+        assert!((m - 7.5).abs() < 1e-12, "{m}");
+    }
+
+    #[test]
+    fn window_starts_at_first_set() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Nanos::from_secs(10), 2.0);
+        // Window is [10, 12): mean must ignore the [0,10) gap.
+        assert!((tw.mean_until(Nanos::from_secs(12)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_track_values() {
+        let mut tw = TimeWeighted::new();
+        assert_eq!(tw.min(), None);
+        tw.set(Nanos::ZERO, 3.0);
+        tw.set(Nanos::from_secs(1), -1.0);
+        tw.set(Nanos::from_secs(2), 7.0);
+        assert_eq!(tw.min(), Some(-1.0));
+        assert_eq!(tw.max(), Some(7.0));
+        assert_eq!(tw.current(), 7.0);
+    }
+
+    #[test]
+    fn repeated_mean_queries_are_consistent() {
+        let mut tw = TimeWeighted::new();
+        tw.set(Nanos::ZERO, 4.0);
+        let a = tw.mean_until(Nanos::from_secs(1));
+        let b = tw.mean_until(Nanos::from_secs(2));
+        assert!((a - 4.0).abs() < 1e-12);
+        assert!((b - 4.0).abs() < 1e-12);
+    }
+}

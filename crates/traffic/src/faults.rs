@@ -1,0 +1,157 @@
+//! Fault injection for arrival processes.
+//!
+//! Wraps any [`ArrivalProcess`] with generator-side imperfections: random
+//! drops (a lossy cable or an overloaded generator) and timing
+//! perturbation (software pacing error). Used by the robustness tests to
+//! confirm that Metronome's estimator and the loss accounting degrade
+//! gracefully rather than catastrophically when the offered stream itself
+//! is imperfect.
+
+use crate::arrival::ArrivalProcess;
+use metronome_sim::{Nanos, Rng};
+
+/// An arrival process with independent per-packet drop probability and
+/// uniform ± jitter on each arrival instant.
+pub struct FaultyArrivals<A> {
+    inner: A,
+    drop_prob: f64,
+    jitter: Nanos,
+    rng: Rng,
+    buf: Vec<Nanos>,
+    /// Packets suppressed by the injector so far.
+    pub injected_drops: u64,
+}
+
+impl<A: ArrivalProcess> FaultyArrivals<A> {
+    /// Wrap `inner`, dropping each packet with probability `drop_prob` and
+    /// shifting each surviving arrival by up to ± `jitter` (clamped so the
+    /// stream stays ordered within a drain window).
+    pub fn new(inner: A, drop_prob: f64, jitter: Nanos, rng: Rng) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob));
+        FaultyArrivals {
+            inner,
+            drop_prob,
+            jitter,
+            rng,
+            buf: Vec::new(),
+            injected_drops: 0,
+        }
+    }
+}
+
+impl<A: ArrivalProcess> ArrivalProcess for FaultyArrivals<A> {
+    fn drain(&mut self, until: Nanos, timestamps: Option<&mut Vec<Nanos>>) -> u64 {
+        // Jitter must not move arrivals past `until` (they would be lost to
+        // this drain); pull the raw timestamps and filter/perturb.
+        self.buf.clear();
+        let raw = self.inner.drain(until, Some(&mut self.buf));
+        let mut kept = 0;
+        if let Some(out) = timestamps {
+            for &t in &self.buf {
+                if self.drop_prob > 0.0 && self.rng.chance(self.drop_prob) {
+                    self.injected_drops += 1;
+                    continue;
+                }
+                kept += 1;
+                let jit = if self.jitter.is_zero() {
+                    Nanos::ZERO
+                } else {
+                    Nanos(self.rng.below(self.jitter.as_nanos().max(1)))
+                };
+                // Shift backward only (stay ≤ until and keep order cheaply).
+                out.push(t.saturating_sub(jit));
+            }
+        } else {
+            for _ in 0..raw {
+                if self.drop_prob > 0.0 && self.rng.chance(self.drop_prob) {
+                    self.injected_drops += 1;
+                } else {
+                    kept += 1;
+                }
+            }
+        }
+        kept
+    }
+
+    fn peek_next(&mut self) -> Option<Nanos> {
+        self.inner.peek_next()
+    }
+
+    fn rate_pps(&self, t: Nanos) -> f64 {
+        self.inner.rate_pps(t) * (1.0 - self.drop_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::Cbr;
+
+    #[test]
+    fn zero_faults_is_transparent() {
+        let mut clean = Cbr::new(1e6, Nanos::ZERO);
+        let mut faulty = FaultyArrivals::new(
+            Cbr::new(1e6, Nanos::ZERO),
+            0.0,
+            Nanos::ZERO,
+            Rng::new(1),
+        );
+        let t = Nanos::from_millis(3);
+        assert_eq!(clean.drain(t, None), faulty.drain(t, None));
+        assert_eq!(faulty.injected_drops, 0);
+    }
+
+    #[test]
+    fn drop_probability_thins_the_stream() {
+        let mut faulty = FaultyArrivals::new(
+            Cbr::new(1e6, Nanos::ZERO),
+            0.25,
+            Nanos::ZERO,
+            Rng::new(2),
+        );
+        let n = faulty.drain(Nanos::from_millis(100), None);
+        // 100k offered, 25% dropped: expect ≈75k.
+        assert!((n as f64 - 75_000.0).abs() < 1_500.0, "{n}");
+        assert!((faulty.injected_drops as f64 - 25_000.0).abs() < 1_500.0);
+    }
+
+    #[test]
+    fn effective_rate_reflects_drops() {
+        let faulty = FaultyArrivals::new(
+            Cbr::new(2e6, Nanos::ZERO),
+            0.5,
+            Nanos::ZERO,
+            Rng::new(3),
+        );
+        assert!((faulty.rate_pps(Nanos::from_secs(1)) - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn jitter_keeps_timestamps_in_window() {
+        let mut faulty = FaultyArrivals::new(
+            Cbr::new(1e6, Nanos::ZERO),
+            0.0,
+            Nanos::from_micros(3),
+            Rng::new(4),
+        );
+        let until = Nanos::from_micros(500);
+        let mut ts = Vec::new();
+        faulty.drain(until, Some(&mut ts));
+        assert!(!ts.is_empty());
+        assert!(ts.iter().all(|&t| t <= until));
+    }
+
+    #[test]
+    fn counts_match_with_and_without_timestamps() {
+        // The kept-count must be deterministic per seed regardless of
+        // whether the caller asked for timestamps.
+        let mut a = FaultyArrivals::new(Cbr::new(1e6, Nanos::ZERO), 0.3, Nanos::ZERO, Rng::new(5));
+        let mut b = FaultyArrivals::new(Cbr::new(1e6, Nanos::ZERO), 0.3, Nanos::ZERO, Rng::new(5));
+        let t = Nanos::from_millis(5);
+        let mut ts = Vec::new();
+        let na = a.drain(t, Some(&mut ts));
+        let nb = b.drain(t, None);
+        assert_eq!(na, nb);
+        assert_eq!(na as usize, ts.len());
+    }
+}

@@ -1,0 +1,202 @@
+//! Synthetic flow populations.
+//!
+//! MoonGen scripts in the paper generate 64 B UDP packets over either a
+//! single flow, uniformly random flows, or the skewed mix of the Table III
+//! unbalanced test. This module builds reproducible flow sets and exposes
+//! how RSS spreads them over Rx queues.
+
+use metronome_net::toeplitz::Toeplitz;
+use metronome_net::FiveTuple;
+use metronome_sim::Rng;
+use std::net::Ipv4Addr;
+
+/// A reproducible population of flows.
+#[derive(Clone, Debug)]
+pub struct FlowSet {
+    flows: Vec<FiveTuple>,
+}
+
+impl FlowSet {
+    /// `n` uniformly random UDP flows (deterministic per seed).
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let flows = (0..n)
+            .map(|_| {
+                FiveTuple::udp(
+                    Ipv4Addr::from(rng.next_u64() as u32),
+                    (rng.below(64_511) + 1_024) as u16,
+                    Ipv4Addr::from(rng.next_u64() as u32),
+                    (rng.below(64_511) + 1_024) as u16,
+                )
+            })
+            .collect();
+        FlowSet { flows }
+    }
+
+    /// A single fixed flow repeated (the "same UDP flow" of Table III).
+    pub fn single() -> FiveTuple {
+        FiveTuple::udp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            7_777,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9_999,
+        )
+    }
+
+    /// The flows in this set.
+    pub fn flows(&self) -> &[FiveTuple] {
+        &self.flows
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Fraction of flows RSS maps to each of `n_queues` queues.
+    pub fn rss_split(&self, n_queues: usize) -> Vec<f64> {
+        let tz = Toeplitz::default();
+        let mut counts = vec![0usize; n_queues];
+        for f in &self.flows {
+            counts[tz.queue_for(&f.rss_input(), n_queues)] += 1;
+        }
+        counts
+            .iter()
+            .map(|&c| c as f64 / self.flows.len().max(1) as f64)
+            .collect()
+    }
+}
+
+/// The Table III unbalanced workload: a looped 1000-packet trace where 30%
+/// of packets belong to one UDP flow and 70% are spread over random flows.
+///
+/// Returns, for `n_queues` RSS queues, the fraction of total traffic each
+/// queue receives. With 3 queues the hot flow's queue carries
+/// `0.30 + 0.70/3 ≈ 53%` and the others ≈ 23% each — the paper's numbers.
+#[derive(Clone, Debug)]
+pub struct UnbalancedTrace {
+    /// Packet sequence as flow references (looped by the generator).
+    packets: Vec<FiveTuple>,
+    hot: FiveTuple,
+}
+
+impl UnbalancedTrace {
+    /// Build the canonical 1000-packet trace (300 hot + 700 random).
+    pub fn table3(seed: u64) -> Self {
+        Self::with_mix(1000, 0.30, seed)
+    }
+
+    /// Build a trace of `n` packets with `hot_fraction` of them on one flow.
+    pub fn with_mix(n: usize, hot_fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        let hot = FlowSet::single();
+        let n_hot = (n as f64 * hot_fraction).round() as usize;
+        let cold = FlowSet::random(n - n_hot, seed);
+        let mut packets = Vec::with_capacity(n);
+        packets.extend(std::iter::repeat_n(hot, n_hot));
+        packets.extend_from_slice(cold.flows());
+        // Interleave deterministically so the hot flow isn't a burst.
+        let mut rng = Rng::new(seed ^ 0x7ACE);
+        rng.shuffle(&mut packets);
+        UnbalancedTrace { packets, hot }
+    }
+
+    /// The trace's packet sequence (one loop).
+    pub fn packets(&self) -> &[FiveTuple] {
+        &self.packets
+    }
+
+    /// The hot flow.
+    pub fn hot_flow(&self) -> FiveTuple {
+        self.hot
+    }
+
+    /// Fraction of total traffic each of `n_queues` queues receives,
+    /// computed with the real Toeplitz dispatch over the trace.
+    pub fn queue_shares(&self, n_queues: usize) -> Vec<f64> {
+        let tz = Toeplitz::default();
+        let mut counts = vec![0usize; n_queues];
+        for p in &self.packets {
+            counts[tz.queue_for(&p.rss_input(), n_queues)] += 1;
+        }
+        counts
+            .iter()
+            .map(|&c| c as f64 / self.packets.len() as f64)
+            .collect()
+    }
+
+    /// Index of the queue carrying the hot flow.
+    pub fn hot_queue(&self, n_queues: usize) -> usize {
+        Toeplitz::default().queue_for(&self.hot.rss_input(), n_queues)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_flows_are_reproducible() {
+        let a = FlowSet::random(100, 1);
+        let b = FlowSet::random(100, 1);
+        assert_eq!(a.flows(), b.flows());
+        let c = FlowSet::random(100, 2);
+        assert_ne!(a.flows(), c.flows());
+    }
+
+    #[test]
+    fn rss_split_roughly_uniform_for_random_flows() {
+        let set = FlowSet::random(4_000, 3);
+        for (q, share) in set.rss_split(4).iter().enumerate() {
+            assert!(
+                (0.20..=0.30).contains(share),
+                "queue {q} got share {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn table3_shares_match_paper() {
+        // Paper §V-F.4: 3 queues, hot queue ≈53%, others ≈23% each.
+        let trace = UnbalancedTrace::table3(42);
+        let shares = trace.queue_shares(3);
+        let hot_q = trace.hot_queue(3);
+        assert!(
+            (0.48..=0.58).contains(&shares[hot_q]),
+            "hot queue share {}",
+            shares[hot_q]
+        );
+        for (q, &s) in shares.iter().enumerate() {
+            if q != hot_q {
+                assert!((0.18..=0.28).contains(&s), "cold queue {q} share {s}");
+            }
+        }
+        let total: f64 = shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_has_requested_mix() {
+        let trace = UnbalancedTrace::with_mix(1000, 0.30, 7);
+        let hot = trace.hot_flow();
+        let n_hot = trace.packets().iter().filter(|&&p| p == hot).count();
+        assert_eq!(n_hot, 300);
+        assert_eq!(trace.packets().len(), 1000);
+    }
+
+    #[test]
+    fn hot_flow_is_queue_stable() {
+        let trace = UnbalancedTrace::table3(9);
+        let q = trace.hot_queue(3);
+        // Every hot packet must land on the same queue.
+        let tz = Toeplitz::default();
+        for p in trace.packets().iter().filter(|&&p| p == trace.hot_flow()) {
+            assert_eq!(tz.queue_for(&p.rss_input(), 3), q);
+        }
+    }
+}

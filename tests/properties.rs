@@ -1,0 +1,276 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! analytical model: invariants that must hold for *any* input, not just
+//! the paper's operating points.
+
+use metronome_repro::core::model;
+use metronome_repro::dpdk::{Mempool, Ring, RxRingModel};
+use metronome_repro::net::checksum::{internet_checksum, verify};
+use metronome_repro::net::headers::{build_udp_frame, l3fwd_rewrite, parse_frame, Mac};
+use metronome_repro::net::lpm::Lpm;
+use metronome_repro::net::toeplitz::Toeplitz;
+use metronome_repro::net::{ExactMatch, FiveTuple};
+use metronome_repro::net::aes::Aes128;
+use metronome_repro::sim::stats::{Histogram, MeanVar};
+use metronome_repro::sim::{EventQueue, Nanos};
+use metronome_repro::traffic::{ArrivalProcess, Cbr};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>()).prop_map(|(s, sp, d, dp)| {
+        FiveTuple::udp(Ipv4Addr::from(s), sp, Ipv4Addr::from(d), dp)
+    })
+}
+
+proptest! {
+    /// The counting ring model and the real mbuf ring agree on any
+    /// offer/take schedule (the hybrid-DES core assumption).
+    #[test]
+    fn ring_model_matches_real_ring(ops in prop::collection::vec((0u64..48, 0u64..48), 1..200)) {
+        let mut real = Ring::new(64);
+        let mut model = RxRingModel::new(64);
+        let mut out = Vec::new();
+        for (offer, take) in ops {
+            let mut accepted = 0;
+            for _ in 0..offer {
+                if real.enqueue(metronome_repro::dpdk::Mbuf::from_bytes(Default::default())) {
+                    accepted += 1;
+                }
+            }
+            prop_assert_eq!(model.offer(offer), accepted);
+            out.clear();
+            let took = real.dequeue_burst(take as usize, &mut out) as u64;
+            prop_assert_eq!(model.take(take), took);
+            prop_assert_eq!(model.occupancy(), real.len() as u64);
+        }
+    }
+
+    /// Ring conservation: accepted = drained + still queued; offered =
+    /// accepted + dropped.
+    #[test]
+    fn ring_conserves_packets(ops in prop::collection::vec((0u64..100, 0u64..100), 1..100)) {
+        let mut m = RxRingModel::new(128);
+        let mut offered = 0;
+        for (o, t) in ops {
+            offered += o;
+            m.offer(o);
+            m.take(t);
+        }
+        prop_assert_eq!(m.total_accepted() + m.total_dropped(), offered);
+        prop_assert_eq!(m.total_accepted(), m.total_drained() + m.occupancy());
+        prop_assert!(m.occupancy() <= m.capacity());
+    }
+
+    /// Mempool never double-hands a buffer and never exceeds population.
+    #[test]
+    fn mempool_bounded(ops in prop::collection::vec(any::<bool>(), 1..300)) {
+        let mut pool = Mempool::new(16, 64);
+        let mut held = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Some(m) = pool.alloc() {
+                    held.push(m);
+                }
+            } else if let Some(m) = held.pop() {
+                pool.free(m);
+            }
+            prop_assert_eq!(pool.in_use(), held.len());
+            prop_assert!(pool.in_use() <= pool.population());
+        }
+    }
+
+    /// LPM agrees with a naive longest-prefix oracle on random tables.
+    #[test]
+    fn lpm_matches_oracle(
+        routes in prop::collection::vec((any::<u32>(), 1u8..=32, any::<u16>()), 0..40),
+        probes in prop::collection::vec(any::<u32>(), 1..60,)
+    ) {
+        let mask = |d: u8| if d == 0 { 0 } else { u32::MAX << (32 - d as u32) };
+        let mut lpm = Lpm::with_first_stage_bits(16, 128);
+        let mut table: Vec<(u32, u8, u16)> = Vec::new();
+        for (p, d, h) in routes {
+            let p = p & mask(d);
+            if lpm.add(Ipv4Addr::from(p), d, h).is_ok() {
+                table.retain(|&(tp, td, _)| !(tp == p && td == d));
+                table.push((p, d, h));
+            }
+        }
+        for probe in probes {
+            let oracle = table
+                .iter()
+                .filter(|&&(p, d, _)| probe & mask(d) == p)
+                .max_by_key(|&&(_, d, _)| d)
+                .map(|&(_, _, h)| h);
+            prop_assert_eq!(lpm.lookup(Ipv4Addr::from(probe)), oracle);
+        }
+    }
+
+    /// Exact-match holds what it stored, for any flow set.
+    #[test]
+    fn exact_match_round_trip(tuples in prop::collection::vec(arb_tuple(), 1..200)) {
+        let mut em = ExactMatch::with_capacity(1024);
+        let mut stored = Vec::new();
+        for (i, t) in tuples.iter().enumerate() {
+            if em.insert(*t, i).is_ok() {
+                stored.retain(|&(s, _): &(FiveTuple, usize)| s != *t);
+                stored.push((*t, i));
+            }
+        }
+        for (t, v) in stored {
+            prop_assert_eq!(em.get(&t), Some(&v));
+        }
+    }
+
+    /// Toeplitz is deterministic and queue mapping stays in range.
+    #[test]
+    fn toeplitz_stable_and_bounded(t in arb_tuple(), n in 1usize..64) {
+        let tz = Toeplitz::default();
+        let h1 = tz.hash(&t.rss_input());
+        let h2 = tz.hash(&t.rss_input());
+        prop_assert_eq!(h1, h2);
+        prop_assert!(tz.queue_for(&t.rss_input(), n) < n);
+    }
+
+    /// AES-CBC decrypt(encrypt(x)) == x for any whole-block payload & key.
+    #[test]
+    fn aes_cbc_round_trip(
+        key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+        blocks in 1usize..8,
+        seed in any::<u64>()
+    ) {
+        let aes = Aes128::new(&key);
+        let mut data: Vec<u8> = (0..blocks * 16)
+            .map(|i| (seed.wrapping_mul(i as u64 + 1) >> 32) as u8)
+            .collect();
+        let original = data.clone();
+        aes.cbc_encrypt(&iv, &mut data);
+        prop_assert_ne!(&data, &original);
+        aes.cbc_decrypt(&iv, &mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    /// Built frames always parse back to their tuple, and the l3fwd
+    /// rewrite preserves checksum validity.
+    #[test]
+    fn frame_build_parse_rewrite(t in arb_tuple(), payload_len in 0usize..64) {
+        let payload = vec![0x5A; payload_len];
+        let mut frame = build_udp_frame(Mac::local(1), Mac::local(2), &t, &payload, 0);
+        let parsed = parse_frame(&frame).expect("own frames must parse");
+        prop_assert_eq!(parsed.tuple, t);
+        if l3fwd_rewrite(&mut frame, Mac::local(3), Mac::local(4)) {
+            let re = parse_frame(&frame).expect("rewrite must keep checksum valid");
+            prop_assert_eq!(re.ttl, 63);
+        }
+    }
+
+    /// Internet checksum: inserting the computed checksum verifies.
+    #[test]
+    fn checksum_self_verifies(data in prop::collection::vec(any::<u8>(), 4..128)) {
+        let mut region = data.clone();
+        region[2] = 0;
+        region[3] = 0;
+        let c = internet_checksum(&region);
+        region[2] = (c >> 8) as u8;
+        region[3] = (c & 0xFF) as u8;
+        prop_assert!(verify(&region));
+    }
+
+    /// Event queue delivers every event exactly once, in time order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos(t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        let mut last = Nanos::ZERO;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            prop_assert!(!seen[i], "duplicate delivery");
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// CBR drains are exact under arbitrary chunking: total equals the
+    /// closed-form count regardless of how the timeline is sliced.
+    #[test]
+    fn cbr_chunking_invariant(
+        pps in 1_000.0f64..20_000_000.0,
+        cuts in prop::collection::vec(1u64..500_000, 1..50)
+    ) {
+        let mut one = Cbr::new(pps, Nanos::ZERO);
+        let mut many = Cbr::new(pps, Nanos::ZERO);
+        let mut t = Nanos::ZERO;
+        let mut total = 0;
+        for c in cuts {
+            t = t + Nanos(c);
+            total += many.drain(t, None);
+        }
+        prop_assert_eq!(one.drain(t, None), total);
+    }
+
+    /// The TS rule is monotone in rho and bounded in [V̄, M·V̄].
+    #[test]
+    fn ts_rule_bounds(m in 1usize..12, rho in 0.0f64..1.0, v in 1e-6f64..1e-3) {
+        let ts = model::ts_rule(m, rho, v);
+        prop_assert!(ts <= m as f64 * v * (1.0 + 1e-9));
+        prop_assert!(ts >= v * (1.0 - 1e-9));
+        let ts_higher = model::ts_rule(m, (rho + 0.1).min(1.0), v);
+        prop_assert!(ts_higher <= ts + 1e-15);
+    }
+
+    /// eq. (13) inverts eq. (10): setting TS by the rule yields E[V] = V̄.
+    #[test]
+    fn ts_rule_inverts_vacation_mean(m in 1usize..10, rho in 0.0f64..0.999) {
+        let v = 10e-6;
+        let ts = model::ts_rule(m, rho, v);
+        let ev = model::vacation_mean_approx(ts, m, 1.0 - rho);
+        prop_assert!((ev - v).abs() / v < 1e-6, "E[V] = {ev}");
+    }
+
+    /// Vacation CDFs are genuine CDFs: monotone, 0 at 0⁻, 1 at TS.
+    #[test]
+    fn vacation_cdf_is_cdf(m in 2usize..10, frac in 0.01f64..1.0) {
+        let (ts, tl) = (10e-6, 500e-6);
+        let x = ts * frac;
+        let c = model::vacation_cdf_high_load(x, ts, tl, m);
+        prop_assert!((0.0..=1.0).contains(&c));
+        let c2 = model::vacation_cdf_high_load((x + ts * 0.01).min(ts), ts, tl, m);
+        prop_assert!(c2 + 1e-12 >= c);
+        prop_assert_eq!(model::vacation_cdf_high_load(ts, ts, tl, m), 1.0);
+    }
+
+    /// Welford statistics match two-pass results on arbitrary data.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut mv = MeanVar::new();
+        for &x in &xs {
+            mv.add(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((mv.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((mv.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+    }
+
+    /// Histogram quantiles stay within the recorded min/max and the count
+    /// is exact.
+    #[test]
+    fn histogram_quantile_bounds(xs in prop::collection::vec(0u64..1_000_000_000, 1..500)) {
+        let mut h = Histogram::latency();
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        let min = *xs.iter().min().unwrap();
+        let max = *xs.iter().max().unwrap();
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= min && v <= max, "q{q} = {v} outside [{min}, {max}]");
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Whole-system integration tests: the paper's headline results must
+//! emerge from the composed substrates, exercised through the facade.
+
+use metronome_repro::core::MetronomeConfig;
+use metronome_repro::dpdk::NicProfile;
+use metronome_repro::os::Governor;
+use metronome_repro::runtime::{run, FerretSpec, Scenario, TrafficSpec};
+use metronome_repro::sim::Nanos;
+
+fn second() -> Nanos {
+    Nanos::from_secs(1)
+}
+
+#[test]
+fn headline_cpu_proportionality() {
+    // The abstract's claim: "CPU utilization proportional to the load".
+    let mut last = f64::MAX;
+    for gbps in [10.0, 5.0, 1.0, 0.0] {
+        let traffic = if gbps == 0.0 {
+            TrafficSpec::Silent
+        } else {
+            TrafficSpec::CbrGbps(gbps)
+        };
+        let r = run(&Scenario::metronome(
+            format!("prop-{gbps}"),
+            MetronomeConfig::default(),
+            traffic,
+        )
+        .with_duration(second()));
+        assert!(r.loss < 1e-3, "{gbps} Gbps lost {}", r.loss);
+        // Near the idle floor the trend flattens and can tick up ~1-2pp:
+        // at zero traffic every thread is a primary waking at the full
+        // TS = M·V̄ cadence, while a whisper of load parks an occasional
+        // loser at TL. Allow that wobble; the proportional fall from
+        // line rate to the floor is the claim under test.
+        assert!(
+            r.cpu_total_pct < last + 2.5,
+            "CPU must fall with load: {} at {gbps} Gbps after {last}",
+            r.cpu_total_pct
+        );
+        last = r.cpu_total_pct;
+    }
+    // And the floor is the paper's ≈20%, not zero and not 100%.
+    assert!((10.0..30.0).contains(&last), "idle floor {last}");
+}
+
+#[test]
+fn vacation_target_controls_latency() {
+    // §IV-D: the vacation target is the latency knob.
+    let lat = |v_us: u64| {
+        let r = run(&Scenario::metronome(
+            "knob",
+            MetronomeConfig {
+                v_target: Nanos::from_micros(v_us),
+                ..MetronomeConfig::default()
+            },
+            TrafficSpec::CbrGbps(10.0),
+        )
+        .with_duration(second())
+        .with_latency());
+        r.latency_us.expect("sampled").mean
+    };
+    let l2 = lat(2);
+    let l10 = lat(10);
+    assert!(l2 < l10, "latency must follow the target: {l2} !< {l10}");
+}
+
+#[test]
+fn static_dpdk_burns_a_core_regardless_of_load() {
+    for traffic in [TrafficSpec::CbrGbps(10.0), TrafficSpec::Silent] {
+        let r = run(&Scenario::static_dpdk("static", 1, traffic).with_duration(second()));
+        assert!(
+            (97.0..103.0).contains(&r.cpu_total_pct),
+            "static CPU {}",
+            r.cpu_total_pct
+        );
+    }
+}
+
+#[test]
+fn xdp_is_free_at_idle_expensive_at_line_rate() {
+    let idle = run(&Scenario::xdp("xi", 4, TrafficSpec::Silent).with_duration(second()));
+    assert!(idle.cpu_total_pct < 0.5, "{}", idle.cpu_total_pct);
+    let busy = run(&Scenario::xdp("xb", 4, TrafficSpec::CbrGbps(10.0)).with_duration(second()));
+    assert!(busy.cpu_total_pct > 150.0, "{}", busy.cpu_total_pct);
+    assert!(busy.loss < 1e-4);
+}
+
+#[test]
+fn multiqueue_sustains_the_xl710_cap() {
+    let r = run(&Scenario::metronome(
+        "mq",
+        MetronomeConfig::multiqueue(5, 4),
+        TrafficSpec::CbrPps(37e6),
+    )
+    .with_nic(NicProfile::XL710)
+    .with_duration(second()));
+    assert!(r.throughput_mpps > 36.5, "{}", r.throughput_mpps);
+    // "saves more than half of static DPDK's CPU cycles" (vs 400%).
+    assert!(r.cpu_total_pct < 200.0, "{}", r.cpu_total_pct);
+    assert_eq!(r.queues.len(), 4);
+}
+
+#[test]
+fn sharing_preserves_line_rate_for_metronome_only() {
+    let ferret = |workers: usize, nice: i8| FerretSpec {
+        n_workers: workers,
+        standalone: Nanos::from_millis(400),
+        nice,
+        on_net_cores: true,
+    };
+    let st = run(&Scenario::static_dpdk("s", 1, TrafficSpec::CbrGbps(10.0))
+        .with_duration(Nanos::from_secs(2))
+        .with_ferret(ferret(1, 0)));
+    let me = run(&Scenario::metronome(
+        "m",
+        MetronomeConfig::default(),
+        TrafficSpec::CbrGbps(10.0),
+    )
+    .with_duration(Nanos::from_secs(2))
+    .with_ferret(ferret(3, 19)));
+    assert!(st.throughput_mpps < 12.0, "static kept {}", st.throughput_mpps);
+    assert!(me.throughput_mpps > 14.5, "metronome lost rate: {}", me.throughput_mpps);
+    assert!(me.loss < 0.01);
+    let s_slow = st.ferret_slowdown().expect("static ferret finished");
+    let m_slow = me.ferret_slowdown().expect("metronome ferret finished");
+    assert!(s_slow > 2.0 && m_slow < 1.8, "slowdowns {s_slow} vs {m_slow}");
+}
+
+#[test]
+fn ondemand_governor_trades_cpu_for_power() {
+    let perf = run(&Scenario::metronome(
+        "p",
+        MetronomeConfig::default(),
+        TrafficSpec::CbrGbps(1.0),
+    )
+    .with_duration(second())
+    .with_governor(Governor::Performance));
+    let onde = run(&Scenario::metronome(
+        "o",
+        MetronomeConfig::default(),
+        TrafficSpec::CbrGbps(1.0),
+    )
+    .with_duration(second())
+    .with_governor(Governor::Ondemand));
+    assert!(onde.cpu_total_pct > perf.cpu_total_pct);
+    assert!(onde.power_watts < perf.power_watts);
+    assert!(onde.loss < 1e-3);
+}
+
+#[test]
+fn adaptation_pins_the_vacation_across_loads() {
+    // The whole point of eq. (13): mean V stays near the (overhead-shifted)
+    // target whether the load is 10% or 100%.
+    let v_at = |gbps: f64| {
+        run(&Scenario::metronome(
+            "pin",
+            MetronomeConfig::default(),
+            TrafficSpec::CbrGbps(gbps),
+        )
+        .with_duration(second()))
+        .mean_vacation_us()
+    };
+    let hi = v_at(10.0);
+    let lo = v_at(1.0);
+    assert!(
+        (hi - lo).abs() < 12.0,
+        "vacation must stay pinned: {hi} vs {lo} µs"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let mk = || {
+        Scenario::metronome(
+            "det",
+            MetronomeConfig::default(),
+            TrafficSpec::CbrGbps(10.0),
+        )
+        .with_duration(Nanos::from_millis(300))
+        .with_latency()
+        .with_seed(0xFEED)
+    };
+    let a = run(&mk());
+    let b = run(&mk());
+    assert_eq!(a.forwarded, b.forwarded);
+    assert_eq!(a.dropped, b.dropped);
+    assert_eq!(a.total_wakes, b.total_wakes);
+    assert_eq!(a.cpu_per_thread_pct, b.cpu_per_thread_pct);
+    let (la, lb) = (a.latency_us.unwrap(), b.latency_us.unwrap());
+    assert_eq!(la.mean, lb.mean);
+    assert_eq!(la.count, lb.count);
+
+    // A different seed must actually change the stochastic path.
+    let c = run(&mk().with_seed(0xBEEF));
+    assert_ne!(a.total_wakes, c.total_wakes);
+}
+
+#[test]
+fn overload_saturates_at_mu_without_collapse() {
+    // Offer line rate to the IPsec gateway (µ ≈ 5.6 Mpps): Metronome must
+    // degrade gracefully into continuous draining, not fall over.
+    let r = run(&Scenario::metronome(
+        "overload",
+        MetronomeConfig::default(),
+        TrafficSpec::CbrPps(14.88e6),
+    )
+    .with_app(metronome_repro::runtime::AppProfile::ipsec())
+    .with_duration(second()));
+    assert!((5.0..6.2).contains(&r.throughput_mpps), "{}", r.throughput_mpps);
+    // One thread pinned on the queue: CPU ≈ one core.
+    assert!((90.0..115.0).contains(&r.cpu_total_pct), "{}", r.cpu_total_pct);
+}
+
+#[test]
+fn analytical_predictor_matches_simulation() {
+    // Closed-form CPU predictions (metronome_core::predictor) must track
+    // the discrete-event system within a modest envelope — the resource
+    // analogue of the paper's Fig. 4 model validation.
+    use metronome_repro::core::predictor::{predict, CostModel};
+    let cost = CostModel::calibrated();
+    for gbps in [10.0, 5.0, 1.0] {
+        let lambda = metronome_repro::dpdk::nic::gbps_to_pps(gbps, 64);
+        let predicted = predict(3, 10e-6, 500e-6, lambda, &cost).cpu_fraction * 100.0;
+        let simulated = run(&Scenario::metronome(
+            format!("pred-{gbps}"),
+            MetronomeConfig::default(),
+            TrafficSpec::CbrGbps(gbps),
+        )
+        .with_duration(second()))
+        .cpu_total_pct;
+        let err = (predicted - simulated).abs() / simulated;
+        // The predictor uses the paper's ideal renewal model (E[V] = V̄);
+        // the simulated system carries the real-world E[V] inflation from
+        // sleep overshoot and imperfect wake decorrelation (see Table I:
+        // measured V ≈ 2x target), so a generous envelope is the honest
+        // check here — the *trend* across loads is what must agree.
+        assert!(
+            err < 0.55,
+            "{gbps} Gbps: predicted {predicted:.1}% vs simulated {simulated:.1}%"
+        );
+    }
+}

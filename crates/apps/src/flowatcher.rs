@@ -76,9 +76,7 @@ impl FloWatcher {
     }
 
     /// Iterate all tracked flows.
-    pub fn iter_flows(
-        &self,
-    ) -> impl Iterator<Item = (&metronome_net::FiveTuple, &FlowStats)> {
+    pub fn iter_flows(&self) -> impl Iterator<Item = (&metronome_net::FiveTuple, &FlowStats)> {
         self.flows.iter()
     }
 

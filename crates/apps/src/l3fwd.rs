@@ -61,7 +61,7 @@ impl L3Fwd {
     /// next hop (the l3fwd sample's default `l3fwd_lpm_route_array` shape),
     /// plus a handful of longer prefixes to exercise the second stage.
     pub fn with_sample_routes(n_hops: usize) -> Self {
-        assert!(n_hops >= 1 && n_hops <= 64);
+        assert!((1..=64).contains(&n_hops));
         let mut lpm = Lpm::with_first_stage_bits(16, 256);
         let mut hops = Vec::new();
         for h in 0..n_hops {

@@ -45,21 +45,20 @@ fn ablation_diversity() {
 fn ablation_adaptive_ts() {
     println!("\n[2] adaptive TS (eq. 13) vs fixed TS = V̄ — across loads");
     for gbps in [10.0, 1.0] {
-        let adaptive = run(
-            &Scenario::metronome("a", MetronomeConfig::default(), TrafficSpec::CbrGbps(gbps))
-                .with_duration(DUR),
-        );
-        let fixed = run(
-            &Scenario::metronome(
-                "f",
-                MetronomeConfig {
-                    fixed_ts: Some(Nanos::from_micros(10)),
-                    ..MetronomeConfig::default()
-                },
-                TrafficSpec::CbrGbps(gbps),
-            )
-            .with_duration(DUR),
-        );
+        let adaptive =
+            run(
+                &Scenario::metronome("a", MetronomeConfig::default(), TrafficSpec::CbrGbps(gbps))
+                    .with_duration(DUR),
+            );
+        let fixed = run(&Scenario::metronome(
+            "f",
+            MetronomeConfig {
+                fixed_ts: Some(Nanos::from_micros(10)),
+                ..MetronomeConfig::default()
+            },
+            TrafficSpec::CbrGbps(gbps),
+        )
+        .with_duration(DUR));
         println!("{}", row(&format!("adaptive @ {gbps} Gbps"), &adaptive));
         println!("{}", row(&format!("fixed TS=10µs @ {gbps} Gbps"), &fixed));
     }
@@ -109,7 +108,9 @@ fn ablation_tx_batch() {
             );
         }
     }
-    println!("  -> batch 1 trims the low-rate hold variance for ~2-3% extra CPU at line rate (§V-C)");
+    println!(
+        "  -> batch 1 trims the low-rate hold variance for ~2-3% extra CPU at line rate (§V-C)"
+    );
 }
 
 /// §V-D: reactivity to packet bursts — Metronome vs one-core XDP.
@@ -121,8 +122,7 @@ fn ablation_burst_reactivity() {
         off: Nanos::from_millis(90),
     };
     let met = run(
-        &Scenario::metronome("m", MetronomeConfig::default(), traffic.clone())
-            .with_duration(DUR),
+        &Scenario::metronome("m", MetronomeConfig::default(), traffic.clone()).with_duration(DUR),
     );
     let xdp1 = run(&Scenario::xdp("x", 1, traffic).with_duration(DUR));
     println!(

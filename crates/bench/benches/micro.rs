@@ -57,7 +57,9 @@ fn bench_lpm(c: &mut Criterion) {
         let depth = (rng.below(24) + 8) as u8;
         let _ = lpm.add(Ipv4Addr::from(rng.next_u64() as u32), depth, hop);
     }
-    let probes: Vec<Ipv4Addr> = (0..256).map(|_| Ipv4Addr::from(rng.next_u64() as u32)).collect();
+    let probes: Vec<Ipv4Addr> = (0..256)
+        .map(|_| Ipv4Addr::from(rng.next_u64() as u32))
+        .collect();
     c.bench_function("micro/lpm_lookup_x256", |b| {
         b.iter(|| {
             let mut acc = 0u32;
@@ -179,7 +181,7 @@ fn bench_arrivals(c: &mut Criterion) {
         let mut cbr = Cbr::new(14_880_952.0, Nanos::ZERO);
         let mut t = Nanos::ZERO;
         b.iter(|| {
-            t = t + Nanos::from_micros(100);
+            t += Nanos::from_micros(100);
             black_box(cbr.drain(t, None))
         })
     });

@@ -33,11 +33,7 @@ fn fig01_sleep_services(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = Nanos::ZERO;
             for _ in 0..1000 {
-                acc += model.actual_sleep(
-                    SleepService::HrSleep,
-                    Nanos::from_micros(10),
-                    &mut rng,
-                );
+                acc += model.actual_sleep(SleepService::HrSleep, Nanos::from_micros(10), &mut rng);
             }
             black_box(acc)
         })
@@ -152,8 +148,7 @@ fn fig10_three_way(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10_three_way");
     g.bench_function("static_10g", |b| {
         b.iter(|| {
-            let sc = Scenario::static_dpdk("s", 1, TrafficSpec::CbrGbps(10.0))
-                .with_duration(QUICK);
+            let sc = Scenario::static_dpdk("s", 1, TrafficSpec::CbrGbps(10.0)).with_duration(QUICK);
             black_box(run(&sc).cpu_total_pct)
         })
     });
@@ -287,13 +282,10 @@ fn fig16_applications(c: &mut Criterion) {
     });
     g.bench_function("flowatcher_5mpps", |b| {
         b.iter(|| {
-            let sc = Scenario::metronome(
-                "flow",
-                MetronomeConfig::default(),
-                TrafficSpec::CbrPps(5e6),
-            )
-            .with_app(AppProfile::flowatcher())
-            .with_duration(QUICK);
+            let sc =
+                Scenario::metronome("flow", MetronomeConfig::default(), TrafficSpec::CbrPps(5e6))
+                    .with_app(AppProfile::flowatcher())
+                    .with_duration(QUICK);
             black_box(run(&sc).cpu_total_pct)
         })
     });

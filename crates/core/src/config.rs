@@ -115,20 +115,28 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = MetronomeConfig::default();
-        c.m_threads = 0;
+        let c = MetronomeConfig {
+            m_threads: 0,
+            ..MetronomeConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MetronomeConfig::default();
-        c.n_queues = 5; // M=3 < N=5
+        let c = MetronomeConfig {
+            n_queues: 5, // M=3 < N=5
+            ..MetronomeConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MetronomeConfig::default();
-        c.t_long = Nanos::from_micros(5);
+        let c = MetronomeConfig {
+            t_long: Nanos::from_micros(5),
+            ..MetronomeConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = MetronomeConfig::default();
-        c.alpha = 0.0;
+        let c = MetronomeConfig {
+            alpha: 0.0,
+            ..MetronomeConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

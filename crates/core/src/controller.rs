@@ -198,8 +198,8 @@ mod tests {
         assert!((c.rho(0) - 0.5).abs() < 0.01, "rho {}", c.rho(0));
         // TS = 3(1-0.5)/(1-0.125)·V̄ = 12/7·V̄ ≈ 1.714·V̄.
         let expect = c.config().v_target.scaled_f64(12.0 / 7.0);
-        let err = (after.as_nanos() as f64 - expect.as_nanos() as f64).abs()
-            / expect.as_nanos() as f64;
+        let err =
+            (after.as_nanos() as f64 - expect.as_nanos() as f64).abs() / expect.as_nanos() as f64;
         assert!(err < 0.02, "{after} vs {expect}");
     }
 
@@ -270,12 +270,7 @@ mod tests {
             c.record_cycle(0, Nanos::from_micros(10), Nanos::from_micros(10));
         }
         let rho = c.rho(0);
-        let expect = crate::model::ts_rule_multiqueue(
-            6,
-            3,
-            rho,
-            c.config().v_target.as_secs_f64(),
-        );
+        let expect = crate::model::ts_rule_multiqueue(6, 3, rho, c.config().v_target.as_secs_f64());
         let got = c.ts(0).as_secs_f64();
         // `ts()` rounds to integer nanoseconds, so compare at that grain.
         assert!((got - expect).abs() < 2e-9, "{got} vs {expect}");

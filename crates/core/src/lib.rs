@@ -8,7 +8,11 @@
 //! The pieces, each its own module:
 //!
 //! * [`trylock`] — the user-space CMPXCHG race primitive (§III-B);
-//! * [`engine`] — the primary/backup diversity policy: race winners sleep
+//! * [`engine`] — the backend-agnostic execution core: the Listing 2 loop
+//!   as a resumable [`engine::MetronomeEngine`] state machine over the
+//!   [`engine::Backend`] capability trait, so the identical protocol code
+//!   drives the discrete-event simulation and the real-thread runtime;
+//! * [`policy`] — the primary/backup diversity policy: race winners sleep
 //!   the short adaptive timeout `TS` and re-contend their queue, losers
 //!   sleep the long timeout `TL` and re-contend a random queue (§IV-A,
 //!   §IV-E);
@@ -51,12 +55,14 @@ pub mod config;
 pub mod controller;
 pub mod engine;
 pub mod model;
+pub mod policy;
 pub mod predictor;
 pub mod realtime;
 pub mod trylock;
 
 pub use config::MetronomeConfig;
 pub use controller::AdaptiveController;
-pub use engine::{Role, ThreadPolicy};
-pub use realtime::{Metronome, PreciseSleeper, RealtimeStats};
+pub use engine::{Backend, EngineOp, MetronomeEngine, StepCosts};
+pub use policy::{Role, ThreadPolicy};
+pub use realtime::{Metronome, PreciseSleeper, RealtimeBackend, RealtimeHarness, RealtimeStats};
 pub use trylock::TryLock;

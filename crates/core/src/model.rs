@@ -358,7 +358,10 @@ mod tests {
             let m = 5;
             let direct = m as f64 * (1.0 - rho) / (1.0 - rho.powi(m as i32));
             let ours = ts_rule(m, rho, 1.0) / 1.0;
-            assert!((direct - ours).abs() < 1e-9, "rho {rho}: {direct} vs {ours}");
+            assert!(
+                (direct - ours).abs() < 1e-9,
+                "rho {rho}: {direct} vs {ours}"
+            );
         }
     }
 

@@ -1,0 +1,177 @@
+//! Per-thread role policy: the primary/backup diversity strategy.
+//!
+//! Paper §IV-A: "Each thread independently classifies itself as being in
+//! primary or backup state":
+//!
+//! * winning the trylock race ⇒ **primary**: drain the queue, then sleep
+//!   the short, adaptively computed timeout `TS` and contend for the *same*
+//!   queue ("we know it is likely for it to win the race again", §IV-E);
+//! * losing the race ⇒ **backup**: sleep the long timeout `TL` and (in the
+//!   multiqueue case) pick the *next queue to contend at random*, which
+//!   decorrelates the backups and keeps queue checks fair.
+//!
+//! The policy is a plain state machine with no I/O; it is owned by the
+//! backend-agnostic [`crate::engine::MetronomeEngine`], so the same code
+//! drives both the discrete-event simulation and the real-thread runtime.
+
+/// A thread's current role in the diversity scheme.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Recently drained a queue; wakes again after `TS`.
+    Primary,
+    /// Recently lost a race; wakes again after `TL`.
+    Backup,
+}
+
+/// The per-thread policy state machine.
+#[derive(Clone, Debug)]
+pub struct ThreadPolicy {
+    role: Role,
+    queue: usize,
+    /// Total wake-ups.
+    pub wakes: u64,
+    /// Races won (lock acquired).
+    pub races_won: u64,
+    /// Races lost (busy tries).
+    pub races_lost: u64,
+    /// Times this thread found its queue empty after winning (idle poll).
+    pub empty_polls: u64,
+    /// Role changes (primary↔backup transitions).
+    pub role_transitions: u64,
+}
+
+impl ThreadPolicy {
+    /// New thread starting as primary on `initial_queue` (at start-up every
+    /// thread optimistically contends — the first race sorts out roles).
+    pub fn new(initial_queue: usize) -> Self {
+        ThreadPolicy {
+            role: Role::Primary,
+            queue: initial_queue,
+            wakes: 0,
+            races_won: 0,
+            races_lost: 0,
+            empty_polls: 0,
+            role_transitions: 0,
+        }
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The queue this thread will contend for at its next wake-up.
+    pub fn queue_to_contend(&self) -> usize {
+        self.queue
+    }
+
+    /// Record a wake-up.
+    pub fn on_wake(&mut self) {
+        self.wakes += 1;
+    }
+
+    fn set_role(&mut self, role: Role) {
+        if self.role != role {
+            self.role_transitions += 1;
+        }
+        self.role = role;
+    }
+
+    /// The thread won the trylock race: it becomes (or stays) primary and
+    /// will re-contend the same queue.
+    pub fn on_race_won(&mut self) {
+        self.races_won += 1;
+        self.set_role(Role::Primary);
+    }
+
+    /// The thread lost the race: it becomes a backup and picks its next
+    /// queue uniformly at random among the `n_queues` (paper §IV-E).
+    /// `draw` supplies the randomness (a `u64` from any source); with a
+    /// single queue the pick is forced.
+    pub fn on_race_lost(&mut self, n_queues: usize, draw: u64) {
+        self.races_lost += 1;
+        self.set_role(Role::Backup);
+        self.queue = if n_queues <= 1 {
+            0
+        } else {
+            (draw % n_queues as u64) as usize
+        };
+    }
+
+    /// Record that the queue was already empty on a successful acquire.
+    pub fn on_empty_poll(&mut self) {
+        self.empty_polls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metronome_sim::Rng;
+
+    #[test]
+    fn starts_primary() {
+        let p = ThreadPolicy::new(2);
+        assert_eq!(p.role(), Role::Primary);
+        assert_eq!(p.queue_to_contend(), 2);
+    }
+
+    #[test]
+    fn won_race_keeps_queue() {
+        let mut p = ThreadPolicy::new(1);
+        p.on_race_won();
+        assert_eq!(p.role(), Role::Primary);
+        assert_eq!(p.queue_to_contend(), 1);
+        assert_eq!(p.races_won, 1);
+    }
+
+    #[test]
+    fn lost_race_becomes_backup_and_randomizes_queue() {
+        let mut p = ThreadPolicy::new(1);
+        let mut rng = Rng::new(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            p.on_race_lost(4, rng.next_u64());
+            assert_eq!(p.role(), Role::Backup);
+            seen[p.queue_to_contend()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "random pick must cover all queues");
+        assert_eq!(p.races_lost, 200);
+    }
+
+    #[test]
+    fn single_queue_lost_race_stays_on_queue_zero() {
+        let mut p = ThreadPolicy::new(0);
+        p.on_race_lost(1, 0xDEADBEEF);
+        assert_eq!(p.queue_to_contend(), 0);
+    }
+
+    #[test]
+    fn role_recovers_after_backup_wins() {
+        let mut p = ThreadPolicy::new(0);
+        p.on_race_lost(1, 1);
+        assert_eq!(p.role(), Role::Backup);
+        p.on_race_won();
+        assert_eq!(p.role(), Role::Primary);
+    }
+
+    #[test]
+    fn role_transitions_counted_only_on_change() {
+        let mut p = ThreadPolicy::new(0);
+        p.on_race_won(); // primary -> primary: no transition
+        assert_eq!(p.role_transitions, 0);
+        p.on_race_lost(1, 1); // primary -> backup
+        p.on_race_lost(1, 2); // backup -> backup: no transition
+        p.on_race_won(); // backup -> primary
+        assert_eq!(p.role_transitions, 2);
+    }
+
+    #[test]
+    fn wake_counter() {
+        let mut p = ThreadPolicy::new(0);
+        for _ in 0..5 {
+            p.on_wake();
+        }
+        assert_eq!(p.wakes, 5);
+    }
+}

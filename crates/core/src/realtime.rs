@@ -1,8 +1,19 @@
 //! Real-thread Metronome: the paper's Listing 2 on actual OS threads.
 //!
-//! This module is the adoptable library surface: it runs the Metronome
-//! protocol (trylock racing, primary/backup timeouts, adaptive `TS`) with
-//! `std::thread` workers against in-process lock-free queues.
+//! This module is the adoptable library surface: it runs the shared
+//! [`MetronomeEngine`] (trylock racing, primary/backup timeouts, adaptive
+//! `TS`) with `std::thread` workers against in-process lock-free queues.
+//! Each worker owns a [`RealtimeBackend`] that realizes the engine's
+//! [`Backend`] capabilities with real primitives:
+//!
+//! | engine capability | simulation realization | real-thread realization |
+//! |---|---|---|
+//! | race primitive    | owner slot on the sim queue | CMPXCHG [`TryLock`] |
+//! | receive burst     | counting descriptor ring    | [`ArrayQueue`] pops |
+//! | sleep service     | calibrated `hr_sleep` model | [`PreciseSleeper`]  |
+//! | entropy           | seeded xoshiro stream       | SplitMix64 counter  |
+//! | clock             | virtual `Nanos`             | `std::time::Instant` |
+//! | step costs        | calibrated cycle charges    | zero (hardware pays) |
 //!
 //! **`hr_sleep()` substitution.** The paper's precision comes from a custom
 //! kernel sleep service we cannot ship from user space. [`PreciseSleeper`]
@@ -10,26 +21,11 @@
 //! interval and spin-waits the final stretch, delivering microsecond-class
 //! wake precision at a small, bounded CPU cost — the same trade the paper
 //! makes in kernel space (documented in DESIGN.md as a substitution).
-//!
-//! The worker body mirrors Listing 2 line by line:
-//!
-//! ```text
-//! while (1) {
-//!     if (!trylock(lock[curr_queue])) {
-//!         curr_queue = randint(n_queues);
-//!         hr_sleep(timeout_long);
-//!         continue;
-//!     }
-//!     while (nb_rx = receive_burst(queue[curr_queue], pkts, BURST_SIZE))
-//!         process_and_send_pkts(pkts, nb_rx);
-//!     unlock(lock[i]);
-//!     hr_sleep(timeout_short);
-//! }
-//! ```
 
 use crate::config::MetronomeConfig;
 use crate::controller::AdaptiveController;
-use crate::engine::{Role, ThreadPolicy};
+use crate::engine::{Backend, EngineOp, MetronomeEngine};
+use crate::policy::ThreadPolicy;
 use crate::trylock::TryLock;
 use crossbeam::queue::ArrayQueue;
 use metronome_sim::Nanos;
@@ -100,15 +96,7 @@ impl RealtimeStats {
     }
 }
 
-/// A running real-thread Metronome instance over queues of `T`.
-pub struct Metronome<T: Send + 'static> {
-    queues: Vec<Arc<ArrayQueue<T>>>,
-    stop: Arc<AtomicBool>,
-    handles: Vec<std::thread::JoinHandle<ThreadPolicy>>,
-    shared: Arc<SharedState>,
-    cfg: MetronomeConfig,
-}
-
+/// State shared by every worker of one [`Metronome`] instance.
 struct SharedState {
     controller: Mutex<AdaptiveController>,
     locks: Vec<TryLock>,
@@ -116,6 +104,22 @@ struct SharedState {
     last_release: Vec<Mutex<Option<Instant>>>,
     processed: Vec<AtomicU64>,
     rand_state: AtomicU64,
+    /// `TL` is fixed (§IV-E), so workers read it without the controller
+    /// lock.
+    t_long: Nanos,
+}
+
+impl SharedState {
+    fn new(cfg: &MetronomeConfig) -> Arc<Self> {
+        Arc::new(SharedState {
+            controller: Mutex::new(AdaptiveController::new(cfg.clone())),
+            locks: (0..cfg.n_queues).map(|_| TryLock::new()).collect(),
+            last_release: (0..cfg.n_queues).map(|_| Mutex::new(None)).collect(),
+            processed: (0..cfg.n_queues).map(|_| AtomicU64::new(0)).collect(),
+            rand_state: AtomicU64::new(0x4D3),
+            t_long: cfg.t_long,
+        })
+    }
 }
 
 impl SharedState {
@@ -132,6 +136,176 @@ impl SharedState {
     }
 }
 
+/// The real-thread realization of the engine's [`Backend`] capabilities:
+/// CMPXCHG trylock, `ArrayQueue` receive bursts with inline processing,
+/// wall-clock vacation measurement, and a shared SplitMix64 entropy
+/// counter. One backend instance belongs to one worker thread.
+pub struct RealtimeBackend<T: Send + 'static, F> {
+    queues: Vec<Arc<ArrayQueue<T>>>,
+    shared: Arc<SharedState>,
+    process: Arc<F>,
+    /// Acquire instant of the currently held lock (busy-period start).
+    acquired_at: Option<Instant>,
+    /// Vacation that ended at the current acquire, if measurable.
+    pending_vacation: Option<Duration>,
+}
+
+impl<T, F> RealtimeBackend<T, F>
+where
+    T: Send + 'static,
+    F: Fn(usize, T) + Send + Sync + 'static,
+{
+    fn new(queues: Vec<Arc<ArrayQueue<T>>>, shared: Arc<SharedState>, process: Arc<F>) -> Self {
+        RealtimeBackend {
+            queues,
+            shared,
+            process,
+            acquired_at: None,
+            pending_vacation: None,
+        }
+    }
+}
+
+impl<T, F> Backend for RealtimeBackend<T, F>
+where
+    T: Send + 'static,
+    F: Fn(usize, T) + Send + Sync + 'static,
+{
+    fn n_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn draw(&mut self) -> u64 {
+        self.shared.draw()
+    }
+
+    fn try_acquire(&mut self, q: usize) -> bool {
+        if !self.shared.locks[q].try_lock() {
+            self.shared.controller.lock().record_busy_try(q);
+            return false;
+        }
+        // Lock held: measure the vacation that just ended. The controller
+        // is deliberately NOT touched here — contending its mutex while
+        // holding the queue lock would extend the queue's unavailability
+        // and inflate the measured busy period; the acquisition is
+        // recorded in release()'s single critical section instead.
+        let now = Instant::now();
+        self.acquired_at = Some(now);
+        self.pending_vacation =
+            (*self.shared.last_release[q].lock()).map(|released| now.duration_since(released));
+        true
+    }
+
+    fn rx_burst(&mut self, q: usize, burst: u32) -> u64 {
+        let mut taken = 0u64;
+        while taken < burst as u64 {
+            match self.queues[q].pop() {
+                Some(item) => {
+                    (self.process)(q, item);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        if taken > 0 {
+            self.shared.processed[q].fetch_add(taken, Ordering::Relaxed);
+        }
+        taken
+    }
+
+    fn release(&mut self, q: usize) -> Nanos {
+        let acquired = self
+            .acquired_at
+            .take()
+            .expect("release without matching acquire");
+        let busy = acquired.elapsed();
+        *self.shared.last_release[q].lock() = Some(Instant::now());
+        self.shared.locks[q].unlock();
+        // One controller critical section per winning turn: record the
+        // acquisition and the completed renewal cycle, read the new TS.
+        let mut ctrl = self.shared.controller.lock();
+        ctrl.record_acquired(q);
+        if let Some(vacation) = self.pending_vacation.take() {
+            ctrl.record_cycle(
+                q,
+                Nanos(vacation.as_nanos() as u64),
+                Nanos(busy.as_nanos() as u64),
+            );
+        }
+        ctrl.ts(q)
+    }
+
+    fn ts(&self, q: usize) -> Nanos {
+        self.shared.controller.lock().ts(q)
+    }
+
+    fn tl(&self) -> Nanos {
+        self.shared.t_long
+    }
+}
+
+/// A single-threaded harness over the realtime backend components.
+///
+/// Spawns no threads: it builds the same [`SharedState`] a running
+/// [`Metronome`] uses and hands out per-worker [`RealtimeBackend`]s that a
+/// test can drive step by step. This is what the sim-vs-realtime parity
+/// test uses to execute both backends under one deterministic schedule.
+pub struct RealtimeHarness<T: Send + 'static, F> {
+    queues: Vec<Arc<ArrayQueue<T>>>,
+    shared: Arc<SharedState>,
+    process: Arc<F>,
+}
+
+impl<T, F> RealtimeHarness<T, F>
+where
+    T: Send + 'static,
+    F: Fn(usize, T) + Send + Sync + 'static,
+{
+    /// Build the shared state for `cfg` over the given queues.
+    pub fn new(cfg: MetronomeConfig, queues: Vec<Arc<ArrayQueue<T>>>, process: F) -> Self {
+        cfg.validate().expect("invalid Metronome configuration");
+        assert_eq!(queues.len(), cfg.n_queues, "queue count mismatch");
+        RealtimeHarness {
+            shared: SharedState::new(&cfg),
+            queues,
+            process: Arc::new(process),
+        }
+    }
+
+    /// A worker backend sharing this harness's state.
+    pub fn backend(&self) -> RealtimeBackend<T, F> {
+        RealtimeBackend::new(
+            self.queues.clone(),
+            Arc::clone(&self.shared),
+            Arc::clone(&self.process),
+        )
+    }
+
+    /// Items processed so far on a queue.
+    pub fn processed(&self, queue: usize) -> u64 {
+        self.shared.processed[queue].load(Ordering::Relaxed)
+    }
+
+    /// Successful acquisitions recorded on a queue.
+    pub fn total_tries(&self, queue: usize) -> u64 {
+        self.shared.controller.lock().queue(queue).total_tries
+    }
+
+    /// Busy tries recorded on a queue.
+    pub fn busy_tries(&self, queue: usize) -> u64 {
+        self.shared.controller.lock().queue(queue).busy_tries
+    }
+}
+
+/// A running real-thread Metronome instance over queues of `T`.
+pub struct Metronome<T: Send + 'static> {
+    queues: Vec<Arc<ArrayQueue<T>>>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<ThreadPolicy>>,
+    shared: Arc<SharedState>,
+    cfg: MetronomeConfig,
+}
+
 impl<T: Send + 'static> Metronome<T> {
     /// Start `cfg.m_threads` workers over the given queues, processing
     /// each item with `process`. Queues must match `cfg.n_queues`.
@@ -139,90 +313,29 @@ impl<T: Send + 'static> Metronome<T> {
     where
         F: Fn(usize, T) + Send + Sync + 'static,
     {
-        cfg.validate().expect("invalid Metronome configuration");
-        assert_eq!(queues.len(), cfg.n_queues, "queue count mismatch");
+        // One construction path for the worker substrate: the harness the
+        // parity test drives is exactly what the threaded runtime runs.
+        let harness = RealtimeHarness::new(cfg.clone(), queues, process);
         let stop = Arc::new(AtomicBool::new(false));
-        let shared = Arc::new(SharedState {
-            controller: Mutex::new(AdaptiveController::new(cfg.clone())),
-            locks: (0..cfg.n_queues).map(|_| TryLock::new()).collect(),
-            last_release: (0..cfg.n_queues).map(|_| Mutex::new(None)).collect(),
-            processed: (0..cfg.n_queues).map(|_| AtomicU64::new(0)).collect(),
-            rand_state: AtomicU64::new(0x4D3),
-        });
-        let process = Arc::new(process);
         let sleeper = PreciseSleeper::default();
         let mut handles = Vec::new();
         for worker in 0..cfg.m_threads {
-            let queues: Vec<_> = queues.to_vec();
+            let backend = harness.backend();
             let stop = Arc::clone(&stop);
-            let shared = Arc::clone(&shared);
-            let process = Arc::clone(&process);
-            let n_queues = cfg.n_queues;
-            let initial_queue = worker % n_queues;
+            let initial_queue = worker % cfg.n_queues;
+            let burst = cfg.burst;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("metronome-{worker}"))
-                    .spawn(move || {
-                        let mut policy = ThreadPolicy::new(initial_queue);
-                        while !stop.load(Ordering::Relaxed) {
-                            policy.on_wake();
-                            let q = policy.queue_to_contend();
-                            if !shared.locks[q].try_lock() {
-                                // Busy try: back off to a random queue.
-                                policy.on_race_lost(n_queues, shared.draw());
-                                let tl = {
-                                    let mut ctrl = shared.controller.lock();
-                                    ctrl.record_busy_try(q);
-                                    ctrl.tl()
-                                };
-                                sleeper.sleep(Duration::from_nanos(tl.as_nanos()));
-                                continue;
-                            }
-                            // Lock held: measure the vacation that just ended.
-                            let acquire_t = Instant::now();
-                            policy.on_race_won();
-                            let vacation = shared.last_release[q]
-                                .lock()
-                                .map(|rel| acquire_t.duration_since(rel));
-                            // Drain until idle.
-                            let mut drained = 0u64;
-                            while let Some(item) = queues[q].pop() {
-                                process(q, item);
-                                drained += 1;
-                            }
-                            if drained == 0 {
-                                policy.on_empty_poll();
-                            }
-                            shared.processed[q].fetch_add(drained, Ordering::Relaxed);
-                            let busy = acquire_t.elapsed();
-                            *shared.last_release[q].lock() = Some(Instant::now());
-                            shared.locks[q].unlock();
-                            // Feed the adaptive controller and sleep TS.
-                            let ts = {
-                                let mut ctrl = shared.controller.lock();
-                                ctrl.record_acquired(q);
-                                if let Some(v) = vacation {
-                                    ctrl.record_cycle(
-                                        q,
-                                        Nanos(v.as_nanos() as u64),
-                                        Nanos(busy.as_nanos() as u64),
-                                    );
-                                }
-                                ctrl.ts(q)
-                            };
-                            debug_assert_eq!(policy.role(), Role::Primary);
-                            sleeper.sleep(Duration::from_nanos(ts.as_nanos()));
-                        }
-                        policy
-                    })
+                    .spawn(move || run_worker(initial_queue, burst, backend, sleeper, &stop))
                     .expect("spawn metronome worker"),
             );
         }
         Metronome {
-            queues,
+            queues: harness.queues,
             stop,
             handles,
-            shared,
+            shared: harness.shared,
             cfg,
         }
     }
@@ -271,6 +384,41 @@ impl<T: Send + 'static> Metronome<T> {
     }
 }
 
+/// Drive the shared engine with real sleeps until `stop` is raised.
+///
+/// This is the whole worker body: the Listing 2 protocol itself lives in
+/// [`MetronomeEngine::step`]; here we only execute the ops it yields.
+fn run_worker<T, F>(
+    initial_queue: usize,
+    burst: u32,
+    mut backend: RealtimeBackend<T, F>,
+    sleeper: PreciseSleeper,
+    stop: &AtomicBool,
+) -> ThreadPolicy
+where
+    T: Send + 'static,
+    F: Fn(usize, T) + Send + Sync + 'static,
+{
+    let mut engine = MetronomeEngine::new(initial_queue, burst);
+    loop {
+        match engine.step(&mut backend) {
+            // Real cycles were already spent doing the step.
+            EngineOp::Work(_) => {}
+            EngineOp::Sleep(dur) | EngineOp::Wait(dur) => {
+                // Sleep points are turn boundaries: the queue lock is never
+                // held here, so exiting now cannot strand a TryLock or drop
+                // an in-flight renewal cycle mid-drain.
+                if stop.load(Ordering::Relaxed) {
+                    return engine.into_policy();
+                }
+                if !dur.is_zero() {
+                    sleeper.sleep(Duration::from_nanos(dur.as_nanos()));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,7 +447,9 @@ mod tests {
             n_queues: 2,
             ..MetronomeConfig::default()
         };
-        let queues: Vec<_> = (0..2).map(|_| Arc::new(ArrayQueue::<u64>::new(4096))).collect();
+        let queues: Vec<_> = (0..2)
+            .map(|_| Arc::new(ArrayQueue::<u64>::new(4096)))
+            .collect();
         let seen = Arc::new(AtomicU64::new(0));
         let sum = Arc::new(AtomicU64::new(0));
         let m = {
@@ -332,7 +482,11 @@ mod tests {
         }
         let stats = m.stop();
         assert_eq!(seen.load(Ordering::Relaxed), n, "lost or stalled items");
-        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2, "duplicated items");
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            n * (n - 1) / 2,
+            "duplicated items"
+        );
         assert_eq!(stats.total_processed(), n);
         assert_eq!(stats.wakes.len(), 3);
     }
@@ -370,5 +524,29 @@ mod tests {
         assert!(won > 0, "nobody ever acquired the queue");
         assert_eq!(stats.rho.len(), 1);
         assert_eq!(stats.ts.len(), 1);
+    }
+
+    #[test]
+    fn backend_is_drivable_single_threaded() {
+        // The Backend surface must be usable without spawning threads —
+        // this is what the sim-vs-realtime parity test leans on.
+        let queues = vec![Arc::new(ArrayQueue::<u64>::new(16))];
+        let harness = RealtimeHarness::new(
+            MetronomeConfig::default(),
+            queues.clone(),
+            |_q, _item: u64| {},
+        );
+        let mut b = harness.backend();
+        queues[0].push(7).unwrap();
+        assert!(b.try_acquire(0));
+        assert!(!b.try_acquire(0), "second acquire must lose the race");
+        assert_eq!(b.rx_burst(0, 32), 1);
+        let ts = b.release(0);
+        assert!(!ts.is_zero(), "release must return the adaptive TS");
+        assert!(b.try_acquire(0), "released lock must be re-acquirable");
+        b.release(0);
+        assert_eq!(harness.processed(0), 1);
+        assert_eq!(harness.total_tries(0), 2);
+        assert_eq!(harness.busy_tries(0), 1);
     }
 }

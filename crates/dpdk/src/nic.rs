@@ -214,24 +214,14 @@ mod tests {
     #[test]
     fn single_queue_skips_rss() {
         let port = Port::new(NicProfile::X520, 1, 512);
-        let t = FiveTuple::udp(
-            Ipv4Addr::new(1, 2, 3, 4),
-            9,
-            Ipv4Addr::new(5, 6, 7, 8),
-            10,
-        );
+        let t = FiveTuple::udp(Ipv4Addr::new(1, 2, 3, 4), 9, Ipv4Addr::new(5, 6, 7, 8), 10);
         assert_eq!(port.rss_queue(&t), 0);
     }
 
     #[test]
     fn rx_burst_drains_fifo() {
         let mut port = Port::new(NicProfile::X520, 1, 32);
-        let t = FiveTuple::udp(
-            Ipv4Addr::new(10, 0, 0, 1),
-            1,
-            Ipv4Addr::new(10, 0, 0, 2),
-            2,
-        );
+        let t = FiveTuple::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2);
         for _ in 0..5 {
             let m = Mbuf::from_bytes(BytesMut::from(&[0u8; 60][..]));
             port.deliver(m, &t);
@@ -244,12 +234,7 @@ mod tests {
     #[test]
     fn drop_counted_when_ring_full() {
         let mut port = Port::new(NicProfile::X520, 1, 32);
-        let t = FiveTuple::udp(
-            Ipv4Addr::new(10, 0, 0, 1),
-            1,
-            Ipv4Addr::new(10, 0, 0, 2),
-            2,
-        );
+        let t = FiveTuple::udp(Ipv4Addr::new(10, 0, 0, 1), 1, Ipv4Addr::new(10, 0, 0, 2), 2);
         for _ in 0..40 {
             let m = Mbuf::from_bytes(BytesMut::from(&[0u8; 60][..]));
             port.deliver(m, &t);

@@ -55,7 +55,11 @@ fn main() {
             continue;
         }
         println!("==============================================================");
-        println!("{} [{}]", out.title, if cfg.full { "full" } else { "quick" });
+        println!(
+            "{} [{}]",
+            out.title,
+            if cfg.full { "full" } else { "quick" }
+        );
         println!("==============================================================");
         println!("{}", out.table);
         for (name, content) in &out.csvs {

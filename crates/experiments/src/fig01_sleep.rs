@@ -16,7 +16,11 @@ fn sample(service: SleepService, request: Nanos, n: usize, seed: u64) -> Boxplot
     let model = SleepModel::idle_calibration();
     let mut rng = Rng::new(seed);
     let samples: Vec<f64> = (0..n)
-        .map(|_| model.actual_sleep(service, request, &mut rng).as_micros_f64())
+        .map(|_| {
+            model
+                .actual_sleep(service, request, &mut rng)
+                .as_micros_f64()
+        })
         .collect();
     Boxplot::from_samples(&samples).expect("nonempty")
 }
@@ -74,7 +78,10 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         id: "fig1",
         title: "Figure 1: hr_sleep vs nanosleep resume latency (boxplots)".into(),
         table: render_table(&headers, &rows),
-        csvs: vec![("fig1_sleep_services.csv".into(), render_csv(&headers, &csv_rows))],
+        csvs: vec![(
+            "fig1_sleep_services.csv".into(),
+            render_csv(&headers, &csv_rows),
+        )],
     }
 }
 

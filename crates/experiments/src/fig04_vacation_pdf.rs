@@ -114,7 +114,10 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         table: render_table(&headers, &rows),
         csvs: vec![(
             "fig4_vacation_pdf.csv".into(),
-            render_csv(&["m", "x_us", "empirical_density", "theory_density"], &csv_rows),
+            render_csv(
+                &["m", "x_us", "empirical_density", "theory_density"],
+                &csv_rows,
+            ),
         )],
     }
 }

@@ -38,15 +38,19 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             ]);
         }
     }
-    let headers = ["gbps", "target_V_us", "latency_mean_us", "latency_median_us", "cpu_pct", "loss_permille"];
+    let headers = [
+        "gbps",
+        "target_V_us",
+        "latency_mean_us",
+        "latency_median_us",
+        "cpu_pct",
+        "loss_permille",
+    ];
     ExpOutput {
         id: "fig5",
         title: "Figure 5: latency and CPU vs target vacation (10/5 Gbps)".into(),
         table: render_table(&headers, &rows),
-        csvs: vec![(
-            "fig5_vbar_tradeoff.csv".into(),
-            render_csv(&headers, &rows),
-        )],
+        csvs: vec![("fig5_vbar_tradeoff.csv".into(), render_csv(&headers, &rows))],
     }
 }
 

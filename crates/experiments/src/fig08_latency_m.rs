@@ -43,7 +43,15 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             ]);
         }
     }
-    let headers = ["gbps", "M", "mean_us", "q1_us", "median_us", "q3_us", "std_us"];
+    let headers = [
+        "gbps",
+        "M",
+        "mean_us",
+        "q1_us",
+        "median_us",
+        "q3_us",
+        "std_us",
+    ];
     ExpOutput {
         id: "fig8",
         title: "Figure 8: latency vs number of threads M (10/1 Gbps)".into(),

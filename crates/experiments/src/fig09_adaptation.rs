@@ -60,7 +60,10 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         id: "fig9",
         title: "Figure 9: rate/TS estimation and CPU/rho tracking on the ramp".into(),
         table: render_table(&headers, &rows),
-        csvs: vec![("fig9_adaptation.csv".into(), render_csv(&headers, &csv_rows))],
+        csvs: vec![(
+            "fig9_adaptation.csv".into(),
+            render_csv(&headers, &csv_rows),
+        )],
     }
 }
 

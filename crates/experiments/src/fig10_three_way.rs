@@ -46,7 +46,11 @@ pub fn run_cell(system: System, gbps: f64, cfg: &ExpConfig) -> RunReport {
             Scenario::xdp(format!("fig10-xdp-{gbps}g"), queues, traffic)
         }
     };
-    run_scenario(&sc.with_duration(dur).with_latency_stride(stride).with_seed(seed))
+    run_scenario(
+        &sc.with_duration(dur)
+            .with_latency_stride(stride)
+            .with_seed(seed),
+    )
 }
 
 /// Run the experiment.
@@ -122,7 +126,17 @@ mod tests {
         let st = run_cell(System::Static, 10.0, &cfg).latency_us.unwrap();
         let me = run_cell(System::Metronome, 10.0, &cfg).latency_us.unwrap();
         let xd = run_cell(System::Xdp, 10.0, &cfg).latency_us.unwrap();
-        assert!(st.mean < me.mean, "static {} !< metronome {}", st.mean, me.mean);
-        assert!(me.mean < xd.mean, "metronome {} !< xdp {}", me.mean, xd.mean);
+        assert!(
+            st.mean < me.mean,
+            "static {} !< metronome {}",
+            st.mean,
+            me.mean
+        );
+        assert!(
+            me.mean < xd.mean,
+            "metronome {} !< xdp {}",
+            me.mean,
+            xd.mean
+        );
     }
 }

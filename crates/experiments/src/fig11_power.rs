@@ -54,12 +54,22 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             }
         }
     }
-    let headers = ["governor", "gbps", "system", "cpu_pct", "power_w", "loss_permille"];
+    let headers = [
+        "governor",
+        "gbps",
+        "system",
+        "cpu_pct",
+        "power_w",
+        "loss_permille",
+    ];
     ExpOutput {
         id: "fig11",
         title: "Figure 11: power vs CPU for ondemand/performance governors".into(),
         table: render_table(&headers, &rows),
-        csvs: vec![("fig11_power_governors.csv".into(), render_csv(&headers, &rows))],
+        csvs: vec![(
+            "fig11_power_governors.csv".into(),
+            render_csv(&headers, &rows),
+        )],
     }
 }
 

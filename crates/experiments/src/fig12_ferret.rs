@@ -200,7 +200,10 @@ mod tests {
         assert!(r.metronome_alone.throughput_mpps > 14.5);
         assert!(r.with_metronome.throughput_mpps > 14.5);
         // Fig. 12: static sharing inflates ferret far more than Metronome.
-        let s_static = r.with_static.ferret_slowdown().expect("static run finished");
+        let s_static = r
+            .with_static
+            .ferret_slowdown()
+            .expect("static run finished");
         let s_metro = r
             .with_metronome
             .ferret_slowdown()

@@ -129,7 +129,11 @@ mod tests {
         };
         let st = run_static(4, Governor::Performance, &cfg);
         let me = run_metronome(4, 5, Governor::Performance, &cfg);
-        assert!((395.0..405.0).contains(&st.cpu_total_pct), "{}", st.cpu_total_pct);
+        assert!(
+            (395.0..405.0).contains(&st.cpu_total_pct),
+            "{}",
+            st.cpu_total_pct
+        );
         assert!(
             me.cpu_total_pct < st.cpu_total_pct * 0.6,
             "metronome {} vs static {}",

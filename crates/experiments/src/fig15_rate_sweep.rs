@@ -50,7 +50,14 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             ]);
         }
     }
-    let headers = ["rate_mpps", "system", "cpu_pct", "power_w", "tput_mpps", "loss_permille"];
+    let headers = [
+        "rate_mpps",
+        "system",
+        "cpu_pct",
+        "power_w",
+        "tput_mpps",
+        "loss_permille",
+    ];
     ExpOutput {
         id: "fig15",
         title: "Figure 15: multiqueue CPU and power vs rate (XL710, N=4, M=5)".into(),

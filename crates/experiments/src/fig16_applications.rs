@@ -53,7 +53,14 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             }
         }
     }
-    let headers = ["app", "rate_mpps", "system", "cpu_pct", "tput_mpps", "loss_permille"];
+    let headers = [
+        "app",
+        "rate_mpps",
+        "system",
+        "cpu_pct",
+        "tput_mpps",
+        "loss_permille",
+    ];
     ExpOutput {
         id: "fig16",
         title: "Figure 16: IPsec gateway and FloWatcher CPU usage".into(),

@@ -49,17 +49,20 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             format!("{:.4}", r.loss_permille()),
         ]);
     }
-    let headers = ["target_V_us", "measured_V_us", "measured_B_us", "NV", "loss_permille"];
+    let headers = [
+        "target_V_us",
+        "measured_V_us",
+        "measured_B_us",
+        "NV",
+        "loss_permille",
+    ];
     ExpOutput {
         id: "table1",
         title: "Table I: busy/vacation periods, NV and loss vs target vacation".into(),
         table: render_table(&headers, &rows),
         csvs: vec![(
             "table1_vacation_targets.csv".into(),
-            render_csv(
-                &headers,
-                &rows.iter().cloned().collect::<Vec<_>>(),
-            ),
+            render_csv(&headers, &rows.to_vec()),
         )],
     }
 }

@@ -43,7 +43,10 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             format!("{:.2}", q.busy_try_fraction * 100.0),
             (q.total_tries + q.busy_tries).to_string(),
             format!("{:.4}", q.rho),
-            format!("{:.2}", q.drained as f64 / r.forwarded.max(1) as f64 * 100.0),
+            format!(
+                "{:.2}",
+                q.drained as f64 / r.forwarded.max(1) as f64 * 100.0
+            ),
         ]);
     }
     rows.push(vec![
@@ -53,7 +56,13 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         String::new(),
         String::new(),
     ]);
-    let headers = ["queue", "busy_tries_pct", "lock_tries", "rho", "traffic_share_pct"];
+    let headers = [
+        "queue",
+        "busy_tries_pct",
+        "lock_tries",
+        "rho",
+        "traffic_share_pct",
+    ];
     ExpOutput {
         id: "table3",
         title: "Table III: per-queue statistics under unbalanced traffic".into(),

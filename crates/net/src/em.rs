@@ -38,9 +38,7 @@ impl<V> ExactMatch<V> {
     /// Table with capacity for roughly `capacity` flows (rounded up to a
     /// power-of-two bucket count at 8 entries/bucket).
     pub fn with_capacity(capacity: usize) -> Self {
-        let buckets = (capacity / BUCKET_ENTRIES + 1)
-            .next_power_of_two()
-            .max(2);
+        let buckets = (capacity / BUCKET_ENTRIES + 1).next_power_of_two().max(2);
         ExactMatch {
             buckets: (0..buckets).map(|_| Vec::new()).collect(),
             bucket_mask: buckets - 1,

@@ -69,7 +69,11 @@ impl SecurityAssociation {
     /// the original Ethernet header is re-used for the outer frame.
     /// `iv` is caller-provided (deterministic tests; a real gateway uses an
     /// unpredictable IV per packet).
-    pub fn encapsulate(&mut self, frame: &[u8], iv: &[u8; ESP_IV_LEN]) -> Result<BytesMut, EspError> {
+    pub fn encapsulate(
+        &mut self,
+        frame: &[u8],
+        iv: &[u8; ESP_IV_LEN],
+    ) -> Result<BytesMut, EspError> {
         if frame.len() < ETH_HEADER_LEN + IPV4_HEADER_LEN {
             return Err(EspError::Truncated);
         }
@@ -135,11 +139,9 @@ impl SecurityAssociation {
             return Err(EspError::WrongSpi);
         }
         let iv_start = esp_start + ESP_HEADER_LEN;
-        let iv: [u8; ESP_IV_LEN] = frame[iv_start..iv_start + ESP_IV_LEN]
-            .try_into()
-            .unwrap();
+        let iv: [u8; ESP_IV_LEN] = frame[iv_start..iv_start + ESP_IV_LEN].try_into().unwrap();
         let mut ciphertext = frame[iv_start + ESP_IV_LEN..].to_vec();
-        if ciphertext.is_empty() || ciphertext.len() % BLOCK != 0 {
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK) {
             return Err(EspError::BadAlignment);
         }
         self.cipher.cbc_decrypt(&iv, &mut ciphertext);

@@ -35,7 +35,8 @@ pub struct PcapRecord {
 
 /// Serialize records into a classic pcap byte stream.
 pub fn write_pcap(records: &[PcapRecord]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(24 + records.iter().map(|r| 16 + r.frame.len()).sum::<usize>());
+    let mut out =
+        Vec::with_capacity(24 + records.iter().map(|r| 16 + r.frame.len()).sum::<usize>());
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.extend_from_slice(&2u16.to_le_bytes()); // version major
     out.extend_from_slice(&4u16.to_le_bytes()); // version minor
@@ -137,7 +138,10 @@ mod tests {
         bytes[0] ^= 0xFF;
         assert_eq!(read_pcap(&bytes), Err(PcapError::BadMagic));
         let good = write_pcap(&[record(1)]);
-        assert_eq!(read_pcap(&good[..good.len() - 3]), Err(PcapError::Truncated));
+        assert_eq!(
+            read_pcap(&good[..good.len() - 3]),
+            Err(PcapError::Truncated)
+        );
     }
 
     #[test]
@@ -146,7 +150,7 @@ mod tests {
             ts_micros: 3_000_042,
             frame: vec![1, 2, 3],
         };
-        let back = read_pcap(&write_pcap(&[r.clone()])).unwrap();
+        let back = read_pcap(&write_pcap(std::slice::from_ref(&r))).unwrap();
         assert_eq!(back[0].ts_micros, 3_000_042);
     }
 }

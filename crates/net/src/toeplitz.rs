@@ -11,9 +11,9 @@
 /// The default 40-byte RSS key Intel ships (ixgbe/i40e default; also the
 /// key in Microsoft's RSS verification suite).
 pub const INTEL_DEFAULT_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// A symmetric variant (repeating 0x6d5a) that hashes both directions of a
@@ -97,12 +97,7 @@ mod tests {
     /// "destination address first" convention; these vectors use the
     /// canonical src-first layout used by DPDK's softrss with reordered
     /// fields).
-    fn ms_vector(
-        dst: Ipv4Addr,
-        dport: u16,
-        src: Ipv4Addr,
-        sport: u16,
-    ) -> [u8; 12] {
+    fn ms_vector(dst: Ipv4Addr, dport: u16, src: Ipv4Addr, sport: u16) -> [u8; 12] {
         // Microsoft's published vectors concatenate (src, dst, sport, dport)?
         // The canonical published layout is (src ip, dst ip, src port,
         // dst port) where "source" is the packet's source. We build it

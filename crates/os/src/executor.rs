@@ -298,17 +298,13 @@ impl<W> OsSim<W> {
     }
 
     fn pick_next(&self, core: CoreId) -> Option<ThreadId> {
-        self.cores[core]
-            .runnable
-            .iter()
-            .copied()
-            .min_by(|&a, &b| {
-                self.threads[a]
-                    .vruntime
-                    .partial_cmp(&self.threads[b].vruntime)
-                    .expect("vruntime NaN")
-                    .then(a.cmp(&b))
-            })
+        self.cores[core].runnable.iter().copied().min_by(|&a, &b| {
+            self.threads[a]
+                .vruntime
+                .partial_cmp(&self.threads[b].vruntime)
+                .expect("vruntime NaN")
+                .then(a.cmp(&b))
+        })
     }
 
     fn cycles_per_ns(&self, core: CoreId) -> f64 {
@@ -521,9 +517,8 @@ impl<W> OsSim<W> {
             // Wakeup preemption: compare vruntimes with the granularity
             // scaled by the woken thread's weight (kernel wakeup_gran()).
             self.charge_running(core, now);
-            let gran =
-                self.cfg.sched.wakeup_granularity.as_nanos() as f64 * NICE0_WEIGHT
-                    / self.threads[tid].weight;
+            let gran = self.cfg.sched.wakeup_granularity.as_nanos() as f64 * NICE0_WEIGHT
+                / self.threads[tid].weight;
             if new_vr + gran < self.threads[running].vruntime {
                 self.preempt(core, now);
             } else {
@@ -536,13 +531,13 @@ impl<W> OsSim<W> {
     }
 
     fn ensure_tick(&mut self, now: Nanos, core: CoreId) {
-        let contended =
-            self.cores[core].running.is_some() && !self.cores[core].runnable.is_empty();
+        let contended = self.cores[core].running.is_some() && !self.cores[core].runnable.is_empty();
         let has_tick = !self.cores[core].tick_event.is_none();
         if contended && !has_tick {
-            self.cores[core].tick_event = self
-                .queue
-                .schedule(now.saturating_add(self.cfg.sched.tick), OsEvent::SchedTick(core));
+            self.cores[core].tick_event = self.queue.schedule(
+                now.saturating_add(self.cfg.sched.tick),
+                OsEvent::SchedTick(core),
+            );
         }
     }
 
@@ -580,9 +575,10 @@ impl<W> OsSim<W> {
                 let new = if util >= self.cfg.ondemand_up_threshold {
                     max
                 } else {
-                    let target =
-                        (max as f64 * util / self.cfg.ondemand_up_threshold) as u32;
-                    self.cfg.freq.step_at_least(target.max(self.cfg.freq.min_mhz()))
+                    let target = (max as f64 * util / self.cfg.ondemand_up_threshold) as u32;
+                    self.cfg
+                        .freq
+                        .step_at_least(target.max(self.cfg.freq.min_mhz()))
                 };
                 if new != self.cores[core].freq_mhz {
                     self.cores[core].freq_mhz = new;
@@ -596,15 +592,17 @@ impl<W> OsSim<W> {
 
     fn on_daemon_start(&mut self, now: Nanos, core: CoreId) {
         let dur = Nanos::from_secs_f64(
-            self.daemon_rng
-                .log_normal(self.cfg.daemon.duration_mu_ln_ns, self.cfg.daemon.duration_sigma)
-                * 1e-9,
+            self.daemon_rng.log_normal(
+                self.cfg.daemon.duration_mu_ln_ns,
+                self.cfg.daemon.duration_sigma,
+            ) * 1e-9,
         );
         // Preempt whatever runs; the daemon is highest priority.
         self.preempt(core, now);
         if let Some(idle_from) = self.cores[core].idle_since.take() {
             let f = self.cores[core].freq_mhz;
-            self.power.charge_idle(core, now.saturating_sub(idle_from), f);
+            self.power
+                .charge_idle(core, now.saturating_sub(idle_from), f);
             self.power.charge_wake(core);
         }
         self.cores[core].daemon_until = now.saturating_add(dur);
@@ -804,12 +802,30 @@ mod tests {
         let mut cfg = quiet_cfg(1);
         cfg.sched.contention_inflation = 1.0; // pure share test
         let mut os = OsSim::new(cfg, 4);
-        let a = os.spawn("a", 0, 0, Box::new(Hog { chunk: Cycles(210_000) }));
-        let b = os.spawn("b", 0, 0, Box::new(Hog { chunk: Cycles(210_000) }));
+        let a = os.spawn(
+            "a",
+            0,
+            0,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
+        let b = os.spawn(
+            "b",
+            0,
+            0,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
         os.run_until(&mut (), Nanos::from_secs(1));
         let ca = os.thread_cpu(a).as_secs_f64();
         let cb = os.thread_cpu(b).as_secs_f64();
-        assert!((ca + cb - 1.0).abs() < 0.01, "core not fully used: {}", ca + cb);
+        assert!(
+            (ca + cb - 1.0).abs() < 0.01,
+            "core not fully used: {}",
+            ca + cb
+        );
         assert!((ca - cb).abs() < 0.05, "unfair split {ca} vs {cb}");
     }
 
@@ -818,8 +834,22 @@ mod tests {
         let mut cfg = quiet_cfg(1);
         cfg.sched.contention_inflation = 1.0;
         let mut os = OsSim::new(cfg, 5);
-        let hi = os.spawn("hi", 0, -20, Box::new(Hog { chunk: Cycles(210_000) }));
-        let lo = os.spawn("lo", 0, 19, Box::new(Hog { chunk: Cycles(210_000) }));
+        let hi = os.spawn(
+            "hi",
+            0,
+            -20,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
+        let lo = os.spawn(
+            "lo",
+            0,
+            19,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
         os.run_until(&mut (), Nanos::from_secs(1));
         let chi = os.thread_cpu(hi).as_secs_f64();
         let clo = os.thread_cpu(lo).as_secs_f64();
@@ -845,7 +875,14 @@ mod tests {
                 log: log_a.clone(),
             }),
         );
-        os.spawn("b", 0, 0, Box::new(Hog { chunk: Cycles(2_100_000) }));
+        os.spawn(
+            "b",
+            0,
+            0,
+            Box::new(Hog {
+                chunk: Cycles(2_100_000),
+            }),
+        );
         os.run_until(&mut (), Nanos::from_secs(5));
         let log = log_a.borrow();
         assert_eq!(log.len(), 2, "job did not finish");
@@ -894,7 +931,14 @@ mod tests {
                 waits: waits.clone(),
             }),
         );
-        os.spawn("ferret", 0, 19, Box::new(Hog { chunk: Cycles(210_000) }));
+        os.spawn(
+            "ferret",
+            0,
+            19,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
         os.run_until(&mut (), Nanos::from_secs(1));
         let waits = waits.borrow();
         assert!(waits.len() >= 150, "probe starved: {} wakes", waits.len());
@@ -914,8 +958,22 @@ mod tests {
         let mut cfg = quiet_cfg(1);
         cfg.sched.contention_inflation = 1.0;
         let mut os = OsSim::new(cfg, 8);
-        let a = os.spawn("a", 0, 0, Box::new(Hog { chunk: Cycles(21_000) })); // 10µs chunks
-        let _b = os.spawn("b", 0, 0, Box::new(Hog { chunk: Cycles(21_000) }));
+        let a = os.spawn(
+            "a",
+            0,
+            0,
+            Box::new(Hog {
+                chunk: Cycles(21_000),
+            }),
+        ); // 10µs chunks
+        let _b = os.spawn(
+            "b",
+            0,
+            0,
+            Box::new(Hog {
+                chunk: Cycles(21_000),
+            }),
+        );
         os.run_until(&mut (), Nanos::from_millis(100));
         // With 1 ms ticks over 100 ms shared between 2 threads, thread a
         // gets ≈50 ms ± one slice.
@@ -949,7 +1007,10 @@ mod tests {
         let max = waits.iter().cloned().fold(0.0, f64::max);
         // Some wake must have landed inside a daemon burst and waited
         // noticeably longer than the 50µs+oversleep baseline.
-        assert!(max > 150.0, "max resume latency {max}µs — no interference seen");
+        assert!(
+            max > 150.0,
+            "max resume latency {max}µs — no interference seen"
+        );
     }
 
     #[test]
@@ -958,7 +1019,14 @@ mod tests {
         cfg.governor = Governor::Ondemand;
         let mut os = OsSim::new(cfg, 10);
         // Core 0: hog at 100% util. Core 1: idle (no thread).
-        os.spawn("hog", 0, 0, Box::new(Hog { chunk: Cycles(210_000) }));
+        os.spawn(
+            "hog",
+            0,
+            0,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
         os.run_until(&mut (), Nanos::from_millis(100));
         assert_eq!(os.core_freq(0), 2100, "busy core must be at max");
         assert_eq!(os.core_freq(1), 800, "idle core must be at min");
@@ -1008,9 +1076,30 @@ mod tests {
         let mut cfg = quiet_cfg(2);
         cfg.sched.contention_inflation = 1.0;
         let mut os = OsSim::new(cfg, 12);
-        let t0 = os.spawn("a", 0, 0, Box::new(Hog { chunk: Cycles(210_000) }));
-        let t1 = os.spawn("b", 0, 5, Box::new(Hog { chunk: Cycles(210_000) }));
-        let t2 = os.spawn("c", 1, 0, Box::new(Hog { chunk: Cycles(210_000) }));
+        let t0 = os.spawn(
+            "a",
+            0,
+            0,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
+        let t1 = os.spawn(
+            "b",
+            0,
+            5,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
+        let t2 = os.spawn(
+            "c",
+            1,
+            0,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
         let horizon = Nanos::from_millis(500);
         os.run_until(&mut (), horizon);
         let total = os.thread_cpu(t0) + os.thread_cpu(t1) + os.thread_cpu(t2);
@@ -1028,7 +1117,14 @@ mod tests {
     #[test]
     fn run_until_is_resumable() {
         let mut os = OsSim::new(quiet_cfg(1), 13);
-        let t = os.spawn("hog", 0, 0, Box::new(Hog { chunk: Cycles(210_000) }));
+        let t = os.spawn(
+            "hog",
+            0,
+            0,
+            Box::new(Hog {
+                chunk: Cycles(210_000),
+            }),
+        );
         os.run_until(&mut (), Nanos::from_millis(10));
         let mid = os.thread_cpu(t);
         os.run_until(&mut (), Nanos::from_millis(20));
@@ -1052,9 +1148,21 @@ mod tests {
                         duration: Nanos::from_micros(300),
                     });
                 }
-                os.spawn("metronome-ish", 0, 0, Box::new(Scripted { actions: acts, log }));
+                os.spawn(
+                    "metronome-ish",
+                    0,
+                    0,
+                    Box::new(Scripted { actions: acts, log }),
+                );
             } else {
-                os.spawn("poll", 0, 0, Box::new(Hog { chunk: Cycles(210_000) }));
+                os.spawn(
+                    "poll",
+                    0,
+                    0,
+                    Box::new(Hog {
+                        chunk: Cycles(210_000),
+                    }),
+                );
             }
             os.run_until(&mut (), Nanos::from_millis(500));
             os.package_watts(Nanos::from_millis(500))

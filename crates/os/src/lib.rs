@@ -27,7 +27,9 @@ pub mod executor;
 pub mod power;
 pub mod sleep;
 
-pub use config::{DaemonConfig, FreqPlan, Governor, OsConfig, PowerConfig, SchedConfig, TimerSlack};
+pub use config::{
+    DaemonConfig, FreqPlan, Governor, OsConfig, PowerConfig, SchedConfig, TimerSlack,
+};
 pub use executor::{Action, Behavior, CoreId, OsSim, RunCtx, ThreadId};
 pub use power::PowerMeter;
 pub use sleep::{SleepModel, SleepService};

@@ -203,8 +203,15 @@ mod tests {
             10,
             20_000,
         );
-        assert!(na_mean > hr_mean, "nanosleep mean {na_mean} <= hr {hr_mean}");
-        assert!(na_mean - hr_mean < 1.0, "gap too large: {}", na_mean - hr_mean);
+        assert!(
+            na_mean > hr_mean,
+            "nanosleep mean {na_mean} <= hr {hr_mean}"
+        );
+        assert!(
+            na_mean - hr_mean < 1.0,
+            "gap too large: {}",
+            na_mean - hr_mean
+        );
         assert!(na_sd > hr_sd, "nanosleep must have more variance");
     }
 
@@ -246,7 +253,10 @@ mod tests {
     #[test]
     fn call_cycles_favor_hr_sleep() {
         let m = SleepModel::default();
-        assert!(m.call_cycles(SleepService::HrSleep) < m.call_cycles(SleepService::Nanosleep(TimerSlack::MinimalOneMicro)));
+        assert!(
+            m.call_cycles(SleepService::HrSleep)
+                < m.call_cycles(SleepService::Nanosleep(TimerSlack::MinimalOneMicro))
+        );
     }
 
     #[test]
@@ -259,11 +269,26 @@ mod tests {
         let req = Nanos::from_micros(10);
         let (mut m1, mut m2) = (MeanVar::new(), MeanVar::new());
         for _ in 0..n {
-            m1.add(loaded.actual_sleep(SleepService::HrSleep, req, &mut r1).as_micros_f64());
-            m2.add(idle.actual_sleep(SleepService::HrSleep, req, &mut r2).as_micros_f64());
+            m1.add(
+                loaded
+                    .actual_sleep(SleepService::HrSleep, req, &mut r1)
+                    .as_micros_f64(),
+            );
+            m2.add(
+                idle.actual_sleep(SleepService::HrSleep, req, &mut r2)
+                    .as_micros_f64(),
+            );
         }
-        assert!((m1.mean() - m2.mean()).abs() < 0.05, "means {} vs {}", m1.mean(), m2.mean());
-        assert!(m1.std_dev() > 3.0 * m2.std_dev(), "loaded spread must dominate");
+        assert!(
+            (m1.mean() - m2.mean()).abs() < 0.05,
+            "means {} vs {}",
+            m1.mean(),
+            m2.mean()
+        );
+        assert!(
+            m1.std_dev() > 3.0 * m2.std_dev(),
+            "loaded spread must dominate"
+        );
     }
 
     #[test]

@@ -1,14 +1,22 @@
 //! The thread bodies: Metronome workers, static DPDK pollers, XDP NAPI
 //! loops and ferret workers, all as `metronome_os::Behavior` state
 //! machines over the shared [`World`].
+//!
+//! The Metronome worker itself carries **no protocol logic**: the Listing 2
+//! loop lives once in `metronome_core::engine::MetronomeEngine`, and
+//! [`MetronomeWorker`] merely adapts the engine to the simulator by
+//! realizing the engine's `Backend` capabilities over the [`World`]
+//! (see [`WorldBackend`]) and translating engine ops into scheduler
+//! [`Action`]s.
 
 use crate::apps_profile::AppProfile;
 use crate::calib;
 use crate::world::{FerretCompletion, World};
+use metronome_core::engine::{Backend, EngineOp, MetronomeEngine, StepCosts};
 use metronome_os::executor::{Action, Behavior, RunCtx};
 use metronome_os::sleep::SleepService;
 use metronome_sim::stats::Ewma;
-use metronome_sim::{Cycles, Nanos};
+use metronome_sim::{Cycles, Nanos, Rng};
 
 /// Convert a wall duration into cycles at the context's frequency.
 fn cycles_for(dur: Nanos, freq_mhz: u32) -> Cycles {
@@ -16,129 +24,152 @@ fn cycles_for(dur: Nanos, freq_mhz: u32) -> Cycles {
 }
 
 // ---------------------------------------------------------------------------
-// Metronome worker (paper Listing 2)
+// Metronome worker (paper Listing 2, via the shared engine)
 // ---------------------------------------------------------------------------
 
-#[derive(Clone, Copy, Debug)]
-enum MetroPhase {
-    /// First dispatch: stagger the start phase.
-    Init,
-    /// Race for the queue.
-    TryAcquire,
-    /// A burst of `k` packets from queue `q` is being processed.
-    Chunk { q: usize, k: u64 },
-    /// About to sleep for `dur`.
-    GoSleep { dur: Nanos },
-    /// Just woke from a timer sleep.
-    AfterSleep,
+/// The discrete-event realization of the engine's `Backend` capabilities:
+/// the trylock is the simulated queue's owner slot, receive bursts come
+/// from the hybrid descriptor-ring model, entropy from the thread's seeded
+/// PRNG stream, and every protocol step charges its calibrated cycle cost
+/// to the virtual core.
+///
+/// Constructed fresh for each scheduler turn (it borrows the world and the
+/// thread's RNG at the turn's virtual `now`); also constructible directly
+/// by tests that want to drive the engine deterministically.
+pub struct WorldBackend<'a> {
+    /// The shared simulation world.
+    pub world: &'a mut World,
+    /// The thread's private RNG stream.
+    pub rng: &'a mut Rng,
+    /// Current virtual time.
+    pub now: Nanos,
+    /// Simulated thread id (lock-owner identity).
+    pub tid: usize,
+    /// Application cost profile for packet processing.
+    pub app: AppProfile,
 }
 
-/// One Metronome packet-retrieval thread.
+impl Backend for WorldBackend<'_> {
+    fn n_queues(&self) -> usize {
+        self.world.controller.n_queues()
+    }
+
+    fn draw(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn try_acquire(&mut self, q: usize) -> bool {
+        // Race/vacation bookkeeping happens inside the world.
+        self.world.try_acquire(q, self.tid, self.now)
+    }
+
+    fn rx_burst(&mut self, q: usize, burst: u32) -> u64 {
+        self.world.queues[q].take_burst(self.now, burst as u64)
+    }
+
+    fn chunk_cost(&self, k: u64) -> u64 {
+        self.app.burst_cycles(k)
+    }
+
+    fn chunk_done(&mut self, q: usize, k: u64) {
+        self.world.chunk_done(q, self.now, k);
+    }
+
+    fn release(&mut self, q: usize) -> Nanos {
+        // Flush a stale partial Tx batch before giving up the queue.
+        if self.world.queues[q].tx_stale(self.now) {
+            self.world.flush_queue_tx(q, self.now);
+        }
+        self.world.release(q, self.tid, self.now);
+        self.world.controller.ts(q)
+    }
+
+    fn before_contend(&mut self, q: usize) {
+        // Opportunistically drain a stale Tx batch on the queue we are
+        // about to contend (no owner ⇒ nobody else will).
+        if self.world.queues[q].owner.is_none() && self.world.queues[q].tx_stale(self.now) {
+            self.world.flush_queue_tx(q, self.now);
+        }
+    }
+
+    fn ts(&self, q: usize) -> Nanos {
+        self.world.controller.ts(q)
+    }
+
+    fn tl(&self) -> Nanos {
+        self.world.controller.tl()
+    }
+
+    fn equal_timeouts(&self) -> bool {
+        self.world.equal_timeouts
+    }
+
+    fn stagger(&mut self) -> Nanos {
+        // Threads in a real deployment start milliseconds apart (spawn +
+        // EAL init); a uniform stagger over one TL keeps the first wakes
+        // from racing in lockstep.
+        let tl = self.world.controller.tl();
+        Nanos(self.rng.below(tl.as_nanos().max(1)))
+    }
+
+    fn costs(&self) -> StepCosts {
+        StepCosts {
+            wake_path: calib::WAKE_PATH_CYCLES,
+            acquire: calib::ACQUIRE_CYCLES,
+            busy_try: calib::BUSY_TRY_CYCLES,
+            empty_poll: calib::EMPTY_POLL_CYCLES,
+            release: calib::RELEASE_CYCLES,
+            sleep_call: calib::SLEEP_CALL_CYCLES,
+        }
+    }
+}
+
+/// One Metronome packet-retrieval thread: the shared engine driven by the
+/// OS simulator.
 pub struct MetronomeWorker {
-    /// Index into `world.policies`.
+    /// Simulated thread id (lock-owner identity).
     idx: usize,
     app: AppProfile,
-    burst: u64,
     service: SleepService,
-    phase: MetroPhase,
+    engine: MetronomeEngine,
 }
 
 impl MetronomeWorker {
     /// Worker `idx` running `app` with the given Rx burst size and sleep
-    /// service.
-    pub fn new(idx: usize, app: AppProfile, burst: u64, service: SleepService) -> Self {
+    /// service, initially contending queue `idx % n_queues` (assigned by
+    /// the runner through `initial_queue`).
+    pub fn new(
+        idx: usize,
+        initial_queue: usize,
+        app: AppProfile,
+        burst: u32,
+        service: SleepService,
+    ) -> Self {
         MetronomeWorker {
             idx,
             app,
-            burst,
             service,
-            phase: MetroPhase::Init,
+            engine: MetronomeEngine::new(initial_queue, burst),
         }
     }
 }
 
 impl Behavior<World> for MetronomeWorker {
     fn on_run(&mut self, world: &mut World, ctx: &mut RunCtx<'_>) -> Action {
-        let tid = self.idx;
-        loop {
-            match self.phase {
-                MetroPhase::Init => {
-                    // Threads in a real deployment start milliseconds apart
-                    // (spawn + EAL init); a uniform stagger over one TL
-                    // keeps the first wakes from racing in lockstep.
-                    let tl = world.controller.tl();
-                    let stagger = Nanos(ctx.rng.below(tl.as_nanos().max(1)));
-                    self.phase = MetroPhase::AfterSleep;
-                    return Action::WaitUntil(ctx.now.saturating_add(stagger));
-                }
-                MetroPhase::TryAcquire => {
-                    let q = world.policies[tid].queue_to_contend();
-                    if world.try_acquire(q, tid, ctx.now) {
-                        world.policies[tid].on_race_won();
-                        // Account the acquire, then start draining.
-                        self.phase = MetroPhase::Chunk { q, k: 0 };
-                        return Action::Work(Cycles(calib::ACQUIRE_CYCLES));
-                    }
-                    // Busy try: become backup, pick a random queue, sleep TL
-                    // (or TS in the equal-timeout ablation).
-                    let n_queues = world.controller.n_queues();
-                    world.policies[tid].on_race_lost(n_queues, ctx.rng.next_u64());
-                    let dur = if world.equal_timeouts {
-                        world.controller.ts(q)
-                    } else {
-                        world.controller.tl()
-                    };
-                    self.phase = MetroPhase::GoSleep { dur };
-                    return Action::Work(Cycles(
-                        calib::BUSY_TRY_CYCLES + calib::SLEEP_CALL_CYCLES,
-                    ));
-                }
-                MetroPhase::Chunk { q, k } => {
-                    if k > 0 {
-                        // The chunk just finished computing: account Tx.
-                        world.chunk_done(q, ctx.now, k);
-                    }
-                    let taken = world.queues[q].take_burst(ctx.now, self.burst);
-                    if taken > 0 {
-                        self.phase = MetroPhase::Chunk { q, k: taken };
-                        return Action::Work(Cycles(self.app.burst_cycles(taken)));
-                    }
-                    // Queue depleted: flush a stale partial batch, release,
-                    // compute TS, sleep.
-                    if k == 0 {
-                        world.policies[tid].on_empty_poll();
-                    }
-                    if world.queues[q].tx_stale(ctx.now) {
-                        world.flush_queue_tx(q, ctx.now);
-                    }
-                    world.release(q, tid, ctx.now);
-                    let dur = world.controller.ts(q);
-                    self.phase = MetroPhase::GoSleep { dur };
-                    return Action::Work(Cycles(
-                        calib::EMPTY_POLL_CYCLES
-                            + calib::RELEASE_CYCLES
-                            + calib::SLEEP_CALL_CYCLES,
-                    ));
-                }
-                MetroPhase::GoSleep { dur } => {
-                    self.phase = MetroPhase::AfterSleep;
-                    return Action::Sleep {
-                        service: self.service,
-                        duration: dur,
-                    };
-                }
-                MetroPhase::AfterSleep => {
-                    world.policies[tid].on_wake();
-                    // Opportunistically drain a stale Tx batch on the queue
-                    // we are about to contend (no owner ⇒ nobody else will).
-                    let q = world.policies[tid].queue_to_contend();
-                    if world.queues[q].owner.is_none() && world.queues[q].tx_stale(ctx.now) {
-                        world.flush_queue_tx(q, ctx.now);
-                    }
-                    self.phase = MetroPhase::TryAcquire;
-                    return Action::Work(Cycles(calib::WAKE_PATH_CYCLES));
-                }
-            }
+        let mut backend = WorldBackend {
+            world,
+            rng: &mut *ctx.rng,
+            now: ctx.now,
+            tid: self.idx,
+            app: self.app,
+        };
+        match self.engine.step(&mut backend) {
+            EngineOp::Work(cycles) => Action::Work(Cycles(cycles)),
+            EngineOp::Sleep(duration) => Action::Sleep {
+                service: self.service,
+                duration,
+            },
+            EngineOp::Wait(dur) => Action::WaitUntil(ctx.now.saturating_add(dur)),
         }
     }
 }

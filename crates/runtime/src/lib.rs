@@ -32,6 +32,7 @@ pub mod scenario;
 pub mod world;
 
 pub use apps_profile::AppProfile;
+pub use behaviors::{MetronomeWorker, WorldBackend};
 pub use report::{QueueReport, RampPoint, RunReport};
 pub use runner::run;
 pub use scenario::{FerretSpec, Scenario, SystemKind, TrafficSpec};

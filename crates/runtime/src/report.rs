@@ -107,8 +107,11 @@ impl RunReport {
 
     /// Mean measured busy period across queues, µs.
     pub fn mean_busy_us(&self) -> f64 {
-        let with_data: Vec<&QueueReport> =
-            self.queues.iter().filter(|q| q.mean_busy_us > 0.0).collect();
+        let with_data: Vec<&QueueReport> = self
+            .queues
+            .iter()
+            .filter(|q| q.mean_busy_us > 0.0)
+            .collect();
         if with_data.is_empty() {
             0.0
         } else {

@@ -33,13 +33,7 @@ pub fn run(sc: &Scenario) -> RunReport {
         .collect();
     let controller = AdaptiveController::new(metro_cfg.clone());
     let n_net = sc.n_net_threads();
-    let mut world = World::new(
-        queues,
-        controller,
-        n_net,
-        calib::BASE_PATH_LATENCY,
-        sc.seed,
-    );
+    let mut world = World::new(queues, controller, calib::BASE_PATH_LATENCY, sc.seed);
     world.equal_timeouts = sc.equal_timeouts;
 
     // ---- build the OS -------------------------------------------------------
@@ -61,12 +55,8 @@ pub fn run(sc: &Scenario) -> RunReport {
     match &sc.system {
         SystemKind::Metronome(cfg) => {
             for i in 0..cfg.m_threads {
-                let b = MetronomeWorker::new(
-                    i,
-                    sc.app,
-                    cfg.burst as u64,
-                    sc.sleep_service,
-                );
+                let b =
+                    MetronomeWorker::new(i, i % cfg.n_queues, sc.app, cfg.burst, sc.sleep_service);
                 net_tids.push(os.spawn(format!("metronome-{i}"), i, sc.net_nice, Box::new(b)));
             }
         }
@@ -91,7 +81,11 @@ pub fn run(sc: &Scenario) -> RunReport {
         let job = FerretJob::sized_for(f.standalone, f.n_workers, mhz);
         ferret_standalone = Some(f.standalone);
         for w in 0..f.n_workers {
-            let core = if f.on_net_cores { w % n_net.max(1) } else { n_net + w };
+            let core = if f.on_net_cores {
+                w % n_net.max(1)
+            } else {
+                n_net + w
+            };
             let b = FerretWorker::new(w, job.cycles_per_worker(), job.chunk);
             os.spawn(format!("ferret-{w}"), core, f.nice, Box::new(b));
         }
@@ -110,7 +104,11 @@ pub fn run(sc: &Scenario) -> RunReport {
             let window_cpu = cpu_now.saturating_sub(last_cpu);
             last_cpu = cpu_now;
             let est: f64 = (0..sc.n_queues)
-                .map(|q| world.controller.estimated_rate_pps(q, mu / sc.n_queues as f64))
+                .map(|q| {
+                    world
+                        .controller
+                        .estimated_rate_pps(q, mu / sc.n_queues as f64)
+                })
                 .sum();
             series.push(RampPoint {
                 t_s: t.as_secs_f64(),

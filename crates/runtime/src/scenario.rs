@@ -7,7 +7,9 @@ use metronome_dpdk::nic::{gbps_to_pps, NicProfile};
 use metronome_os::config::{DaemonConfig, Governor, OsConfig};
 use metronome_os::sleep::SleepService;
 use metronome_sim::{Nanos, Rng};
-use metronome_traffic::{ArrivalProcess, BurstyCbr, Cbr, OnOff, Poisson, Silent, Staircase, UnbalancedTrace};
+use metronome_traffic::{
+    ArrivalProcess, BurstyCbr, Cbr, OnOff, Poisson, Silent, Staircase, UnbalancedTrace,
+};
 
 /// Which packet-retrieval system runs.
 #[derive(Clone, Debug)]
@@ -418,14 +420,10 @@ mod tests {
 
     #[test]
     fn scenario_builders() {
-        let s = Scenario::metronome(
-            "m",
-            MetronomeConfig::default(),
-            TrafficSpec::CbrGbps(10.0),
-        )
-        .with_latency()
-        .with_governor(Governor::Ondemand)
-        .with_duration(Nanos::from_secs(1));
+        let s = Scenario::metronome("m", MetronomeConfig::default(), TrafficSpec::CbrGbps(10.0))
+            .with_latency()
+            .with_governor(Governor::Ondemand)
+            .with_duration(Nanos::from_secs(1));
         assert_eq!(s.net_nice, -20);
         assert_eq!(s.n_net_threads(), 3);
         assert!(s.latency_stride > 0);

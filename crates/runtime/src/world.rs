@@ -9,13 +9,13 @@
 //!   MoonGen-style sampled latency tracking and Tx-batch accounting;
 //! * the queue locks (plain owner slots — the simulation is single-threaded,
 //!   the CMPXCHG variant lives in `metronome-core::trylock`);
-//! * the shared [`AdaptiveController`] and per-thread [`ThreadPolicy`]s;
+//! * the shared [`AdaptiveController`] (per-thread policy state is owned by
+//!   each worker's `metronome_core::engine::MetronomeEngine`);
 //! * run-wide measurement collectors (latency reservoir, vacation samples,
 //!   ferret completion times).
 
 use crate::calib;
 use metronome_core::controller::AdaptiveController;
-use metronome_core::engine::ThreadPolicy;
 use metronome_dpdk::ring::RxRingModel;
 use metronome_sim::stats::{MeanVar, Reservoir};
 use metronome_sim::Nanos;
@@ -112,7 +112,7 @@ impl SimQueue {
         let accepted = self.ring.offer(n);
         for (i, &t) in self.ts_buf[..accepted as usize].iter().enumerate() {
             let seq = self.accepted_seq + i as u64;
-            if seq % self.stride == 0 {
+            if seq.is_multiple_of(self.stride) {
                 self.waiting.push_back(Sample { seq, arrival: t });
             }
         }
@@ -219,8 +219,6 @@ pub struct FerretCompletion {
 pub struct World {
     /// Rx queues.
     pub queues: Vec<SimQueue>,
-    /// Per-Metronome-thread policy state (role, queue, race counters).
-    pub policies: Vec<ThreadPolicy>,
     /// The shared adaptive controller.
     pub controller: AdaptiveController,
     /// Fixed path latency added to every measured sample.
@@ -242,14 +240,11 @@ impl World {
     pub fn new(
         queues: Vec<SimQueue>,
         controller: AdaptiveController,
-        n_threads: usize,
         base_latency: Nanos,
         seed: u64,
     ) -> Self {
-        let n_queues = controller.n_queues();
         World {
             queues,
-            policies: (0..n_threads).map(|i| ThreadPolicy::new(i % n_queues)).collect(),
             controller,
             base_latency,
             latency_us: Reservoir::new(20_000, seed ^ 0x1A7E),
@@ -358,13 +353,13 @@ mod tests {
     fn world_one_queue(pps: f64, stride: u64) -> World {
         let q = SimQueue::new(512, Box::new(Cbr::new(pps, Nanos::ZERO)), 32, stride);
         let ctrl = AdaptiveController::new(MetronomeConfig::default());
-        World::new(vec![q], ctrl, 3, calib::BASE_PATH_LATENCY, 42)
+        World::new(vec![q], ctrl, calib::BASE_PATH_LATENCY, 42)
     }
 
     #[test]
     fn sync_fills_ring_and_counts_drops() {
         let mut w = world_one_queue(1e6, 0); // 1 packet per µs
-        // 600 arrivals > 512 capacity.
+                                             // 600 arrivals > 512 capacity.
         w.queues[0].sync(Nanos::from_micros(600));
         assert_eq!(w.queues[0].occupancy(), 512);
         assert!(w.queues[0].dropped_total() >= 88);
@@ -447,12 +442,10 @@ mod tests {
     fn tx_batch_one_flushes_every_chunk() {
         let q = SimQueue::new(512, Box::new(Cbr::new(1e6, Nanos::ZERO)), 1, 1);
         let ctrl = AdaptiveController::new(MetronomeConfig::default());
-        let mut w = World::new(vec![q], ctrl, 1, Nanos::ZERO, 1);
+        let mut w = World::new(vec![q], ctrl, Nanos::ZERO, 1);
         let mut got = Vec::new();
         let k = w.queues[0].take_burst(Nanos::from_micros(5), 32);
-        w.queues[0].chunk_processed(Nanos::from_micros(6), k, Nanos::ZERO, &mut |l| {
-            got.push(l)
-        });
+        w.queues[0].chunk_processed(Nanos::from_micros(6), k, Nanos::ZERO, &mut |l| got.push(l));
         assert_eq!(got.len(), k as usize);
     }
 

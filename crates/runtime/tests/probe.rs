@@ -15,9 +15,18 @@ fn probe_fig4() {
         .without_daemon()
         .with_seed(1);
     let r = run(&sc);
-    println!("samples={} wakes={} tries(q0)={} busy={}",
-        r.vacation_samples_us.len(), r.total_wakes,
-        r.queues[0].total_tries, r.queues[0].busy_tries);
-    println!("first 60 vacation samples: {:?}",
-        &r.vacation_samples_us[..r.vacation_samples_us.len().min(60)].iter().map(|v| (v*10.0).round()/10.0).collect::<Vec<_>>());
+    println!(
+        "samples={} wakes={} tries(q0)={} busy={}",
+        r.vacation_samples_us.len(),
+        r.total_wakes,
+        r.queues[0].total_tries,
+        r.queues[0].busy_tries
+    );
+    println!(
+        "first 60 vacation samples: {:?}",
+        &r.vacation_samples_us[..r.vacation_samples_us.len().min(60)]
+            .iter()
+            .map(|v| (v * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
 }

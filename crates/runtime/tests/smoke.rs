@@ -10,13 +10,9 @@ fn line_rate() -> TrafficSpec {
 
 #[test]
 fn metronome_line_rate_no_loss() {
-    let sc = Scenario::metronome(
-        "m-line",
-        MetronomeConfig::default(),
-        line_rate(),
-    )
-    .with_duration(Nanos::from_secs(1))
-    .without_daemon();
+    let sc = Scenario::metronome("m-line", MetronomeConfig::default(), line_rate())
+        .with_duration(Nanos::from_secs(1))
+        .without_daemon();
     let r = run(&sc);
     println!(
         "metronome@10G: tput={:.2}Mpps loss={:.4}‰ cpu={:.1}% power={:.1}W V={:.2}µs B={:.2}µs NV={:.1} rho={:.3} busy_tries={:.1}% wakes={}",
@@ -35,7 +31,11 @@ fn metronome_line_rate_no_loss() {
     // compared to standard DPDK". The loaded-system wake-jitter tail puts
     // our noise floor at ~0.1-0.3‰ rather than exactly zero.
     assert!(r.loss < 1e-3, "loss {}", r.loss);
-    assert!((13.0..15.0).contains(&r.throughput_mpps), "{}", r.throughput_mpps);
+    assert!(
+        (13.0..15.0).contains(&r.throughput_mpps),
+        "{}",
+        r.throughput_mpps
+    );
     assert!(r.cpu_total_pct < 100.0, "cpu {}", r.cpu_total_pct);
 }
 
@@ -58,7 +58,11 @@ fn metronome_low_rate_cpu_floor() {
         r.mean_rho()
     );
     assert!(r.loss < 1e-5);
-    assert!((10.0..30.0).contains(&r.cpu_total_pct), "cpu {}", r.cpu_total_pct);
+    assert!(
+        (10.0..30.0).contains(&r.cpu_total_pct),
+        "cpu {}",
+        r.cpu_total_pct
+    );
 }
 
 #[test]
@@ -67,8 +71,15 @@ fn metronome_idle_cpu() {
         .with_duration(Nanos::from_secs(1))
         .without_daemon();
     let r = run(&sc);
-    println!("metronome@idle: cpu={:.1}% power={:.1}W wakes={}", r.cpu_total_pct, r.power_watts, r.total_wakes);
-    assert!((10.0..30.0).contains(&r.cpu_total_pct), "cpu {}", r.cpu_total_pct);
+    println!(
+        "metronome@idle: cpu={:.1}% power={:.1}W wakes={}",
+        r.cpu_total_pct, r.power_watts, r.total_wakes
+    );
+    assert!(
+        (10.0..30.0).contains(&r.cpu_total_pct),
+        "cpu {}",
+        r.cpu_total_pct
+    );
 }
 
 #[test]
@@ -86,25 +97,25 @@ fn static_dpdk_always_full_core() {
             r.power_watts
         );
         assert!(r.loss < 1e-6);
-        assert!((97.0..103.0).contains(&r.cpu_total_pct), "cpu {}", r.cpu_total_pct);
+        assert!(
+            (97.0..103.0).contains(&r.cpu_total_pct),
+            "cpu {}",
+            r.cpu_total_pct
+        );
     }
 }
 
 #[test]
 fn xdp_idle_cpu_zero_but_high_under_load() {
-    let idle = run(
-        &Scenario::xdp("x-idle", 4, TrafficSpec::Silent)
-            .with_duration(Nanos::from_secs(1))
-            .without_daemon(),
-    );
+    let idle = run(&Scenario::xdp("x-idle", 4, TrafficSpec::Silent)
+        .with_duration(Nanos::from_secs(1))
+        .without_daemon());
     println!("xdp@idle: cpu={:.2}%", idle.cpu_total_pct);
     assert!(idle.cpu_total_pct < 0.5, "{}", idle.cpu_total_pct);
 
-    let busy = run(
-        &Scenario::xdp("x-10g", 4, line_rate())
-            .with_duration(Nanos::from_secs(1))
-            .without_daemon(),
-    );
+    let busy = run(&Scenario::xdp("x-10g", 4, line_rate())
+        .with_duration(Nanos::from_secs(1))
+        .without_daemon());
     println!(
         "xdp@10G: tput={:.2}Mpps loss={:.4}‰ cpu={:.1}%",
         busy.throughput_mpps,
@@ -122,36 +133,37 @@ fn latency_ordering_static_beats_metronome() {
             .with_latency()
             .without_daemon(),
     );
-    let s = run(
-        &Scenario::static_dpdk("s-lat", 1, line_rate())
-            .with_duration(Nanos::from_secs(1))
-            .with_latency()
-            .without_daemon(),
-    );
+    let s = run(&Scenario::static_dpdk("s-lat", 1, line_rate())
+        .with_duration(Nanos::from_secs(1))
+        .with_latency()
+        .without_daemon());
     let ml = m.latency_us.expect("metronome latency");
     let sl = s.latency_us.expect("static latency");
     println!(
         "latency@10G: metronome mean={:.2}µs med={:.2} static mean={:.2}µs med={:.2}",
         ml.mean, ml.median, sl.mean, sl.median
     );
-    assert!(sl.mean < ml.mean, "static {} !< metronome {}", sl.mean, ml.mean);
+    assert!(
+        sl.mean < ml.mean,
+        "static {} !< metronome {}",
+        sl.mean,
+        ml.mean
+    );
     assert!(ml.mean < 60.0, "metronome latency too high: {}", ml.mean);
 }
 
 #[test]
 fn ferret_sharing_shapes() {
     // Static + ferret on 1 core: throughput halves, ferret ~2-3x slower.
-    let st = run(
-        &Scenario::static_dpdk("s-ferret", 1, line_rate())
-            .with_duration(Nanos::from_secs(2))
-            .with_ferret(FerretSpec {
-                n_workers: 1,
-                standalone: Nanos::from_millis(600),
-                nice: 0,
-                on_net_cores: true,
-            })
-            .without_daemon(),
-    );
+    let st = run(&Scenario::static_dpdk("s-ferret", 1, line_rate())
+        .with_duration(Nanos::from_secs(2))
+        .with_ferret(FerretSpec {
+            n_workers: 1,
+            standalone: Nanos::from_millis(600),
+            nice: 0,
+            on_net_cores: true,
+        })
+        .without_daemon());
     println!(
         "static+ferret: tput={:.2}Mpps ferret_slowdown={:?}",
         st.throughput_mpps,

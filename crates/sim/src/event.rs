@@ -115,7 +115,11 @@ impl<E> EventQueue<E> {
     /// clamps such events to `now` (they fire "immediately", preserving
     /// order), and debug builds assert.
     pub fn schedule(&mut self, at: Nanos, event: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

@@ -374,16 +374,14 @@ impl ArrivalProcess for Staircase {
     fn peek_next(&mut self) -> Option<Nanos> {
         loop {
             match self.current.peek_next() {
-                Some(t) => {
-                    match self.segment_end(self.seg) {
-                        Some(end) if t >= end => {
-                            if !self.roll_segment() {
-                                return None;
-                            }
+                Some(t) => match self.segment_end(self.seg) {
+                    Some(end) if t >= end => {
+                        if !self.roll_segment() {
+                            return None;
                         }
-                        _ => return Some(t),
                     }
-                }
+                    _ => return Some(t),
+                },
                 None => {
                     if !self.roll_segment() {
                         return None;
@@ -516,7 +514,7 @@ mod tests {
         let mut t = Nanos::ZERO;
         let mut step = 13_537u64; // irregular ns step
         while t < Nanos::from_secs(2) {
-            t = t + Nanos(step);
+            t += Nanos(step);
             step = step % 31_013 + 7_001;
             total += c.drain(t, None);
         }
@@ -534,7 +532,9 @@ mod tests {
         let n = c.drain(Nanos::from_micros(8), Some(&mut ts));
         assert_eq!(n as usize, ts.len());
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
-        assert!(ts.iter().all(|&t| t >= Nanos::from_micros(5) && t <= Nanos::from_micros(8)));
+        assert!(ts
+            .iter()
+            .all(|&t| t >= Nanos::from_micros(5) && t <= Nanos::from_micros(8)));
     }
 
     #[test]

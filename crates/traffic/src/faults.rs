@@ -90,12 +90,8 @@ mod tests {
     #[test]
     fn zero_faults_is_transparent() {
         let mut clean = Cbr::new(1e6, Nanos::ZERO);
-        let mut faulty = FaultyArrivals::new(
-            Cbr::new(1e6, Nanos::ZERO),
-            0.0,
-            Nanos::ZERO,
-            Rng::new(1),
-        );
+        let mut faulty =
+            FaultyArrivals::new(Cbr::new(1e6, Nanos::ZERO), 0.0, Nanos::ZERO, Rng::new(1));
         let t = Nanos::from_millis(3);
         assert_eq!(clean.drain(t, None), faulty.drain(t, None));
         assert_eq!(faulty.injected_drops, 0);
@@ -103,12 +99,8 @@ mod tests {
 
     #[test]
     fn drop_probability_thins_the_stream() {
-        let mut faulty = FaultyArrivals::new(
-            Cbr::new(1e6, Nanos::ZERO),
-            0.25,
-            Nanos::ZERO,
-            Rng::new(2),
-        );
+        let mut faulty =
+            FaultyArrivals::new(Cbr::new(1e6, Nanos::ZERO), 0.25, Nanos::ZERO, Rng::new(2));
         let n = faulty.drain(Nanos::from_millis(100), None);
         // 100k offered, 25% dropped: expect ≈75k.
         assert!((n as f64 - 75_000.0).abs() < 1_500.0, "{n}");
@@ -117,12 +109,7 @@ mod tests {
 
     #[test]
     fn effective_rate_reflects_drops() {
-        let faulty = FaultyArrivals::new(
-            Cbr::new(2e6, Nanos::ZERO),
-            0.5,
-            Nanos::ZERO,
-            Rng::new(3),
-        );
+        let faulty = FaultyArrivals::new(Cbr::new(2e6, Nanos::ZERO), 0.5, Nanos::ZERO, Rng::new(3));
         assert!((faulty.rate_pps(Nanos::from_secs(1)) - 1e6).abs() < 1.0);
     }
 

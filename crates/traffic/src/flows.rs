@@ -153,10 +153,7 @@ mod tests {
     fn rss_split_roughly_uniform_for_random_flows() {
         let set = FlowSet::random(4_000, 3);
         for (q, share) in set.rss_split(4).iter().enumerate() {
-            assert!(
-                (0.20..=0.30).contains(share),
-                "queue {q} got share {share}"
-            );
+            assert!((0.20..=0.30).contains(share), "queue {q} got share {share}");
         }
     }
 

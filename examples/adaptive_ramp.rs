@@ -27,7 +27,10 @@ fn main() {
     .with_duration(step.scaled(2 * n_steps as u64))
     .with_series(step / 2);
 
-    println!("Simulating a {:.1}s rate staircase (0 → 14 Mpps → 0)...\n", sc.duration.as_secs_f64());
+    println!(
+        "Simulating a {:.1}s rate staircase (0 → 14 Mpps → 0)...\n",
+        sc.duration.as_secs_f64()
+    );
     let r = run(&sc);
 
     println!("   t[s]   true[Mpps]  est[Mpps]   TS[µs]     rho   CPU[%]");
@@ -49,13 +52,7 @@ fn main() {
         "The estimate ρ̂·µ follows the staircase and TS breathes inversely \
          ({:.1} µs at the valleys, {:.1} µs at the peak): CPU stays \
          proportional to load while the vacation target holds.",
-        r.series
-            .iter()
-            .map(|p| p.ts_us)
-            .fold(f64::MIN, f64::max),
-        r.series
-            .iter()
-            .map(|p| p.ts_us)
-            .fold(f64::MAX, f64::min),
+        r.series.iter().map(|p| p.ts_us).fold(f64::MIN, f64::max),
+        r.series.iter().map(|p| p.ts_us).fold(f64::MAX, f64::min),
     );
 }

@@ -18,7 +18,10 @@ fn main() {
     let horizon = Nanos::from_millis(2_500);
     let line = TrafficSpec::CbrGbps(10.0);
 
-    println!("ferret standalone budget: {:.1} s of single-core work\n", standalone.as_secs_f64());
+    println!(
+        "ferret standalone budget: {:.1} s of single-core work\n",
+        standalone.as_secs_f64()
+    );
 
     let alone = run(&Scenario::idle("ferret-alone")
         .with_duration(horizon)
@@ -38,18 +41,17 @@ fn main() {
             on_net_cores: true,
         }));
 
-    let with_metronome = run(&Scenario::metronome(
-        "metronome+ferret",
-        MetronomeConfig::default(),
-        line,
-    )
-    .with_duration(horizon)
-    .with_ferret(FerretSpec {
-        n_workers: 3,
-        standalone,
-        nice: 19,
-        on_net_cores: true,
-    }));
+    let with_metronome =
+        run(
+            &Scenario::metronome("metronome+ferret", MetronomeConfig::default(), line)
+                .with_duration(horizon)
+                .with_ferret(FerretSpec {
+                    n_workers: 3,
+                    standalone,
+                    nice: 19,
+                    on_net_cores: true,
+                }),
+        );
 
     let fmt = |r: &metronome_repro::runtime::RunReport| {
         format!(

@@ -18,10 +18,7 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let pps: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
+    let pps: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(200_000);
     let seconds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
 
     println!("Metronome quickstart: {pps} pps for {seconds} s, M = 3 threads, 1 queue");

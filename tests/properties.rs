@@ -4,12 +4,12 @@
 
 use metronome_repro::core::model;
 use metronome_repro::dpdk::{Mempool, Ring, RxRingModel};
+use metronome_repro::net::aes::Aes128;
 use metronome_repro::net::checksum::{internet_checksum, verify};
 use metronome_repro::net::headers::{build_udp_frame, l3fwd_rewrite, parse_frame, Mac};
 use metronome_repro::net::lpm::Lpm;
 use metronome_repro::net::toeplitz::Toeplitz;
 use metronome_repro::net::{ExactMatch, FiveTuple};
-use metronome_repro::net::aes::Aes128;
 use metronome_repro::sim::stats::{Histogram, MeanVar};
 use metronome_repro::sim::{EventQueue, Nanos};
 use metronome_repro::traffic::{ArrivalProcess, Cbr};
@@ -17,9 +17,8 @@ use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
-    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>()).prop_map(|(s, sp, d, dp)| {
-        FiveTuple::udp(Ipv4Addr::from(s), sp, Ipv4Addr::from(d), dp)
-    })
+    (any::<u32>(), any::<u16>(), any::<u32>(), any::<u16>())
+        .prop_map(|(s, sp, d, dp)| FiveTuple::udp(Ipv4Addr::from(s), sp, Ipv4Addr::from(d), dp))
 }
 
 proptest! {
@@ -206,7 +205,7 @@ proptest! {
         let mut t = Nanos::ZERO;
         let mut total = 0;
         for c in cuts {
-            t = t + Nanos(c);
+            t += Nanos(c);
             total += many.drain(t, None);
         }
         prop_assert_eq!(one.drain(t, None), total);

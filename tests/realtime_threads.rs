@@ -40,7 +40,9 @@ fn multiqueue_processes_exactly_once() {
         n_queues: 3,
         ..MetronomeConfig::default()
     };
-    let queues: Vec<_> = (0..3).map(|_| Arc::new(ArrayQueue::<u64>::new(8192))).collect();
+    let queues: Vec<_> = (0..3)
+        .map(|_| Arc::new(ArrayQueue::<u64>::new(8192)))
+        .collect();
     let count = Arc::new(AtomicU64::new(0));
     let xor = Arc::new(AtomicU64::new(0));
     let m = {
@@ -65,7 +67,11 @@ fn multiqueue_processes_exactly_once() {
     }
     let stats = m.stop();
     assert_eq!(count.load(Ordering::Relaxed), n, "lost items");
-    assert_eq!(xor.load(Ordering::Relaxed), expected_xor, "duplicated items");
+    assert_eq!(
+        xor.load(Ordering::Relaxed),
+        expected_xor,
+        "duplicated items"
+    );
     assert_eq!(stats.total_processed(), n);
     // All three queues saw traffic.
     for q in 0..3 {
@@ -105,7 +111,7 @@ fn rho_tracks_offered_load_up_and_down() {
     while t0.elapsed() < Duration::from_secs(1) {
         push_all(&queues[0], 0..8);
         batches += 1;
-        if batches % 100 == 0 {
+        if batches.is_multiple_of(100) {
             rho_busy = rho_busy.max(m.rho(0));
             ts_busy = ts_busy.min(m.ts(0));
         }
@@ -118,7 +124,10 @@ fn rho_tracks_offered_load_up_and_down() {
     let ts_idle = m.ts(0);
     m.stop();
 
-    assert!(rho_busy > 0.15, "rho too low under sustained load: {rho_busy}");
+    assert!(
+        rho_busy > 0.15,
+        "rho too low under sustained load: {rho_busy}"
+    );
     assert!(
         rho_idle < rho_busy / 2.0,
         "rho did not decay: busy {rho_busy} vs idle {rho_idle}"
@@ -147,7 +156,9 @@ fn stop_is_clean_under_load() {
         n_queues: 2,
         ..MetronomeConfig::default()
     };
-    let queues: Vec<_> = (0..2).map(|_| Arc::new(ArrayQueue::<u64>::new(1024))).collect();
+    let queues: Vec<_> = (0..2)
+        .map(|_| Arc::new(ArrayQueue::<u64>::new(1024)))
+        .collect();
     let m = Metronome::start(cfg, queues.clone(), |_q, _i| {});
     for q in &queues {
         push_all(q, 0..512);

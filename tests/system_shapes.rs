@@ -21,12 +21,11 @@ fn headline_cpu_proportionality() {
         } else {
             TrafficSpec::CbrGbps(gbps)
         };
-        let r = run(&Scenario::metronome(
-            format!("prop-{gbps}"),
-            MetronomeConfig::default(),
-            traffic,
-        )
-        .with_duration(second()));
+        let r =
+            run(
+                &Scenario::metronome(format!("prop-{gbps}"), MetronomeConfig::default(), traffic)
+                    .with_duration(second()),
+            );
         assert!(r.loss < 1e-3, "{gbps} Gbps lost {}", r.loss);
         // Near the idle floor the trend flattens and can tick up ~1-2pp:
         // at zero traffic every thread is a primary waking at the full
@@ -112,37 +111,44 @@ fn sharing_preserves_line_rate_for_metronome_only() {
     let st = run(&Scenario::static_dpdk("s", 1, TrafficSpec::CbrGbps(10.0))
         .with_duration(Nanos::from_secs(2))
         .with_ferret(ferret(1, 0)));
-    let me = run(&Scenario::metronome(
-        "m",
-        MetronomeConfig::default(),
-        TrafficSpec::CbrGbps(10.0),
-    )
-    .with_duration(Nanos::from_secs(2))
-    .with_ferret(ferret(3, 19)));
-    assert!(st.throughput_mpps < 12.0, "static kept {}", st.throughput_mpps);
-    assert!(me.throughput_mpps > 14.5, "metronome lost rate: {}", me.throughput_mpps);
+    let me = run(
+        &Scenario::metronome("m", MetronomeConfig::default(), TrafficSpec::CbrGbps(10.0))
+            .with_duration(Nanos::from_secs(2))
+            .with_ferret(ferret(3, 19)),
+    );
+    assert!(
+        st.throughput_mpps < 12.0,
+        "static kept {}",
+        st.throughput_mpps
+    );
+    assert!(
+        me.throughput_mpps > 14.5,
+        "metronome lost rate: {}",
+        me.throughput_mpps
+    );
     assert!(me.loss < 0.01);
     let s_slow = st.ferret_slowdown().expect("static ferret finished");
     let m_slow = me.ferret_slowdown().expect("metronome ferret finished");
-    assert!(s_slow > 2.0 && m_slow < 1.8, "slowdowns {s_slow} vs {m_slow}");
+    assert!(
+        s_slow > 2.0 && m_slow < 1.8,
+        "slowdowns {s_slow} vs {m_slow}"
+    );
 }
 
 #[test]
 fn ondemand_governor_trades_cpu_for_power() {
-    let perf = run(&Scenario::metronome(
-        "p",
-        MetronomeConfig::default(),
-        TrafficSpec::CbrGbps(1.0),
-    )
-    .with_duration(second())
-    .with_governor(Governor::Performance));
-    let onde = run(&Scenario::metronome(
-        "o",
-        MetronomeConfig::default(),
-        TrafficSpec::CbrGbps(1.0),
-    )
-    .with_duration(second())
-    .with_governor(Governor::Ondemand));
+    let perf =
+        run(
+            &Scenario::metronome("p", MetronomeConfig::default(), TrafficSpec::CbrGbps(1.0))
+                .with_duration(second())
+                .with_governor(Governor::Performance),
+        );
+    let onde =
+        run(
+            &Scenario::metronome("o", MetronomeConfig::default(), TrafficSpec::CbrGbps(1.0))
+                .with_duration(second())
+                .with_governor(Governor::Ondemand),
+        );
     assert!(onde.cpu_total_pct > perf.cpu_total_pct);
     assert!(onde.power_watts < perf.power_watts);
     assert!(onde.loss < 1e-3);
@@ -207,9 +213,17 @@ fn overload_saturates_at_mu_without_collapse() {
     )
     .with_app(metronome_repro::runtime::AppProfile::ipsec())
     .with_duration(second()));
-    assert!((5.0..6.2).contains(&r.throughput_mpps), "{}", r.throughput_mpps);
+    assert!(
+        (5.0..6.2).contains(&r.throughput_mpps),
+        "{}",
+        r.throughput_mpps
+    );
     // One thread pinned on the queue: CPU ≈ one core.
-    assert!((90.0..115.0).contains(&r.cpu_total_pct), "{}", r.cpu_total_pct);
+    assert!(
+        (90.0..115.0).contains(&r.cpu_total_pct),
+        "{}",
+        r.cpu_total_pct
+    );
 }
 
 #[test]

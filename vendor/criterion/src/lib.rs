@@ -1,0 +1,228 @@
+//! Minimal offline shim for [`criterion`](https://docs.rs/criterion).
+//!
+//! Implements the subset the bench targets use — `Criterion` with the
+//! builder knobs, `bench_function`/`Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! median-of-batches timer instead of criterion's full statistical
+//! machinery. Good enough to catch order-of-magnitude regressions and to
+//! keep `cargo bench` runnable offline; swap in the real crate for serious
+//! measurement.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver, API-compatible with criterion's builder for the knobs
+/// this workspace sets.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how long to warm up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of timing samples taken per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (report-flush hook in the real crate; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time the routine: warm up, then take `sample_size` batched samples
+    /// within the measurement budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Batch so each sample is long enough to time reliably (~≥100 µs),
+        // while the whole run respects the measurement budget.
+        let budget = self.measurement.as_secs_f64();
+        let total_iters = (budget / per_iter.max(1e-9)) as u64;
+        let batch = (total_iters / self.sample_size as u64)
+            .max((100e-6 / per_iter.max(1e-9)) as u64)
+            .clamp(1, u64::MAX);
+        let deadline = Instant::now() + self.measurement;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("sample NaN"));
+        let median = s[s.len() / 2];
+        let lo = s[0];
+        let hi = s[s.len() - 1];
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the struct form with an explicit `config = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut ran = false;
+        c.bench_function("shim/self_test", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 1));
+        });
+        assert!(ran);
+    }
+}

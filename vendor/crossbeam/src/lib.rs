@@ -1,0 +1,148 @@
+//! Minimal offline shim for the [`crossbeam`](https://docs.rs/crossbeam)
+//! crate: only [`queue::ArrayQueue`], the bounded MPMC queue the real-thread
+//! Metronome runtime drains.
+//!
+//! The real crate's queue is a lock-free ring; this shim keeps the exact
+//! API and semantics (bounded, multi-producer multi-consumer, `push`
+//! returns the rejected value when full) over a mutexed `VecDeque` so the
+//! workspace stays `unsafe`-free and offline-buildable. Throughput is
+//! lower, but correctness — which the protocol tests exercise hard — is
+//! identical, and swapping in the real dependency needs no source changes.
+
+#![forbid(unsafe_code)]
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::{Mutex, PoisonError};
+
+    /// A bounded multi-producer multi-consumer queue.
+    #[derive(Debug)]
+    pub struct ArrayQueue<T> {
+        cap: usize,
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Create a queue holding at most `cap` items.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `cap` is zero (as the real `ArrayQueue` does).
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            ArrayQueue {
+                cap,
+                inner: Mutex::new(VecDeque::with_capacity(cap)),
+            }
+        }
+
+        fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Attempt to enqueue `value`; returns it back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.guard();
+            if q.len() >= self.cap {
+                Err(value)
+            } else {
+                q.push_back(value);
+                Ok(())
+            }
+        }
+
+        /// Dequeue the oldest item, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.guard().pop_front()
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.guard().len()
+        }
+
+        /// True if nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.guard().is_empty()
+        }
+
+        /// True if the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.cap
+        }
+
+        /// The fixed capacity.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn bounded_fifo() {
+            let q = ArrayQueue::new(2);
+            assert!(q.push(1).is_ok());
+            assert!(q.push(2).is_ok());
+            assert_eq!(q.push(3), Err(3));
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn mpmc_conserves_items() {
+            let q = Arc::new(ArrayQueue::new(64));
+            let n_per_producer = 10_000u64;
+            let consumed = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let sum = Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let mut handles = Vec::new();
+            for p in 0..2u64 {
+                let q = Arc::clone(&q);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..n_per_producer {
+                        let mut v = p * n_per_producer + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                }));
+            }
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                let sum = Arc::clone(&sum);
+                handles.push(std::thread::spawn(move || {
+                    use std::sync::atomic::Ordering;
+                    while consumed.load(Ordering::Relaxed) < 2 * n_per_producer {
+                        if let Some(v) = q.pop() {
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            let total = 2 * n_per_producer;
+            assert_eq!(consumed.load(std::sync::atomic::Ordering::Relaxed), total);
+            assert_eq!(
+                sum.load(std::sync::atomic::Ordering::Relaxed),
+                total * (total - 1) / 2
+            );
+        }
+    }
+}

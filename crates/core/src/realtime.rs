@@ -82,6 +82,9 @@ pub struct RealtimeStats {
     pub rho: Vec<f64>,
     /// Final TS per queue.
     pub ts: Vec<Nanos>,
+    /// Snapshot of the adaptive controller after all workers joined:
+    /// per-queue try accounting and renewal-cycle sums for reports.
+    pub controller: Option<AdaptiveController>,
 }
 
 impl RealtimeStats {
@@ -363,23 +366,26 @@ impl<T: Send + 'static> Metronome<T> {
     /// Stop all workers and collect final statistics.
     pub fn stop(self) -> RealtimeStats {
         self.stop.store(true, Ordering::Relaxed);
-        let mut stats = RealtimeStats {
-            processed: (0..self.cfg.n_queues)
-                .map(|q| self.shared.processed[q].load(Ordering::Relaxed))
-                .collect(),
-            ..Default::default()
-        };
+        let mut stats = RealtimeStats::default();
         for h in self.handles {
             let policy = h.join().expect("worker panicked");
             stats.wakes.push(policy.wakes);
             stats.races_won.push(policy.races_won);
             stats.races_lost.push(policy.races_lost);
         }
+        // Counters are read only after every worker joined: a worker that
+        // was mid-turn when the flag rose finishes its drain first, and
+        // those packets must be on the books (the realtime runner asserts
+        // offered = processed + dropped against these).
+        stats.processed = (0..self.cfg.n_queues)
+            .map(|q| self.shared.processed[q].load(Ordering::Relaxed))
+            .collect();
         let ctrl = self.shared.controller.lock();
         for q in 0..self.cfg.n_queues {
             stats.rho.push(ctrl.rho(q));
             stats.ts.push(ctrl.ts(q));
         }
+        stats.controller = Some(ctrl.clone());
         stats
     }
 }
@@ -514,6 +520,42 @@ mod tests {
     }
 
     #[test]
+    fn stop_counters_include_the_final_drain() {
+        // Stop while workers are mid-turn: a worker only observes the flag
+        // at its next sleep boundary, so it finishes draining first — and
+        // stop() must report those packets. With a slow processor the
+        // final drain is long, which made the old snapshot-before-join
+        // bookkeeping visibly undercount.
+        let cfg = MetronomeConfig {
+            m_threads: 2,
+            ..MetronomeConfig::default()
+        };
+        let queues = vec![Arc::new(ArrayQueue::<u64>::new(1024))];
+        let m = Metronome::start(cfg, queues.clone(), |_q, _i: u64| {
+            let t0 = Instant::now();
+            while t0.elapsed() < Duration::from_micros(50) {
+                std::hint::spin_loop();
+            }
+        });
+        let n = 512u64;
+        for i in 0..n {
+            let _ = queues[0].push(i);
+        }
+        // Give a worker time to win the race and get deep into the burst.
+        std::thread::sleep(Duration::from_millis(5));
+        let stats = m.stop();
+        let mut leftover = 0u64;
+        while queues[0].pop().is_some() {
+            leftover += 1;
+        }
+        assert_eq!(
+            stats.total_processed() + leftover,
+            n,
+            "stop() lost the packets processed during the final drain"
+        );
+    }
+
+    #[test]
     fn stats_expose_race_outcomes() {
         let cfg = MetronomeConfig::default();
         let queues = vec![Arc::new(ArrayQueue::<u64>::new(64))];
@@ -524,6 +566,8 @@ mod tests {
         assert!(won > 0, "nobody ever acquired the queue");
         assert_eq!(stats.rho.len(), 1);
         assert_eq!(stats.ts.len(), 1);
+        let ctrl = stats.controller.expect("controller snapshot");
+        assert_eq!(ctrl.queue(0).total_tries, won);
     }
 
     #[test]

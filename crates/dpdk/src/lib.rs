@@ -19,6 +19,10 @@
 //!   trade-off the paper measures when lowering the batch from 32 to 1.
 //! * [`random::RteRand`] — the lock-free shared PRNG backup threads use to
 //!   pick their next queue (paper Appendix II).
+//! * [`shared_ring`] — the concurrent Rx side for the real-thread
+//!   pipeline: [`shared_ring::SharedRing`] (bounded MPMC mbuf ring with
+//!   tail-drop accounting) and [`shared_ring::RssPort`] (`N` rings behind
+//!   one Toeplitz hasher).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +33,7 @@ pub mod mempool;
 pub mod nic;
 pub mod random;
 pub mod ring;
+pub mod shared_ring;
 
 pub use ethdev::TxBuffer;
 pub use mbuf::Mbuf;
@@ -36,3 +41,4 @@ pub use mempool::Mempool;
 pub use nic::{NicProfile, Port};
 pub use random::RteRand;
 pub use ring::{Ring, RxRingModel};
+pub use shared_ring::{RssPort, SharedRing};

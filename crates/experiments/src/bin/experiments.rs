@@ -1,10 +1,14 @@
 //! Command-line harness regenerating the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--full] [--seed N] [--out DIR] [all | fig1 | fig4 | table1 |
-//!              fig5 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12 |
-//!              table2 | fig13 | fig14 | fig15 | table3 | fig16]...
+//! experiments [--full] [--realtime] [--seed N] [--out DIR]
+//!             [all | fig1 | fig4 | table1 | fig5 | fig6 | fig7 | fig8 |
+//!              fig9 | fig10 | fig11 | fig12 | table2 | fig13 | fig14 |
+//!              fig15 | table3 | fig16]...
 //! ```
+//!
+//! `--realtime` switches the Metronome points of fig15/fig16 to the
+//! real-thread pipeline (×1000-scaled rates; see `ExpConfig::realtime`).
 //!
 //! Prints paper-style tables to stdout and writes CSV series under the
 //! output directory (default `results/`).
@@ -21,6 +25,7 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => cfg.full = true,
+            "--realtime" => cfg.realtime = true,
             "--seed" => {
                 cfg.seed = args
                     .next()
@@ -32,7 +37,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--full] [--seed N] [--out DIR] [all | {}]",
+                    "usage: experiments [--full] [--realtime] [--seed N] [--out DIR] [all | {}]",
                     ALL_EXPERIMENTS.join(" | ")
                 );
                 return;

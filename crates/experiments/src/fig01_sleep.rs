@@ -108,6 +108,7 @@ mod tests {
         let out = run(&ExpConfig {
             full: false,
             seed: 7,
+            ..ExpConfig::default()
         });
         assert_eq!(out.table.lines().count(), 2 + 9);
         assert_eq!(out.csvs.len(), 1);

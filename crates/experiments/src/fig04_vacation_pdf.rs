@@ -139,6 +139,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 3,
+            ..ExpConfig::default()
         };
         let v2 = vacation_samples(2, &cfg);
         let v5 = vacation_samples(5, &cfg);

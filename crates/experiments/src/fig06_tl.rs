@@ -52,6 +52,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 21,
+            ..ExpConfig::default()
         };
         let short = run_tl(100, &cfg);
         let long = run_tl(700, &cfg);

@@ -50,6 +50,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 31,
+            ..ExpConfig::default()
         };
         let m2 = run_m(2, &cfg);
         let m6 = run_m(6, &cfg);

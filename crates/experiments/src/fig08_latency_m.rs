@@ -69,6 +69,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 41,
+            ..ExpConfig::default()
         };
         let m2 = run_m(2, 10.0, &cfg);
         let m6 = run_m(6, 10.0, &cfg);

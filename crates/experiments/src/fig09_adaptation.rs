@@ -76,6 +76,7 @@ mod tests {
         let r = run_ramp(&ExpConfig {
             full: false,
             seed: 51,
+            ..ExpConfig::default()
         });
         assert!(r.series.len() > 20);
         // Peak sample: estimate within 25% of true rate, TS compressed.

@@ -105,6 +105,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 61,
+            ..ExpConfig::default()
         };
         let st = run_cell(System::Static, 10.0, &cfg);
         let me = run_cell(System::Metronome, 10.0, &cfg);
@@ -122,6 +123,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 62,
+            ..ExpConfig::default()
         };
         let st = run_cell(System::Static, 10.0, &cfg).latency_us.unwrap();
         let me = run_cell(System::Metronome, 10.0, &cfg).latency_us.unwrap();

@@ -82,6 +82,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 71,
+            ..ExpConfig::default()
         };
         let st = run_cell(false, Governor::Ondemand, 0.0, &cfg);
         let me = run_cell(true, Governor::Ondemand, 0.0, &cfg);
@@ -100,6 +101,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 72,
+            ..ExpConfig::default()
         };
         let perf = run_cell(true, Governor::Performance, 1.0, &cfg);
         let onde = run_cell(true, Governor::Ondemand, 1.0, &cfg);

@@ -193,6 +193,7 @@ mod tests {
         let r = run_all(&ExpConfig {
             full: false,
             seed: 81,
+            ..ExpConfig::default()
         });
         // Table II: static halves, Metronome keeps line rate.
         assert!(r.static_alone.throughput_mpps > 14.5);

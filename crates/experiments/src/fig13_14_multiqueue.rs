@@ -108,6 +108,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 91,
+            ..ExpConfig::default()
         };
         let n2 = run_metronome(2, 4, Governor::Performance, &cfg);
         let n4 = run_metronome(4, 4, Governor::Performance, &cfg);
@@ -126,6 +127,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 92,
+            ..ExpConfig::default()
         };
         let st = run_static(4, Governor::Performance, &cfg);
         let me = run_metronome(4, 5, Governor::Performance, &cfg);
@@ -147,6 +149,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 93,
+            ..ExpConfig::default()
         };
         let m2 = run_metronome(2, 2, Governor::Performance, &cfg);
         let m8 = run_metronome(2, 8, Governor::Performance, &cfg);

@@ -9,10 +9,31 @@
 use crate::{render_csv, render_table, ExpConfig, ExpOutput};
 use metronome_core::MetronomeConfig;
 use metronome_dpdk::NicProfile;
-use metronome_runtime::{run as run_scenario, RunReport, Scenario, TrafficSpec};
+use metronome_runtime::{run as run_scenario, run_realtime, RunReport, Scenario, TrafficSpec};
 
 /// One rate point for either system.
+///
+/// With [`ExpConfig::realtime`] set, Metronome points execute on the
+/// realtime backend at a ×1000-scaled rate (kpps instead of Mpps — see
+/// the flag's docs); the static baseline stays simulation-only.
 pub fn run_point(metronome: bool, mpps: f64, cfg: &ExpConfig) -> RunReport {
+    if cfg.realtime && metronome {
+        let traffic = if mpps == 0.0 {
+            TrafficSpec::Silent
+        } else {
+            TrafficSpec::CbrPps(mpps * 1e3)
+        };
+        let sc = Scenario::metronome(
+            format!("fig15-met-rt-{mpps}kpps"),
+            MetronomeConfig::multiqueue(5, 4),
+            traffic,
+        )
+        .with_nic(NicProfile::XL710)
+        .with_latency()
+        .with_duration(cfg.realtime_dur())
+        .with_seed(cfg.seed ^ (mpps as u64) << 2);
+        return run_realtime(&sc);
+    }
     let traffic = if mpps == 0.0 {
         TrafficSpec::Silent
     } else {
@@ -75,6 +96,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 101,
+            ..ExpConfig::default()
         };
         let st = run_point(false, 37.0, &cfg);
         let me = run_point(true, 37.0, &cfg);
@@ -93,6 +115,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 102,
+            ..ExpConfig::default()
         };
         let hi = run_point(true, 37.0, &cfg);
         let lo = run_point(true, 10.0, &cfg);

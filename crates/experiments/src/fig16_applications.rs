@@ -9,10 +9,28 @@
 
 use crate::{render_csv, render_table, ExpConfig, ExpOutput};
 use metronome_core::MetronomeConfig;
-use metronome_runtime::{run as run_scenario, AppProfile, RunReport, Scenario, TrafficSpec};
+use metronome_runtime::{
+    run as run_scenario, run_realtime, AppProfile, RunReport, Scenario, TrafficSpec,
+};
 
 /// One rate point for one app and system.
+///
+/// With [`ExpConfig::realtime`] set, Metronome points run the *functional*
+/// application (real ESP encapsulation, real flow tables) on real threads
+/// at a ×1000-scaled rate; the static baseline stays simulation-only.
 pub fn run_point(app: AppProfile, metronome: bool, mpps: f64, cfg: &ExpConfig) -> RunReport {
+    if cfg.realtime && metronome {
+        let sc = Scenario::metronome(
+            format!("fig16-{}-met-rt-{mpps}kpps", app.name),
+            MetronomeConfig::default(),
+            TrafficSpec::CbrPps(mpps * 1e3),
+        )
+        .with_app(app)
+        .with_latency()
+        .with_duration(cfg.realtime_dur())
+        .with_seed(cfg.seed ^ (mpps * 8.0) as u64);
+        return run_realtime(&sc);
+    }
     let traffic = TrafficSpec::CbrPps(mpps * 1e6);
     let sc = if metronome {
         Scenario::metronome(
@@ -78,6 +96,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 121,
+            ..ExpConfig::default()
         };
         let st = run_point(AppProfile::ipsec(), false, 5.61, &cfg);
         let me = run_point(AppProfile::ipsec(), true, 5.61, &cfg);
@@ -98,6 +117,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 122,
+            ..ExpConfig::default()
         };
         let st = run_point(AppProfile::ipsec(), false, 0.5, &cfg);
         let me = run_point(AppProfile::ipsec(), true, 0.5, &cfg);
@@ -110,6 +130,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 123,
+            ..ExpConfig::default()
         };
         // "a 50% gain even under line rate traffic"
         let me_line = run_point(AppProfile::flowatcher(), true, 14.88, &cfg);

@@ -38,6 +38,13 @@ pub struct ExpConfig {
     pub full: bool,
     /// Master seed.
     pub seed: u64,
+    /// Run Metronome points on the realtime backend (`--realtime`):
+    /// real threads, wall-clock paced load generation, functional packet
+    /// processors. Rates are scaled down ×1000 (kpps instead of Mpps) —
+    /// an in-process generator cannot pace tens of Mpps — so realtime
+    /// rows validate the pipeline and relative shapes, not absolute
+    /// line-rate numbers. Experiments without a realtime path ignore it.
+    pub realtime: bool,
 }
 
 impl Default for ExpConfig {
@@ -45,6 +52,7 @@ impl Default for ExpConfig {
         ExpConfig {
             full: false,
             seed: 0x4E72_0520,
+            realtime: false,
         }
     }
 }
@@ -53,6 +61,11 @@ impl ExpConfig {
     /// Pick a duration depending on fidelity.
     pub fn dur(&self, quick_s: f64, full_s: f64) -> Nanos {
         Nanos::from_secs_f64(if self.full { full_s } else { quick_s })
+    }
+
+    /// Duration for realtime runs (wall-clock seconds, so much shorter).
+    pub fn realtime_dur(&self) -> Nanos {
+        Nanos::from_secs_f64(if self.full { 2.0 } else { 0.25 })
     }
 }
 

@@ -76,6 +76,7 @@ mod tests {
         let cfg = ExpConfig {
             full: false,
             seed: 11,
+            ..ExpConfig::default()
         };
         let low = run_target(10, &cfg);
         let high = run_target(20, &cfg);

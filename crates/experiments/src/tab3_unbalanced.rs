@@ -80,6 +80,7 @@ mod tests {
         let r = run_unbalanced(&ExpConfig {
             full: false,
             seed: 111,
+            ..ExpConfig::default()
         });
         assert_eq!(r.queues.len(), 3);
         let hot = r

@@ -11,7 +11,12 @@
 //!
 //! * [`scenario::Scenario`] — describe an experiment (system, app,
 //!   traffic, governor, ferret, knobs);
-//! * [`runner::run`] — execute it deterministically;
+//! * [`runner::run`] — execute it deterministically in the
+//!   discrete-event simulator;
+//! * [`realtime_runner::run_realtime`] — execute the same scenario on
+//!   real threads: wall-clock paced load generation, Toeplitz RSS over
+//!   bounded mbuf rings, real Metronome workers running functional
+//!   packet processors, per-packet latency histograms;
 //! * [`report::RunReport`] — everything the paper's tables/figures plot:
 //!   throughput, loss (‰), CPU %, package watts, latency boxplots,
 //!   vacation/busy periods, `NV`, ρ, busy tries, ferret slowdowns,
@@ -26,6 +31,7 @@
 pub mod apps_profile;
 pub mod behaviors;
 pub mod calib;
+pub mod realtime_runner;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -33,6 +39,7 @@ pub mod world;
 
 pub use apps_profile::AppProfile;
 pub use behaviors::{MetronomeWorker, WorldBackend};
+pub use realtime_runner::{run_realtime, run_realtime_with};
 pub use report::{QueueReport, RampPoint, RunReport};
 pub use runner::run;
 pub use scenario::{FerretSpec, Scenario, SystemKind, TrafficSpec};

@@ -1,0 +1,276 @@
+//! Realtime scenario execution: `run(Scenario) -> RunReport` on real
+//! `std::thread`s.
+//!
+//! The same [`Scenario`] the discrete-event simulator executes runs here
+//! against the machine instead of a model, stage for stage:
+//!
+//! ```text
+//! ArrivalProcess ──wall-clock──▶ frame builder ──Toeplitz RSS──▶ mbuf rings
+//!   (PacedArrivals)               (FlowSet templates)             (RssPort)
+//!        ──▶ Metronome workers ──▶ PacketProcessor apps ──▶ latency Histogram
+//!              (Listing 2 on real threads)   (l3fwd / ipsec / flowatcher)
+//! ```
+//!
+//! * **Load generation** — the scenario's [`TrafficSpec`] builds one
+//!   aggregate [`metronome_traffic::ArrivalProcess`], replayed in real
+//!   time by [`PacedArrivals`] (MoonGen's role). Each arrival materializes
+//!   a real Ethernet/IPv4/UDP frame from a routable [`FlowSet`] template,
+//!   stamped with its scheduled arrival time.
+//! * **RSS dispatch** — the frame's flow steers it through a real Toeplitz
+//!   hash onto one of `N` bounded mbuf rings ([`RssPort`]); a full ring
+//!   tail-drops with per-queue accounting, exactly like NIC descriptors.
+//! * **Retrieval** — `cfg.m_threads` real Metronome workers
+//!   ([`Metronome`]) race trylocks and drain bursts, running the same
+//!   `MetronomeEngine` as the simulation.
+//! * **Processing & measurement** — each frame passes through a functional
+//!   [`PacketProcessor`] (per-queue instance, so concurrent queues never
+//!   contend), and its scheduled-arrival → completion latency is recorded
+//!   in a per-queue log-linear [`Histogram`] (P4TG-style data-plane
+//!   histograms rather than sampled reservoirs: recording is O(1), so
+//!   every packet is measured).
+//!
+//! The result is assembled into the same [`RunReport`] the simulator
+//! emits (via [`RunReport::from_counts`]), with the fields a wall-clock
+//! run cannot observe documented per field below. Packet conservation is
+//! exact and asserted: `offered = forwarded + dropped`, where `dropped`
+//! counts ring tail-drops plus any frames stranded in rings at shutdown
+//! (normally zero — the runner drains before stopping).
+
+use crate::report::{QueueReport, RunReport};
+use crate::scenario::{Scenario, SystemKind};
+use metronome_apps::processor::PacketProcessor;
+use metronome_apps::{FloWatcher, IpsecGateway, L3Fwd};
+use metronome_core::realtime::Metronome;
+use metronome_core::MetronomeConfig;
+use metronome_dpdk::{Mbuf, RssPort};
+use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
+use metronome_sim::stats::Histogram;
+use metronome_traffic::{FlowSet, PacedArrivals, WallClock};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Flows in the generated population (enough for RSS to spread evenly).
+const FLOWS_PER_RUN: usize = 256;
+
+/// Destination subnets, matching `L3Fwd::with_sample_routes(4)`.
+const L3FWD_SUBNETS: usize = 4;
+
+/// How long after the traffic horizon the runner waits for workers to
+/// drain the rings before declaring leftovers stranded.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
+
+/// Builds the functional packet processor for one queue. Factories run
+/// once per queue at startup; each queue owns its instance, so processor
+/// state (route tables, flow tables, SA counters) is per-queue like DPDK's
+/// per-lcore state.
+pub type ProcessorFactory<'a> = dyn Fn(usize) -> Box<dyn PacketProcessor> + 'a;
+
+/// The functional processor wired to an app profile name (the realtime
+/// counterpart of the cost-only [`crate::apps_profile::AppProfile`]).
+///
+/// # Panics
+/// If the profile has no functional implementation.
+pub fn default_processor(app_name: &str) -> Box<dyn PacketProcessor> {
+    match app_name {
+        "l3fwd-lpm" => Box::new(L3Fwd::with_sample_routes(L3FWD_SUBNETS)),
+        "ipsec-secgw-out" => Box::new(IpsecGateway::outbound()),
+        "flowatcher" => Box::new(FloWatcher::new(65_536)),
+        other => panic!("no functional processor wired for app profile '{other}'"),
+    }
+}
+
+/// Per-queue application state: the processor plus its latency histogram,
+/// behind one mutex. Uncontended by construction — only the worker
+/// holding the queue's trylock processes that queue's packets.
+struct QueueApp {
+    proc: Box<dyn PacketProcessor>,
+    latency_ns: Histogram,
+}
+
+/// Execute a Metronome scenario end-to-end on real threads, with the
+/// app profile's default functional processor.
+///
+/// # Panics
+/// If the scenario's system is not [`SystemKind::Metronome`] (the
+/// baselines are simulation-only) or its app has no functional processor.
+pub fn run_realtime(sc: &Scenario) -> RunReport {
+    run_realtime_with(sc, &|_q| default_processor(sc.app.name))
+}
+
+/// [`run_realtime`] with a custom per-queue processor factory (tests use
+/// this to inject instrumented or deliberately slow applications).
+pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunReport {
+    let cfg: MetronomeConfig = match &sc.system {
+        SystemKind::Metronome(cfg) => cfg.clone(),
+        other => panic!("the realtime runner executes Metronome scenarios only (got {other:?})"),
+    };
+    assert_eq!(cfg.n_queues, sc.n_queues, "scenario/config queue mismatch");
+
+    // ---- receive side: RSS port over bounded mbuf rings ------------------
+    let port = Arc::new(RssPort::new(sc.n_queues, sc.ring_size));
+
+    // ---- frame templates: routable flows, RSS resolved once per flow -----
+    let flows = FlowSet::routable(FLOWS_PER_RUN, L3FWD_SUBNETS, sc.seed);
+    let templates: Vec<(bytes::BytesMut, usize, u32)> = flows
+        .flows()
+        .iter()
+        .map(|t| {
+            let frame = build_udp_frame(Mac::local(1), Mac::local(2), t, &[], MIN_FRAME_NO_FCS);
+            let input = t.rss_input();
+            (frame, port.queue_for(&input), port.rss_hash(&input))
+        })
+        .collect();
+
+    // ---- per-queue functional applications -------------------------------
+    let apps: Arc<Vec<Mutex<QueueApp>>> = Arc::new(
+        (0..sc.n_queues)
+            .map(|q| {
+                Mutex::new(QueueApp {
+                    proc: make_app(q),
+                    latency_ns: Histogram::latency(),
+                })
+            })
+            .collect(),
+    );
+
+    // ---- workers: the Listing 2 protocol on real threads -----------------
+    // The latency clock is anchored only after the workers are up (the
+    // cell is filled below): anchoring before the spawn would stamp the
+    // arrivals falling due during thread creation with scheduled times
+    // milliseconds in the past and inflate the latency tail. No packet
+    // can be processed before the cell is set — generation starts after.
+    let clock_cell: Arc<std::sync::OnceLock<WallClock>> = Arc::new(std::sync::OnceLock::new());
+    let measure_latency = sc.latency_stride > 0;
+    let run_start = Instant::now();
+    let metronome = Metronome::start(cfg.clone(), port.worker_queues(), {
+        let apps = Arc::clone(&apps);
+        let clock_cell = Arc::clone(&clock_cell);
+        move |q, mut mbuf: Mbuf| {
+            let mut slot = apps[q].lock();
+            let _ = slot.proc.process(&mut mbuf);
+            if measure_latency {
+                if let Some(clock) = clock_cell.get() {
+                    let lat = clock.now().saturating_sub(mbuf.arrival);
+                    slot.latency_ns.record(lat.as_nanos());
+                }
+            }
+        }
+    });
+
+    // ---- traffic: one aggregate arrival process, wall-clock paced --------
+    let mut arrivals = sc.traffic.build(1, &sc.nic, sc.seed);
+    let mut paced = PacedArrivals::new(arrivals.remove(0), sc.duration);
+    clock_cell
+        .set(paced.clock())
+        .expect("latency clock anchored twice");
+
+    // ---- load generation (inline, like the sim's event loop) -------------
+    let mut seq = 0usize;
+    while let Some(batch) = paced.next_batch() {
+        for &t in batch {
+            let (frame, q, hash) = &templates[seq % templates.len()];
+            seq += 1;
+            let mut mbuf = Mbuf::from_bytes(frame.clone());
+            mbuf.queue = *q as u16;
+            mbuf.rss_hash = *hash;
+            mbuf.arrival = t;
+            port.offer(*q, mbuf);
+        }
+    }
+
+    // ---- run out the horizon ----------------------------------------------
+    // A source can dry up before the scenario ends (Silent traffic, an
+    // OnOff off-tail): the workers must still run their idle sleep/wake
+    // loop for the full configured duration, or idle-cost measurements
+    // (wakes, busy fraction) would cover a spawn/teardown window instead
+    // of the scenario — the sim runs the same horizon unconditionally.
+    let elapsed = paced.clock().now();
+    if elapsed < sc.duration {
+        std::thread::sleep(Duration::from_nanos((sc.duration - elapsed).as_nanos()));
+    }
+
+    // ---- drain and stop ---------------------------------------------------
+    // Generation is over, so `accepted` is final; wait for the workers to
+    // catch up before stopping, bounded by a grace period.
+    let deadline = Instant::now() + DRAIN_GRACE;
+    loop {
+        let processed: u64 = (0..sc.n_queues).map(|q| metronome.processed(q)).sum();
+        if processed >= port.total_accepted() || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stats = metronome.stop();
+    // Busy time accrues from worker start to join — including the drain
+    // tail past the traffic horizon — so CPU% must be normalized by the
+    // same span, not by the scenario duration.
+    let actual_wall = run_start.elapsed().as_secs_f64();
+    // Anything still queued was accepted but never retrieved (only possible
+    // if the grace period expired): count it as dropped so conservation
+    // stays exact.
+    let stranded: Vec<u64> = port
+        .worker_queues()
+        .iter()
+        .map(|q| {
+            let mut n = 0u64;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+        .collect();
+
+    let ctrl = stats
+        .controller
+        .as_ref()
+        .expect("Metronome::stop snapshots the controller");
+    let forwarded = stats.total_processed();
+    let dropped = port.total_dropped() + stranded.iter().sum::<u64>();
+    let offered = port.total_offered();
+    assert_eq!(
+        offered,
+        forwarded + dropped,
+        "packet conservation violated in the realtime pipeline"
+    );
+
+    // ---- report: same columns as the simulator ----------------------------
+    let mut report =
+        RunReport::from_counts(sc.name.clone(), sc.duration, offered, forwarded, dropped);
+    report.queues = (0..sc.n_queues)
+        .map(|q| {
+            let st = ctrl.queue(q);
+            QueueReport {
+                mean_vacation_us: st.mean_vacation().map_or(0.0, |v| v.as_micros_f64()),
+                mean_busy_us: st.mean_busy().map_or(0.0, |b| b.as_micros_f64()),
+                // NV (packets found queued at acquire) is not instrumented
+                // on the hot path; the sim reports it.
+                nv: 0.0,
+                rho: ctrl.rho(q),
+                total_tries: st.total_tries,
+                busy_tries: st.busy_tries,
+                busy_try_fraction: st.busy_try_fraction(),
+                drained: stats.processed[q],
+                dropped: port.rings()[q].dropped() + stranded[q],
+            }
+        })
+        .collect();
+    // CPU: the measured busy-period fraction of the run. This is a lower
+    // bound (wake path and trylock races are excluded); real deployments
+    // would read /proc — the sim charges those costs from calibration.
+    report.cpu_total_pct = (0..sc.n_queues)
+        .map(|q| ctrl.queue(q).busy_sum.as_secs_f64())
+        .sum::<f64>()
+        / actual_wall.max(f64::MIN_POSITIVE)
+        * 100.0;
+    report.busy_try_fraction = ctrl.busy_try_fraction();
+    report.total_wakes = stats.wakes.iter().sum();
+    if measure_latency {
+        let mut merged = Histogram::latency();
+        for app in apps.iter() {
+            merged.merge(&app.lock().latency_ns);
+        }
+        report.latency_us = merged.boxplot_scaled(1e-3);
+    }
+    report
+}

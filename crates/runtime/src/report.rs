@@ -86,6 +86,49 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Assemble the backend-independent core of a report from the raw
+    /// packet counts: derived throughput and loss are computed here, every
+    /// backend-specific field starts empty. Both the discrete-event runner
+    /// and the realtime runner build their reports through this, so the
+    /// two backends' columns stay derivation-compatible by construction.
+    pub fn from_counts(
+        name: impl Into<String>,
+        duration: Nanos,
+        offered: u64,
+        forwarded: u64,
+        dropped: u64,
+    ) -> RunReport {
+        let wall = duration.as_secs_f64();
+        RunReport {
+            name: name.into(),
+            duration,
+            offered,
+            forwarded,
+            dropped,
+            throughput_mpps: if wall > 0.0 {
+                forwarded as f64 / wall / 1e6
+            } else {
+                0.0
+            },
+            loss: if offered > 0 {
+                dropped as f64 / offered as f64
+            } else {
+                0.0
+            },
+            cpu_total_pct: 0.0,
+            cpu_per_thread_pct: Vec::new(),
+            power_watts: 0.0,
+            latency_us: None,
+            queues: Vec::new(),
+            busy_try_fraction: 0.0,
+            total_wakes: 0,
+            ferret_completion: None,
+            ferret_standalone: None,
+            series: Vec::new(),
+            vacation_samples_us: Vec::new(),
+        }
+    }
+
     /// Loss in per-mille, the unit Table I uses.
     pub fn loss_permille(&self) -> f64 {
         self.loss * 1000.0

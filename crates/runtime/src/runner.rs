@@ -152,30 +152,28 @@ pub fn run(sc: &Scenario) -> RunReport {
         })
         .collect();
 
-    let forwarded = world.total_drained();
     let ferret_completion = sc.ferret.as_ref().and_then(|f| {
         (world.ferret_done.len() == f.n_workers)
             .then(|| world.ferret_done.iter().map(|c| c.at).max().unwrap())
     });
 
-    RunReport {
-        name: sc.name.clone(),
-        duration: sc.duration,
-        offered: world.total_offered(),
-        forwarded,
-        dropped: world.total_dropped(),
-        throughput_mpps: forwarded as f64 / wall / 1e6,
-        loss: world.loss_fraction(),
-        cpu_total_pct: cpu_per_thread.iter().sum(),
-        cpu_per_thread_pct: cpu_per_thread,
-        power_watts: os.package_watts(sc.duration),
-        latency_us: world.latency_us.boxplot(),
-        queues,
-        busy_try_fraction: world.controller.busy_try_fraction(),
-        total_wakes: net_tids.iter().map(|&tid| os.thread_wakeups(tid)).sum(),
-        ferret_completion,
-        ferret_standalone,
-        series,
-        vacation_samples_us: std::mem::take(&mut world.vacation_samples_us),
-    }
+    let mut report = RunReport::from_counts(
+        sc.name.clone(),
+        sc.duration,
+        world.total_offered(),
+        world.total_drained(),
+        world.total_dropped(),
+    );
+    report.cpu_total_pct = cpu_per_thread.iter().sum();
+    report.cpu_per_thread_pct = cpu_per_thread;
+    report.power_watts = os.package_watts(sc.duration);
+    report.latency_us = world.latency_us.boxplot();
+    report.queues = queues;
+    report.busy_try_fraction = world.controller.busy_try_fraction();
+    report.total_wakes = net_tids.iter().map(|&tid| os.thread_wakeups(tid)).sum();
+    report.ferret_completion = ferret_completion;
+    report.ferret_standalone = ferret_standalone;
+    report.series = series;
+    report.vacation_samples_us = std::mem::take(&mut world.vacation_samples_us);
+    report
 }

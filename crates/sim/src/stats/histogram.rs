@@ -7,6 +7,8 @@
 //! time) to ~1 s (pathological stalls), which a linear histogram cannot
 //! cover affordably.
 
+use crate::stats::{Boxplot, MeanVar};
+
 /// Log-linear histogram over `u64` values (typically nanoseconds).
 #[derive(Clone, Debug)]
 pub struct Histogram {
@@ -14,6 +16,10 @@ pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
     sum: u128,
+    /// Welford accumulator for the variance: stable even for large,
+    /// tightly clustered values, where sum-of-squares cancellation would
+    /// destroy all precision.
+    moments: MeanVar,
     min: u64,
     max: u64,
 }
@@ -32,6 +38,7 @@ impl Histogram {
             counts: vec![0; n],
             total: 0,
             sum: 0,
+            moments: MeanVar::new(),
             min: u64::MAX,
             max: 0,
         }
@@ -76,6 +83,7 @@ impl Histogram {
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += value as u128;
+        self.moments.add(value as f64);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -89,6 +97,7 @@ impl Histogram {
         self.counts[idx] += n;
         self.total += n;
         self.sum += value as u128 * n as u128;
+        self.moments.add_n(value as f64, n);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -142,6 +151,40 @@ impl Histogram {
         self.quantile(0.5)
     }
 
+    /// Sample variance of recorded values (0 with fewer than two
+    /// observations). Welford-accumulated, so it stays accurate even for
+    /// large nanosecond values packed close together — the regime where
+    /// the naive `E[X²] − mean²` form cancels catastrophically.
+    pub fn variance(&self) -> f64 {
+        self.moments.variance()
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.moments.std_dev()
+    }
+
+    /// Five-number summary of the recorded distribution, every field
+    /// multiplied by `scale` (e.g. `1e-3` to report nanosecond records in
+    /// microseconds). Quartiles carry the histogram's bucket resolution;
+    /// min/max/mean are exact, std-dev is Welford-accurate. `None` if
+    /// nothing was recorded.
+    pub fn boxplot_scaled(&self, scale: f64) -> Option<Boxplot> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(Boxplot {
+            min: self.min as f64 * scale,
+            q1: self.quantile(0.25)? as f64 * scale,
+            median: self.quantile(0.50)? as f64 * scale,
+            q3: self.quantile(0.75)? as f64 * scale,
+            max: self.max as f64 * scale,
+            mean: self.mean() * scale,
+            std_dev: self.std_dev() * scale,
+            count: self.total as usize,
+        })
+    }
+
     /// Merge another histogram with identical configuration.
     ///
     /// # Panics
@@ -153,6 +196,7 @@ impl Histogram {
         }
         self.total += other.total;
         self.sum += other.sum;
+        self.moments.merge(&other.moments);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -243,6 +287,67 @@ mod tests {
         assert_eq!(a.count(), b.count());
         assert_eq!(a.mean(), b.mean());
         assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    #[test]
+    fn variance_matches_two_pass() {
+        let mut h = Histogram::latency();
+        let vals = [120u64, 340, 560, 780, 10_000];
+        for &v in &vals {
+            h.record(v);
+        }
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<u64>() as f64 / n;
+        let var = vals
+            .iter()
+            .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+            .sum::<f64>()
+            / (n - 1.0);
+        assert!((h.variance() - var).abs() / var < 1e-12, "{}", h.variance());
+        assert!((h.std_dev() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_survives_large_clustered_values() {
+        // One-second-scale latencies one nanosecond apart: the naive
+        // E[X²] − mean² form loses everything to cancellation here (the
+        // ulp of 1e18 is ~128), Welford does not.
+        let mut h = Histogram::latency();
+        h.record(1_000_000_000);
+        h.record(1_000_000_001);
+        assert!((h.variance() - 0.5).abs() < 1e-3, "{}", h.variance());
+        // Same via the O(1) bulk path.
+        let mut b = Histogram::latency();
+        b.record_n(1_000_000_000, 500);
+        b.record_n(1_000_000_001, 500);
+        let expect = 0.25 * 1000.0 / 999.0;
+        assert!((b.variance() - expect).abs() < 1e-3, "{}", b.variance());
+    }
+
+    #[test]
+    fn variance_degenerate_cases() {
+        let mut h = Histogram::latency();
+        assert_eq!(h.variance(), 0.0);
+        h.record(500);
+        assert_eq!(h.variance(), 0.0); // one sample
+        h.record_n(500, 9);
+        assert_eq!(h.variance(), 0.0); // identical samples
+    }
+
+    #[test]
+    fn boxplot_scaled_summarizes() {
+        let mut h = Histogram::latency();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1..=1000 µs in ns
+        }
+        let bp = h.boxplot_scaled(1e-3).unwrap();
+        assert_eq!(bp.count, 1000);
+        assert!((bp.min - 1.0).abs() < 1e-9);
+        assert!((bp.max - 1000.0).abs() < 1e-9);
+        assert!((bp.median - 500.0).abs() / 500.0 < 0.05);
+        assert!(bp.q1 <= bp.median && bp.median <= bp.q3);
+        assert!((bp.mean - 500.5).abs() < 1e-6);
+        assert!(Histogram::latency().boxplot_scaled(1.0).is_none());
     }
 
     #[test]

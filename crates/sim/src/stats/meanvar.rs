@@ -36,6 +36,31 @@ impl MeanVar {
         self.max = self.max.max(x);
     }
 
+    /// Incorporate `n` identical observations of `x` in O(1) (Chan merge
+    /// with a point mass: a degenerate distribution has zero `m2`).
+    pub fn add_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.count = n;
+            self.mean = x;
+            self.m2 = 0.0;
+            self.min = x;
+            self.max = x;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = n as f64;
+        let delta = x - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += delta * delta * n1 * n2 / total;
+        self.count += n;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
     /// Merge another estimator into this one (parallel Welford / Chan et al.).
     pub fn merge(&mut self, other: &MeanVar) {
         if other.count == 0 {
@@ -103,6 +128,34 @@ impl MeanVar {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn add_n_matches_looped_adds() {
+        let mut bulk = MeanVar::new();
+        let mut looped = MeanVar::new();
+        for (x, n) in [(10.0, 3u64), (250.5, 1), (1e9, 7), (3.25, 0)] {
+            bulk.add_n(x, n);
+            for _ in 0..n {
+                looped.add(x);
+            }
+        }
+        assert_eq!(bulk.count(), looped.count());
+        assert!((bulk.mean() - looped.mean()).abs() < 1e-9 * looped.mean());
+        assert!((bulk.variance() - looped.variance()).abs() < 1e-6 * looped.variance());
+        assert_eq!(bulk.min(), looped.min());
+        assert_eq!(bulk.max(), looped.max());
+    }
+
+    #[test]
+    fn add_n_into_empty_is_a_point_mass() {
+        let mut mv = MeanVar::new();
+        mv.add_n(42.0, 5);
+        assert_eq!(mv.count(), 5);
+        assert_eq!(mv.mean(), 42.0);
+        assert_eq!(mv.variance(), 0.0);
+        assert_eq!(mv.min(), Some(42.0));
+        assert_eq!(mv.max(), Some(42.0));
+    }
 
     #[test]
     fn empty_is_benign() {

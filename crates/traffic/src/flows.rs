@@ -33,6 +33,28 @@ impl FlowSet {
         FlowSet { flows }
     }
 
+    /// `n` random UDP flows whose destinations fall inside the
+    /// `10.h.0.0/16` subnets (`h < n_subnets`) of the l3fwd sample route
+    /// table, so every generated packet is forwardable end-to-end. The
+    /// realtime pipeline's load generator uses this: random destinations
+    /// would all miss the route table and be dropped by the application.
+    pub fn routable(n: usize, n_subnets: usize, seed: u64) -> Self {
+        assert!((1..=64).contains(&n_subnets), "subnets match l3fwd hops");
+        let mut rng = Rng::new(seed ^ 0x10_57AB);
+        let flows = (0..n)
+            .map(|i| {
+                let h = (i % n_subnets) as u8;
+                FiveTuple::udp(
+                    Ipv4Addr::new(192, 168, rng.below(256) as u8, rng.below(254) as u8 + 1),
+                    (rng.below(64_511) + 1_024) as u16,
+                    Ipv4Addr::new(10, h, rng.below(256) as u8, rng.below(254) as u8 + 1),
+                    (rng.below(64_511) + 1_024) as u16,
+                )
+            })
+            .collect();
+        FlowSet { flows }
+    }
+
     /// A single fixed flow repeated (the "same UDP flow" of Table III).
     pub fn single() -> FiveTuple {
         FiveTuple::udp(
@@ -147,6 +169,23 @@ mod tests {
         assert_eq!(a.flows(), b.flows());
         let c = FlowSet::random(100, 2);
         assert_ne!(a.flows(), c.flows());
+    }
+
+    #[test]
+    fn routable_flows_hit_sample_subnets() {
+        let set = FlowSet::routable(64, 4, 9);
+        assert_eq!(set.len(), 64);
+        for f in set.flows() {
+            let o = f.dst_ip.octets();
+            assert_eq!(o[0], 10);
+            assert!(o[1] < 4, "dst {} outside sample subnets", f.dst_ip);
+        }
+        // Deterministic per seed, distinct across seeds.
+        assert_eq!(FlowSet::routable(64, 4, 9).flows(), set.flows());
+        assert_ne!(FlowSet::routable(64, 4, 10).flows(), set.flows());
+        // Enough entropy that RSS actually spreads them.
+        let spread = set.rss_split(2);
+        assert!(spread.iter().all(|&s| s > 0.2), "{spread:?}");
     }
 
     #[test]

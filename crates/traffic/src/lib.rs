@@ -12,6 +12,8 @@
 //! * [`flows`] — reproducible flow populations, the Table III
 //!   30%-hot-flow trace, and RSS share computation over real Toeplitz
 //!   dispatch;
+//! * [`pacing`] — the wall-clock adapter that replays any arrival process
+//!   in real time for the real-thread pipeline ([`pacing::PacedArrivals`]);
 //! * convenience conversions between Gb/s and packets/s re-exported from
 //!   the NIC framing math ([`gbps_to_pps`]).
 
@@ -21,8 +23,10 @@
 pub mod arrival;
 pub mod faults;
 pub mod flows;
+pub mod pacing;
 
 pub use arrival::{ArrivalProcess, BurstyCbr, Cbr, OnOff, Poisson, Silent, Staircase};
 pub use faults::FaultyArrivals;
 pub use flows::{FlowSet, UnbalancedTrace};
 pub use metronome_dpdk::nic::{gbps_to_pps, line_rate_pps, pps_to_gbps, LINE_RATE_10G_64B_PPS};
+pub use pacing::{PacedArrivals, WallClock};

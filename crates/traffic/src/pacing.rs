@@ -1,0 +1,184 @@
+//! Wall-clock pacing of arrival processes for the real-thread pipeline.
+//!
+//! The simulator *drains* an [`ArrivalProcess`] lazily against virtual
+//! time; the realtime load generator must instead *emit* the same arrival
+//! schedule against the machine's clock, the way MoonGen's rate control
+//! releases paced DMA batches. [`PacedArrivals`] is that adapter: it maps
+//! `Instant::now()` onto the process's virtual timeline via a
+//! [`WallClock`], sleeps until the next arrival is due through the same
+//! [`PreciseSleeper`] the Metronome workers use (the user-space stand-in
+//! for `hr_sleep()` — one hybrid-sleep implementation, not two), and
+//! hands the caller batches of due arrival timestamps.
+//!
+//! The schedule is authoritative: a generator that falls behind (slow
+//! frame building, scheduler preemption) catches up by emitting the
+//! backlog in one batch, so the *offered count over any window* matches
+//! the arrival process exactly — only micro-timing degrades, never the
+//! rate. This mirrors how hardware generators behave under back-pressure
+//! and is what keeps offered-count assertions deterministic in tests.
+
+use crate::arrival::ArrivalProcess;
+use metronome_core::realtime::PreciseSleeper;
+use metronome_sim::Nanos;
+use std::time::{Duration, Instant};
+
+/// Maps wall-clock instants onto a virtual [`Nanos`] timeline anchored at
+/// construction time.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Anchor the timeline at the current instant.
+    pub fn start() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// Virtual time elapsed since the anchor.
+    pub fn now(&self) -> Nanos {
+        Nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    /// Sleep until virtual time `t` through `sleeper` (the same hybrid
+    /// OS-sleep + spin-tail primitive the Metronome workers use — see
+    /// DESIGN.md's `hr_sleep` substitution). Returns immediately if `t`
+    /// has already passed.
+    pub fn sleep_until(&self, t: Nanos, sleeper: &PreciseSleeper) {
+        let deadline = self.start + Duration::from_nanos(t.as_nanos());
+        if let Some(remaining) = deadline.checked_duration_since(Instant::now()) {
+            sleeper.sleep(remaining);
+        }
+    }
+}
+
+/// Drives an [`ArrivalProcess`] in real time, yielding batches of due
+/// arrivals.
+pub struct PacedArrivals {
+    clock: WallClock,
+    source: Box<dyn ArrivalProcess>,
+    horizon: Nanos,
+    sleeper: PreciseSleeper,
+    buf: Vec<Nanos>,
+}
+
+impl PacedArrivals {
+    /// Pace `source` from now until `horizon` of virtual time. The clock
+    /// starts immediately.
+    pub fn new(source: Box<dyn ArrivalProcess>, horizon: Nanos) -> Self {
+        PacedArrivals {
+            clock: WallClock::start(),
+            source,
+            horizon,
+            sleeper: PreciseSleeper::default(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// The clock this pacer runs against (share it with consumers so
+    /// arrival timestamps and latency measurements use one timeline).
+    pub fn clock(&self) -> WallClock {
+        self.clock
+    }
+
+    /// Block until at least one arrival is due, then return the batch of
+    /// arrival timestamps with `t ≤ now` (all before the horizon). `None`
+    /// once the horizon has passed or the source is exhausted.
+    pub fn next_batch(&mut self) -> Option<&[Nanos]> {
+        loop {
+            let now = self.clock.now();
+            let cut = now.min(self.horizon.saturating_sub(Nanos(1)));
+            self.buf.clear();
+            let n = self.source.drain(cut, Some(&mut self.buf));
+            if n > 0 {
+                return Some(&self.buf);
+            }
+            if now >= self.horizon {
+                return None;
+            }
+            match self.source.peek_next() {
+                Some(t) if t < self.horizon => self.clock.sleep_until(t, &self.sleeper),
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::{Cbr, OnOff, Silent};
+
+    #[test]
+    fn wall_clock_is_monotone_and_sleeps_to_deadline() {
+        let clock = WallClock::start();
+        let sleeper = PreciseSleeper::default();
+        let a = clock.now();
+        clock.sleep_until(a + Nanos::from_micros(300), &sleeper);
+        let b = clock.now();
+        assert!(b >= a + Nanos::from_micros(300), "woke early: {a} -> {b}");
+        // Sleeping until a past deadline returns immediately.
+        clock.sleep_until(Nanos::ZERO, &sleeper);
+    }
+
+    #[test]
+    fn paced_cbr_emits_the_exact_schedule() {
+        // 100 kpps for 20 ms of virtual time = 2000 arrivals; the count is
+        // schedule-exact no matter how the wall clock slices the run.
+        let horizon = Nanos::from_millis(20);
+        let mut paced = PacedArrivals::new(Box::new(Cbr::new(100_000.0, Nanos::ZERO)), horizon);
+        let mut total = 0u64;
+        let mut last = Nanos::ZERO;
+        while let Some(batch) = paced.next_batch() {
+            for &t in batch {
+                assert!(t >= last, "timestamps must be ordered");
+                assert!(t < horizon, "arrival past the horizon");
+                last = t;
+            }
+            total += batch.len() as u64;
+        }
+        assert_eq!(total, 2000);
+    }
+
+    #[test]
+    fn paced_run_tracks_wall_time() {
+        let t0 = Instant::now();
+        let mut paced = PacedArrivals::new(
+            Box::new(Cbr::new(50_000.0, Nanos::ZERO)),
+            Nanos::from_millis(10),
+        );
+        while paced.next_batch().is_some() {}
+        let wall = t0.elapsed();
+        assert!(wall >= Duration::from_millis(9), "finished early: {wall:?}");
+        // Generous bound: shared/1-core CI machines stall, but a paced
+        // 10 ms run must not take seconds.
+        assert!(wall < Duration::from_secs(2), "pacing stalled: {wall:?}");
+    }
+
+    #[test]
+    fn silent_source_ends_immediately() {
+        let mut paced = PacedArrivals::new(Box::new(Silent), Nanos::from_secs(1000));
+        assert!(paced.next_batch().is_none());
+    }
+
+    #[test]
+    fn onoff_source_is_bounded_by_horizon() {
+        // An OnOff source always has a next arrival; the horizon must
+        // still terminate the pacer during an off-period.
+        let mut paced = PacedArrivals::new(
+            Box::new(OnOff::new(
+                1e6,
+                Nanos::from_millis(2),
+                Nanos::from_secs(3600),
+            )),
+            Nanos::from_millis(5),
+        );
+        let mut total = 0u64;
+        while let Some(batch) = paced.next_batch() {
+            total += batch.len() as u64;
+        }
+        assert!((total as i64 - 2000).unsigned_abs() <= 2, "{total}");
+    }
+}

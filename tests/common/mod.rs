@@ -1,0 +1,36 @@
+//! Helpers shared by the root integration tests.
+//!
+//! Each test binary that declares `mod common;` compiles its own copy, so
+//! the `SERIAL` lock serializes tests *within* one binary (cargo runs the
+//! binaries themselves sequentially). The CI realtime job additionally
+//! passes `--test-threads=1`; locally, the guard keeps `cargo test`
+//! correct when several thread-spawning tests share this machine's cores.
+
+#![allow(dead_code)] // each binary uses the subset it needs
+
+use crossbeam::queue::ArrayQueue;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serialize tests that spawn spinning worker threads: they would steal
+/// each other's cores and flake on small machines if run concurrently.
+pub fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Push every item, yielding on a full queue until it fits (a patient
+/// producer for tests that must not lose traffic).
+pub fn push_all<T>(q: &ArrayQueue<T>, items: impl Iterator<Item = T>) {
+    for mut item in items {
+        loop {
+            match q.push(item) {
+                Ok(()) => break,
+                Err(v) => {
+                    item = v;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! End-to-end tests of the realtime scenario runner: load generator →
+//! Toeplitz RSS → mbuf rings → Metronome workers → functional apps →
+//! latency histograms → `RunReport`.
+//!
+//! These tests spawn real spinning threads; they serialize on the shared
+//! guard and run single-threaded in CI's realtime job. All assertions are
+//! correctness-based (conservation, counters, report shape) — never
+//! timing-based — so they hold on loaded 1-core machines.
+
+mod common;
+
+use common::serial;
+use metronome_repro::apps::processor::{PacketProcessor, Verdict};
+use metronome_repro::apps::L3Fwd;
+use metronome_repro::core::MetronomeConfig;
+use metronome_repro::dpdk::Mbuf;
+use metronome_repro::runtime::{run_realtime, run_realtime_with, Scenario, TrafficSpec};
+use metronome_repro::sim::Nanos;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wraps a processor, counting verdicts into shared atomics so a test can
+/// observe the application layer from outside the pipeline.
+struct Counting<P> {
+    inner: P,
+    forwarded: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl<P: PacketProcessor> PacketProcessor for Counting<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn cycles_per_packet(&self) -> u64 {
+        self.inner.cycles_per_packet()
+    }
+
+    fn process(&mut self, mbuf: &mut Mbuf) -> Verdict {
+        let v = self.inner.process(mbuf);
+        match v {
+            Verdict::Forward => self.forwarded.fetch_add(1, Ordering::Relaxed),
+            Verdict::Drop => self.dropped.fetch_add(1, Ordering::Relaxed),
+        };
+        v
+    }
+}
+
+/// A deliberately slow application: spins `per_packet` per frame, making
+/// the drain capacity precisely controllable for overload tests.
+struct SlowApp {
+    per_packet: Duration,
+}
+
+impl PacketProcessor for SlowApp {
+    fn name(&self) -> &'static str {
+        "slow-app"
+    }
+
+    fn cycles_per_packet(&self) -> u64 {
+        1
+    }
+
+    fn process(&mut self, _mbuf: &mut Mbuf) -> Verdict {
+        let t0 = Instant::now();
+        while t0.elapsed() < self.per_packet {
+            std::hint::spin_loop();
+        }
+        Verdict::Forward
+    }
+}
+
+/// The acceptance scenario: an l3fwd CBR run end-to-end on real threads.
+#[test]
+fn l3fwd_cbr_end_to_end() {
+    let _guard = serial();
+    let cfg = MetronomeConfig {
+        m_threads: 2,
+        n_queues: 1,
+        ..MetronomeConfig::default()
+    };
+    let sc = Scenario::metronome("rt-l3fwd-cbr", cfg, TrafficSpec::CbrPps(40_000.0))
+        .with_duration(Nanos::from_millis(200))
+        .with_latency()
+        .with_seed(0xE2E);
+
+    let app_forwarded = Arc::new(AtomicU64::new(0));
+    let app_dropped = Arc::new(AtomicU64::new(0));
+    let r = run_realtime_with(&sc, &|_q| {
+        Box::new(Counting {
+            inner: L3Fwd::with_sample_routes(4),
+            forwarded: Arc::clone(&app_forwarded),
+            dropped: Arc::clone(&app_dropped),
+        })
+    });
+
+    // Nonzero traffic actually flowed (CBR 40 kpps × 200 ms = 8000 frames;
+    // sub-line-rate CBR arrives as 32-packet generator trains, so the
+    // window edge can round to a train boundary).
+    assert!(r.forwarded > 0, "no packets processed");
+    assert!(
+        (r.offered as i64 - 8_000).unsigned_abs() <= 32,
+        "CBR schedule drifted: offered {}",
+        r.offered
+    );
+    // Conservation: everything offered was processed or dropped.
+    assert_eq!(r.offered, r.forwarded + r.dropped, "packets leaked");
+    // The functional l3fwd really forwarded the frames: routable flows,
+    // valid checksums, TTL > 1 — none may be dropped by the application.
+    assert_eq!(
+        app_forwarded.load(Ordering::Relaxed),
+        r.forwarded,
+        "application did not forward every retrieved frame"
+    );
+    assert_eq!(app_dropped.load(Ordering::Relaxed), 0);
+    // Latency percentiles are populated and ordered.
+    let lat = r.latency_us.expect("latency must be measured");
+    assert_eq!(lat.count as u64, r.forwarded);
+    assert!(lat.min > 0.0, "zero latency is implausible");
+    assert!(lat.min <= lat.q1 && lat.q1 <= lat.median);
+    assert!(lat.median <= lat.q3 && lat.q3 <= lat.max);
+    // Report shape matches the sim's columns.
+    assert_eq!(r.queues.len(), 1);
+    assert_eq!(r.queues[0].drained, r.forwarded);
+    assert!(r.total_wakes > 0);
+    assert!(r.queues[0].total_tries > 0);
+}
+
+/// RSS spreads a multi-flow CBR stream over both queues and the per-queue
+/// accounting adds up to the aggregate.
+#[test]
+fn multiqueue_rss_spreads_and_accounts() {
+    let _guard = serial();
+    let cfg = MetronomeConfig::multiqueue(2, 2);
+    let sc = Scenario::metronome("rt-multiqueue", cfg, TrafficSpec::CbrPps(50_000.0))
+        .with_duration(Nanos::from_millis(200))
+        .with_latency()
+        .with_seed(0x2525);
+    let r = run_realtime(&sc);
+
+    assert_eq!(r.queues.len(), 2);
+    assert_eq!(r.offered, r.forwarded + r.dropped);
+    for (q, qr) in r.queues.iter().enumerate() {
+        assert!(qr.drained > 0, "queue {q} starved — RSS did not spread");
+    }
+    let per_queue: u64 = r.queues.iter().map(|q| q.drained + q.dropped).sum();
+    assert_eq!(per_queue, r.offered, "per-queue counts drifted from total");
+}
+
+/// Overload: offered rate far above the app's drain capacity on a tiny
+/// ring. Tail-drops must be counted, conservation must stay exact, and no
+/// wakeup may be lost (the run terminates with the rings empty).
+#[test]
+fn ring_overflow_under_overload_conserves_packets() {
+    let _guard = serial();
+    let cfg = MetronomeConfig {
+        m_threads: 2,
+        n_queues: 1,
+        ..MetronomeConfig::default()
+    };
+    // Capacity ≈ 1/30µs ≈ 33 kpps; offered 150 kpps on a 32-slot ring.
+    let sc = Scenario::metronome("rt-overload", cfg, TrafficSpec::CbrPps(150_000.0))
+        .with_duration(Nanos::from_millis(150))
+        .with_ring(32)
+        .with_seed(0x0F10)
+        .with_latency();
+    let r = run_realtime_with(&sc, &|_q| {
+        Box::new(SlowApp {
+            per_packet: Duration::from_micros(30),
+        })
+    });
+
+    assert!(
+        (r.offered as i64 - 22_500).unsigned_abs() <= 32,
+        "CBR schedule drifted: offered {}",
+        r.offered
+    );
+    assert!(r.dropped > 0, "overload must tail-drop");
+    assert!(r.forwarded > 0, "some packets must still flow");
+    // The conservation identity — no double count, no loss of accounting.
+    assert_eq!(r.offered, r.forwarded + r.dropped);
+    assert_eq!(
+        r.queues.iter().map(|q| q.dropped).sum::<u64>(),
+        r.dropped,
+        "per-queue drops drifted from the total"
+    );
+    assert!(r.loss > 0.0 && r.loss < 1.0);
+}

@@ -2,35 +2,15 @@
 //! library surface a user adopts (paper Listing 2 on real atomics and a
 //! spin-assisted precise sleeper).
 
+mod common;
+
+use common::{push_all, serial};
 use crossbeam::queue::ArrayQueue;
 use metronome_repro::core::{config::MetronomeConfig, realtime::Metronome};
 use metronome_repro::sim::Nanos;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// The harness runs tests of one binary concurrently; these tests each
-/// spawn spinning workers and would steal each other's cores, so they
-/// serialize on a shared lock.
-static SERIAL: Mutex<()> = Mutex::new(());
-
-fn serial() -> MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-fn push_all(q: &ArrayQueue<u64>, items: impl Iterator<Item = u64>) {
-    for mut item in items {
-        loop {
-            match q.push(item) {
-                Ok(()) => break,
-                Err(v) => {
-                    item = v;
-                    std::thread::yield_now();
-                }
-            }
-        }
-    }
-}
 
 #[test]
 fn multiqueue_processes_exactly_once() {

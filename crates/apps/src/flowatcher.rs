@@ -221,9 +221,9 @@ mod tests {
     fn sustains_line_rate_on_one_core() {
         let fw = FloWatcher::new(1024);
         assert!(
-            fw.mu_pps(2100) > 14.88e6,
+            fw.mu_pps(2100, 32) > 14.88e6,
             "µ {} must exceed 64B line rate",
-            fw.mu_pps(2100)
+            fw.mu_pps(2100, 32)
         );
     }
 }

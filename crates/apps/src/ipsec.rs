@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn calibrated_mu_matches_paper_ceiling() {
         let gw = IpsecGateway::outbound();
-        let mu = gw.mu_pps(2100);
+        let mu = gw.mu_pps(2100, 32);
         // Paper: 5.61 Mpps max outbound with 64B packets.
         assert!(
             (5.3e6..6.0e6).contains(&mu),

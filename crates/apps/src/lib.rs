@@ -29,4 +29,4 @@ pub use ferret::FerretJob;
 pub use flowatcher::FloWatcher;
 pub use ipsec::IpsecGateway;
 pub use l3fwd::L3Fwd;
-pub use processor::{PacketProcessor, Verdict};
+pub use processor::{BurstVerdicts, PacketProcessor, Verdict};

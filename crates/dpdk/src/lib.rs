@@ -8,7 +8,9 @@
 //! * [`mbuf::Mbuf`] — packet buffers with Rx metadata (port, queue,
 //!   RSS hash, arrival timestamp).
 //! * [`mempool::Mempool`] — bounded pre-allocated buffer pools with
-//!   exhaustion accounting.
+//!   exhaustion accounting: `Arc`-shared handles, atomic counters, and
+//!   burst alloc/free that take the freelist lock once per burst (the
+//!   per-lcore-cache amortization of `rte_mempool`).
 //! * [`ring::Ring`] — Rx descriptor rings with burst dequeue and tail-drop,
 //!   plus [`ring::RxRingModel`], the allocation-free occupancy model the
 //!   discrete-event simulator uses (property-tested to agree with `Ring`).
@@ -21,8 +23,9 @@
 //!   pick their next queue (paper Appendix II).
 //! * [`shared_ring`] — the concurrent Rx side for the real-thread
 //!   pipeline: [`shared_ring::SharedRing`] (bounded MPMC mbuf ring with
-//!   tail-drop accounting) and [`shared_ring::RssPort`] (`N` rings behind
-//!   one Toeplitz hasher).
+//!   tail-drop accounting and `offer_burst`/`pop_burst` batch APIs that
+//!   hand rejected buffers back for recycling) and
+//!   [`shared_ring::RssPort`] (`N` rings behind one Toeplitz hasher).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,7 +40,7 @@ pub mod shared_ring;
 
 pub use ethdev::TxBuffer;
 pub use mbuf::Mbuf;
-pub use mempool::Mempool;
+pub use mempool::{Mempool, MempoolStats};
 pub use nic::{NicProfile, Port};
 pub use random::RteRand;
 pub use ring::{Ring, RxRingModel};

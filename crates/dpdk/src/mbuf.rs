@@ -64,6 +64,20 @@ impl Mbuf {
     pub fn take_data(&mut self) -> BytesMut {
         core::mem::take(&mut self.data)
     }
+
+    /// Overwrite the frame contents with `frame`, keeping the underlying
+    /// buffer (the template-fill path of the pooled datapath: one `memcpy`
+    /// into an already-allocated buffer, no heap traffic as long as the
+    /// frame fits the buffer's capacity — which pooled buffers guarantee
+    /// by construction).
+    pub fn refill(&mut self, frame: &[u8]) {
+        debug_assert!(
+            frame.len() <= self.data.capacity() || self.data.capacity() == 0,
+            "refill beyond buffer capacity would reallocate"
+        );
+        self.data.clear();
+        self.data.extend_from_slice(frame);
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +97,16 @@ mod tests {
         let mut m = Mbuf::from_bytes(BytesMut::from(&[0u8; 4][..]));
         m.bytes_mut()[0] = 0xFF;
         assert_eq!(m.bytes()[0], 0xFF);
+    }
+
+    #[test]
+    fn refill_reuses_capacity() {
+        let mut m = Mbuf::from_bytes(BytesMut::with_capacity(16));
+        m.refill(b"first frame");
+        assert_eq!(m.bytes(), b"first frame");
+        m.refill(b"second");
+        assert_eq!(m.bytes(), b"second");
+        assert!(m.len() == 6);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use crate::mbuf::Mbuf;
 use crate::ring::valid_ring_size;
+use bytes::BytesMut;
 use crossbeam::queue::ArrayQueue;
 use metronome_net::toeplitz::Toeplitz;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,6 +67,59 @@ impl SharedRing {
                 false
             }
         }
+    }
+
+    /// Offer a whole burst, in order, with one accounting update per burst
+    /// (the `rte_eth_rx_burst` producer-side analogue). Frames the full
+    /// ring rejects are tail-dropped *as accounting* but their buffers are
+    /// handed back: after the call, `frames` holds exactly the rejected
+    /// mbufs (possibly none) so the caller can recycle them to the
+    /// mempool — a drop loses the packet, never the buffer.
+    ///
+    /// Returns how many frames the ring accepted.
+    pub fn offer_burst(&self, frames: &mut Vec<Mbuf>) -> usize {
+        // Rejected frames are compacted in place (swap with an empty,
+        // heap-free placeholder): the drop path allocates nothing, in
+        // keeping with the burst discipline.
+        let total = frames.len();
+        let mut rejected = 0usize;
+        for read in 0..total {
+            let m = std::mem::replace(&mut frames[read], Mbuf::from_bytes(BytesMut::new()));
+            match self.queue.push(m) {
+                Ok(()) => {}
+                Err(back) => {
+                    frames[rejected] = back;
+                    rejected += 1;
+                }
+            }
+        }
+        frames.truncate(rejected);
+        let accepted = total - rejected;
+        if accepted > 0 {
+            self.accepted.fetch_add(accepted as u64, Ordering::Relaxed);
+        }
+        if rejected > 0 {
+            self.dropped.fetch_add(rejected as u64, Ordering::Relaxed);
+        }
+        accepted
+    }
+
+    /// Pop up to `max` frames into the caller-provided buffer (appended),
+    /// returning how many were taken. This is the consumer half of the
+    /// burst discipline: one call per retrieval burst, reusing the
+    /// caller's scratch buffer so the hot path never allocates.
+    pub fn pop_burst(&self, out: &mut Vec<Mbuf>, max: usize) -> usize {
+        let mut taken = 0usize;
+        while taken < max {
+            match self.queue.pop() {
+                Some(m) => {
+                    out.push(m);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
     }
 
     /// Frames accepted into the ring so far.
@@ -134,6 +188,13 @@ impl RssPort {
         self.rings[q].offer(mbuf)
     }
 
+    /// Offer a whole burst to queue `q` (see [`SharedRing::offer_burst`]):
+    /// returns the accepted count and leaves the tail-dropped mbufs in
+    /// `frames` for the caller to recycle.
+    pub fn offer_burst(&self, q: usize, frames: &mut Vec<Mbuf>) -> usize {
+        self.rings[q].offer_burst(frames)
+    }
+
     /// The per-queue rings (for counters and occupancy checks).
     pub fn rings(&self) -> &[SharedRing] {
         &self.rings
@@ -197,6 +258,47 @@ mod tests {
     #[should_panic(expected = "invalid ring size")]
     fn shared_ring_rejects_bad_size() {
         SharedRing::new(33);
+    }
+
+    #[test]
+    fn offer_burst_accounts_and_returns_rejects() {
+        let r = SharedRing::new(32);
+        let mut burst: Vec<Mbuf> = (0..40).map(|_| frame()).collect();
+        let accepted = r.offer_burst(&mut burst);
+        assert_eq!(accepted, 32);
+        assert_eq!(burst.len(), 8, "rejected mbufs must be handed back");
+        assert_eq!(r.accepted(), 32);
+        assert_eq!(r.dropped(), 8);
+        assert_eq!(r.offered(), 40);
+        // Rejected buffers are real mbufs the caller can recycle.
+        assert!(burst.iter().all(|m| m.len() == 60));
+    }
+
+    #[test]
+    fn pop_burst_drains_into_scratch() {
+        let r = SharedRing::new(32);
+        let mut burst: Vec<Mbuf> = (0..10).map(|_| frame()).collect();
+        r.offer_burst(&mut burst);
+        let mut out = Vec::new();
+        assert_eq!(r.pop_burst(&mut out, 4), 4);
+        assert_eq!(r.pop_burst(&mut out, 32), 6);
+        assert_eq!(out.len(), 10);
+        assert_eq!(r.pop_burst(&mut out, 32), 0, "ring must be empty");
+        assert_eq!(r.occupancy(), 0);
+    }
+
+    #[test]
+    fn burst_and_single_offer_agree_on_accounting() {
+        let single = SharedRing::new(32);
+        let burst = SharedRing::new(32);
+        for _ in 0..40 {
+            single.offer(frame());
+        }
+        let mut frames: Vec<Mbuf> = (0..40).map(|_| frame()).collect();
+        burst.offer_burst(&mut frames);
+        assert_eq!(single.accepted(), burst.accepted());
+        assert_eq!(single.dropped(), burst.dropped());
+        assert_eq!(single.occupancy(), burst.occupancy());
     }
 
     #[test]

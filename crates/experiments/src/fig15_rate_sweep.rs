@@ -56,11 +56,21 @@ pub fn run_point(metronome: bool, mpps: f64, cfg: &ExpConfig) -> RunReport {
 }
 
 /// Run the experiment.
+///
+/// The drop-cause columns split `loss` by where the packet died: `ring`
+/// is descriptor tail-drop, `pool` is mempool exhaustion (realtime
+/// backend only — the sim does not model the pool), and `pool_peak/pop`
+/// shows how much of the mbuf pool the run actually needed, so pool
+/// sizing is visible next to the loss it prevents.
 pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let mut rows = Vec::new();
     for mpps in [37.0f64, 30.0, 20.0, 15.0, 10.0, 0.0] {
         for (name, metronome) in [("static", false), ("metronome", true)] {
             let r = run_point(metronome, mpps, cfg);
+            let pool_use = match &r.mempool {
+                Some(m) => format!("{}/{}", m.in_use_peak, m.population),
+                None => "-".into(),
+            };
             rows.push(vec![
                 format!("{mpps}"),
                 name.into(),
@@ -68,6 +78,9 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
                 format!("{:.2}", r.power_watts),
                 format!("{:.2}", r.throughput_mpps),
                 format!("{:.3}", r.loss_permille()),
+                format!("{}", r.dropped_ring),
+                format!("{}", r.dropped_pool),
+                pool_use,
             ]);
         }
     }
@@ -78,6 +91,9 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         "power_w",
         "tput_mpps",
         "loss_permille",
+        "ring_drops",
+        "pool_drops",
+        "pool_peak/pop",
     ];
     ExpOutput {
         id: "fig15",

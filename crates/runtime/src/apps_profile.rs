@@ -50,9 +50,11 @@ impl AppProfile {
     }
 
     /// Single-core drain rate µ (packets/second) at `mhz`, amortizing the
-    /// burst overhead over full 32-packet bursts.
-    pub fn mu_pps(&self, mhz: u32) -> f64 {
-        let cycles = self.cycles_per_packet as f64 + self.cycles_per_burst as f64 / 32.0;
+    /// fixed overhead over `burst`-packet bursts (the configured Rx burst
+    /// size, clamped to at least 1).
+    pub fn mu_pps(&self, mhz: u32, burst: u32) -> f64 {
+        let burst = burst.max(1) as f64;
+        let cycles = self.cycles_per_packet as f64 + self.cycles_per_burst as f64 / burst;
         mhz as f64 * 1e6 / cycles
     }
 }
@@ -63,9 +65,18 @@ mod tests {
 
     #[test]
     fn profiles_match_calibration_targets() {
-        assert!((26e6..30e6).contains(&AppProfile::l3fwd().mu_pps(2100)));
-        assert!((5.3e6..6.0e6).contains(&AppProfile::ipsec().mu_pps(2100)));
-        assert!(AppProfile::flowatcher().mu_pps(2100) > 14.88e6);
+        assert!((26e6..30e6).contains(&AppProfile::l3fwd().mu_pps(2100, 32)));
+        assert!((5.3e6..6.0e6).contains(&AppProfile::ipsec().mu_pps(2100, 32)));
+        assert!(AppProfile::flowatcher().mu_pps(2100, 32) > 14.88e6);
+    }
+
+    #[test]
+    fn mu_tracks_configured_burst() {
+        let p = AppProfile::l3fwd();
+        // burst=1 pays the whole per-burst overhead on every packet.
+        assert!(p.mu_pps(2100, 1) < p.mu_pps(2100, 32));
+        let per_packet = p.cycles_per_packet as f64 + p.cycles_per_burst as f64;
+        assert!((p.mu_pps(2100, 1) - 2.1e9 / per_packet).abs() < 1.0);
     }
 
     #[test]

@@ -5,23 +5,30 @@
 //! against the machine instead of a model, stage for stage:
 //!
 //! ```text
-//! ArrivalProcess ──wall-clock──▶ frame builder ──Toeplitz RSS──▶ mbuf rings
-//!   (PacedArrivals)               (FlowSet templates)             (RssPort)
-//!        ──▶ Metronome workers ──▶ PacketProcessor apps ──▶ latency Histogram
-//!              (Listing 2 on real threads)   (l3fwd / ipsec / flowatcher)
+//! ArrivalProcess ──wall-clock──▶ mempool alloc ──Toeplitz RSS──▶ mbuf rings
+//!   (PacedArrivals)               (template refill)               (RssPort)
+//!        ──▶ Metronome workers ──▶ PacketProcessor bursts ──▶ mempool free
+//!              (Listing 2 on real threads)   (process_burst + latency)
 //! ```
 //!
 //! * **Load generation** — the scenario's [`TrafficSpec`] builds one
 //!   aggregate [`metronome_traffic::ArrivalProcess`], replayed in real
-//!   time by [`PacedArrivals`] (MoonGen's role). Each arrival materializes
-//!   a real Ethernet/IPv4/UDP frame from a routable [`FlowSet`] template,
-//!   stamped with its scheduled arrival time.
+//!   time by [`PacedArrivals`] (MoonGen's role) in bounded batches. Each
+//!   arrival takes a pre-allocated buffer from the shared [`Mempool`] and
+//!   refills it from its flow's template frame — **zero heap allocation
+//!   per packet**; a batch's buffers come out of the pool in one burst
+//!   (`alloc_burst`), and an exhausted pool is a counted drop cause of
+//!   its own, distinct from ring tail-drop.
 //! * **RSS dispatch** — the frame's flow steers it through a real Toeplitz
-//!   hash onto one of `N` bounded mbuf rings ([`RssPort`]); a full ring
-//!   tail-drops with per-queue accounting, exactly like NIC descriptors.
+//!   hash onto one of `N` bounded mbuf rings ([`RssPort`]), offered ring
+//!   by ring in bursts (`offer_burst`); a full ring tail-drops with
+//!   per-queue accounting, and the dropped frames' buffers recycle
+//!   straight back to the pool.
 //! * **Retrieval** — `cfg.m_threads` real Metronome workers
 //!   ([`Metronome`]) race trylocks and drain bursts, running the same
-//!   `MetronomeEngine` as the simulation.
+//!   `MetronomeEngine` as the simulation; each drained burst is processed
+//!   with one [`PacketProcessor::process_burst`] call and its mbufs are
+//!   returned to the pool in one `free_burst`.
 //! * **Processing & measurement** — each frame passes through a functional
 //!   [`PacketProcessor`] (per-queue instance, so concurrent queues never
 //!   contend), and its scheduled-arrival → completion latency is recorded
@@ -33,8 +40,9 @@
 //! emits (via [`RunReport::from_counts`]), with the fields a wall-clock
 //! run cannot observe documented per field below. Packet conservation is
 //! exact and asserted: `offered = forwarded + dropped`, where `dropped`
-//! counts ring tail-drops plus any frames stranded in rings at shutdown
-//! (normally zero — the runner drains before stopping).
+//! breaks down into ring tail-drops, mempool-exhaustion drops, and frames
+//! stranded in rings at shutdown (normally zero — the runner drains
+//! before stopping).
 
 use crate::report::{QueueReport, RunReport};
 use crate::scenario::{Scenario, SystemKind};
@@ -42,7 +50,7 @@ use metronome_apps::processor::PacketProcessor;
 use metronome_apps::{FloWatcher, IpsecGateway, L3Fwd};
 use metronome_core::realtime::Metronome;
 use metronome_core::MetronomeConfig;
-use metronome_dpdk::{Mbuf, RssPort};
+use metronome_dpdk::{Mbuf, Mempool, RssPort};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_sim::stats::Histogram;
 use metronome_traffic::{FlowSet, PacedArrivals, WallClock};
@@ -55,6 +63,15 @@ const FLOWS_PER_RUN: usize = 256;
 
 /// Destination subnets, matching `L3Fwd::with_sample_routes(4)`.
 const L3FWD_SUBNETS: usize = 4;
+
+/// Mbuf dataroom of the run's pool (DPDK's default; far above the
+/// templates' minimal frames).
+const MBUF_DATAROOM: usize = 2048;
+
+/// Largest arrival batch the generator requests from the pool at once
+/// (bounds how many buffers a catch-up backlog can demand before any
+/// recycle).
+const GEN_BATCH: usize = 256;
 
 /// How long after the traffic horizon the runner waits for workers to
 /// drain the rings before declaring leftovers stranded.
@@ -81,8 +98,9 @@ pub fn default_processor(app_name: &str) -> Box<dyn PacketProcessor> {
 }
 
 /// Per-queue application state: the processor plus its latency histogram,
-/// behind one mutex. Uncontended by construction — only the worker
-/// holding the queue's trylock processes that queue's packets.
+/// behind one mutex taken **once per burst**, not per packet. Uncontended
+/// by construction — only the worker holding the queue's trylock
+/// processes that queue's packets.
 struct QueueApp {
     proc: Box<dyn PacketProcessor>,
     latency_ns: Histogram,
@@ -109,6 +127,16 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
 
     // ---- receive side: RSS port over bounded mbuf rings ------------------
     let port = Arc::new(RssPort::new(sc.n_queues, sc.ring_size));
+
+    // ---- the shared mbuf pool --------------------------------------------
+    // Default population: every ring full twice over, plus a generation
+    // batch and one in-flight burst per worker — generous enough that a
+    // correctly sized run never sees pool exhaustion, small enough that a
+    // deliberate `with_mbuf_pool` undersizing bites immediately.
+    let population = sc.mbuf_pool.unwrap_or_else(|| {
+        2 * sc.n_queues * sc.ring_size + GEN_BATCH + cfg.m_threads * cfg.burst as usize
+    });
+    let pool = Mempool::new(population, MBUF_DATAROOM);
 
     // ---- frame templates: routable flows, RSS resolved once per flow -----
     let flows = FlowSet::routable(FLOWS_PER_RUN, L3FWD_SUBNETS, sc.seed);
@@ -146,36 +174,73 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     let metronome = Metronome::start(cfg.clone(), port.worker_queues(), {
         let apps = Arc::clone(&apps);
         let clock_cell = Arc::clone(&clock_cell);
-        move |q, mut mbuf: Mbuf| {
+        let pool = pool.clone();
+        move |q, burst: &mut Vec<Mbuf>| {
+            // One lock, one process_burst, one histogram pass, one
+            // free_burst — per burst, never per packet.
             let mut slot = apps[q].lock();
-            let _ = slot.proc.process(&mut mbuf);
+            let _verdicts = slot.proc.process_burst(burst);
             if measure_latency {
                 if let Some(clock) = clock_cell.get() {
-                    let lat = clock.now().saturating_sub(mbuf.arrival);
-                    slot.latency_ns.record(lat.as_nanos());
+                    let done = clock.now();
+                    for mbuf in burst.iter() {
+                        let lat = done.saturating_sub(mbuf.arrival);
+                        slot.latency_ns.record(lat.as_nanos());
+                    }
                 }
             }
+            drop(slot);
+            pool.free_burst(burst.drain(..));
         }
     });
 
     // ---- traffic: one aggregate arrival process, wall-clock paced --------
     let mut arrivals = sc.traffic.build(1, &sc.nic, sc.seed);
-    let mut paced = PacedArrivals::new(arrivals.remove(0), sc.duration);
+    let mut paced = PacedArrivals::new(arrivals.remove(0), sc.duration).with_max_batch(GEN_BATCH);
     clock_cell
         .set(paced.clock())
         .expect("latency clock anchored twice");
 
     // ---- load generation (inline, like the sim's event loop) -------------
+    // Per batch: one pool transaction hands out blank mbufs, each is
+    // refilled from its flow's template (a memcpy into an already
+    // allocated buffer), staged per target queue, and offered ring by
+    // ring in bursts. Frames the pool could not cover are counted as
+    // pool-exhaustion drops against the queue RSS would have picked;
+    // frames a full ring rejects come back from `offer_burst` and their
+    // buffers return to the pool.
     let mut seq = 0usize;
+    let mut blanks: Vec<Mbuf> = Vec::with_capacity(GEN_BATCH);
+    let mut staged: Vec<Vec<Mbuf>> = (0..sc.n_queues)
+        .map(|_| Vec::with_capacity(GEN_BATCH))
+        .collect();
+    let mut pool_drops: Vec<u64> = vec![0; sc.n_queues];
     while let Some(batch) = paced.next_batch() {
+        pool.alloc_burst(batch.len(), &mut blanks);
         for &t in batch {
             let (frame, q, hash) = &templates[seq % templates.len()];
             seq += 1;
-            let mut mbuf = Mbuf::from_bytes(frame.clone());
-            mbuf.queue = *q as u16;
-            mbuf.rss_hash = *hash;
-            mbuf.arrival = t;
-            port.offer(*q, mbuf);
+            match blanks.pop() {
+                Some(mut mbuf) => {
+                    mbuf.refill(frame);
+                    mbuf.queue = *q as u16;
+                    mbuf.rss_hash = *hash;
+                    mbuf.arrival = t;
+                    staged[*q].push(mbuf);
+                }
+                // Pool exhausted: the NIC has a descriptor but no buffer
+                // to DMA into — a drop cause of its own.
+                None => pool_drops[*q] += 1,
+            }
+        }
+        for (q, frames) in staged.iter_mut().enumerate() {
+            if frames.is_empty() {
+                continue;
+            }
+            port.offer_burst(q, frames);
+            // Whatever the ring rejected is tail-dropped (already counted
+            // by the ring): recycle the buffers in one transaction.
+            pool.free_burst(frames.drain(..));
         }
     }
 
@@ -208,26 +273,36 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     let actual_wall = run_start.elapsed().as_secs_f64();
     // Anything still queued was accepted but never retrieved (only possible
     // if the grace period expired): count it as dropped so conservation
-    // stays exact.
+    // stays exact — and recycle the buffers, so the pool audit below
+    // still balances.
+    let mut stranded_scratch: Vec<Mbuf> = Vec::new();
     let stranded: Vec<u64> = port
-        .worker_queues()
+        .rings()
         .iter()
-        .map(|q| {
+        .map(|ring| {
             let mut n = 0u64;
-            while q.pop().is_some() {
-                n += 1;
+            while ring.pop_burst(&mut stranded_scratch, GEN_BATCH) > 0 {
+                n += stranded_scratch.len() as u64;
+                pool.free_burst(stranded_scratch.drain(..));
             }
             n
         })
         .collect();
+
+    // Every buffer the pool handed out must be home again: the workers
+    // recycle after each burst and the generator after each offer, so a
+    // leak here is a real datapath bug, not a timing artifact.
+    debug_assert_eq!(pool.in_use(), 0, "mbuf leak: pool buffers unaccounted");
 
     let ctrl = stats
         .controller
         .as_ref()
         .expect("Metronome::stop snapshots the controller");
     let forwarded = stats.total_processed();
-    let dropped = port.total_dropped() + stranded.iter().sum::<u64>();
-    let offered = port.total_offered();
+    let dropped_pool: u64 = pool_drops.iter().sum();
+    let dropped_ring = port.total_dropped() + stranded.iter().sum::<u64>();
+    let dropped = dropped_ring + dropped_pool;
+    let offered = port.total_offered() + dropped_pool;
     assert_eq!(
         offered,
         forwarded + dropped,
@@ -237,6 +312,9 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     // ---- report: same columns as the simulator ----------------------------
     let mut report =
         RunReport::from_counts(sc.name.clone(), sc.duration, offered, forwarded, dropped);
+    report.dropped_ring = dropped_ring;
+    report.dropped_pool = dropped_pool;
+    report.mempool = Some(pool.stats());
     report.queues = (0..sc.n_queues)
         .map(|q| {
             let st = ctrl.queue(q);
@@ -251,7 +329,8 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
                 busy_tries: st.busy_tries,
                 busy_try_fraction: st.busy_try_fraction(),
                 drained: stats.processed[q],
-                dropped: port.rings()[q].dropped() + stranded[q],
+                dropped: port.rings()[q].dropped() + stranded[q] + pool_drops[q],
+                dropped_pool: pool_drops[q],
             }
         })
         .collect();

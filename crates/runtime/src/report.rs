@@ -1,5 +1,6 @@
 //! Experiment outputs.
 
+use metronome_dpdk::MempoolStats;
 use metronome_sim::stats::Boxplot;
 use metronome_sim::Nanos;
 
@@ -22,8 +23,14 @@ pub struct QueueReport {
     pub busy_try_fraction: f64,
     /// Packets drained from this queue.
     pub drained: u64,
-    /// Packets tail-dropped at this queue's ring.
+    /// Packets lost at this queue, all causes (ring tail-drop plus, on
+    /// the realtime backend, mempool exhaustion for frames RSS had
+    /// steered here).
     pub dropped: u64,
+    /// Of `dropped`, packets lost to mempool exhaustion (the frame's
+    /// buffer could not be allocated; always 0 on the simulation backend,
+    /// which does not model the pool).
+    pub dropped_pool: u64,
 }
 
 /// One point of the Fig. 9 adaptation time series.
@@ -54,8 +61,19 @@ pub struct RunReport {
     pub offered: u64,
     /// Packets retrieved and processed.
     pub forwarded: u64,
-    /// Packets tail-dropped at the rings.
+    /// Packets lost, all causes (`dropped_ring + dropped_pool`).
     pub dropped: u64,
+    /// Of `dropped`, packets tail-dropped at the Rx rings (descriptor
+    /// exhaustion; includes frames stranded in rings at shutdown).
+    pub dropped_ring: u64,
+    /// Of `dropped`, packets lost to mempool exhaustion — the NIC had a
+    /// free descriptor but no buffer to DMA into. Always 0 on the
+    /// simulation backend, which does not model the pool.
+    pub dropped_pool: u64,
+    /// Mempool counters of the realtime backend's shared buffer pool
+    /// (`None` on the simulation backend): pool-sizing visibility —
+    /// population, peak occupancy, alloc failures.
+    pub mempool: Option<MempoolStats>,
     /// Forwarding throughput in Mpps.
     pub throughput_mpps: f64,
     /// Loss fraction (0..1).
@@ -105,6 +123,11 @@ impl RunReport {
             offered,
             forwarded,
             dropped,
+            // Until a backend says otherwise, every drop is a ring drop
+            // (the simulation has no pool to exhaust).
+            dropped_ring: dropped,
+            dropped_pool: 0,
+            mempool: None,
             throughput_mpps: if wall > 0.0 {
                 forwarded as f64 / wall / 1e6
             } else {

@@ -92,7 +92,10 @@ pub fn run(sc: &Scenario) -> RunReport {
     }
 
     // ---- run ----------------------------------------------------------------
-    let mu = sc.app.mu_pps(sc.os.freq.max_mhz());
+    // Capacity estimates amortize the burst overhead over the *configured*
+    // burst size, so a burst-ablation scenario's µ matches what the
+    // backend actually charges per chunk.
+    let mu = sc.app.mu_pps(sc.os.freq.max_mhz(), metro_cfg.burst);
     let mut series = Vec::new();
     if let Some(every) = sc.series_every {
         let mut t = Nanos::ZERO;
@@ -148,6 +151,7 @@ pub fn run(sc: &Scenario) -> RunReport {
                 busy_try_fraction: st.busy_try_fraction(),
                 drained: q.drained_total(),
                 dropped: q.dropped_total(),
+                dropped_pool: 0,
             }
         })
         .collect();

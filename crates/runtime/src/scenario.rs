@@ -207,6 +207,11 @@ pub struct Scenario {
     pub n_queues: usize,
     /// Descriptor ring size per queue.
     pub ring_size: usize,
+    /// Mbuf pool population for the realtime backend (`None` = sized from
+    /// the rings: enough to fill every ring twice over, so normal runs
+    /// never see pool exhaustion). The simulation backend does not model
+    /// the pool and ignores this.
+    pub mbuf_pool: Option<usize>,
     /// NIC device profile.
     pub nic: NicProfile,
     /// OS model configuration (governor, scheduler, daemon, power).
@@ -238,6 +243,7 @@ impl Scenario {
             duration: Nanos::from_secs(2),
             n_queues,
             ring_size: calib::RX_RING_SIZE,
+            mbuf_pool: None,
             nic: NicProfile::X520,
             os: OsConfig::default(),
             net_nice: 0,
@@ -306,6 +312,14 @@ impl Scenario {
     /// Set the descriptor ring size.
     pub fn with_ring(mut self, size: usize) -> Self {
         self.ring_size = size;
+        self
+    }
+
+    /// Set the realtime backend's mbuf pool population (undersize it to
+    /// provoke pool-exhaustion drops; the drop-cause breakdown in the
+    /// report tells pool exhaustion from ring tail-drop).
+    pub fn with_mbuf_pool(mut self, population: usize) -> Self {
+        self.mbuf_pool = Some(population);
         self
     }
 

@@ -62,6 +62,10 @@ pub struct PacedArrivals {
     horizon: Nanos,
     sleeper: PreciseSleeper,
     buf: Vec<Nanos>,
+    /// Read position into `buf` (chunked hand-out of a catch-up backlog).
+    cursor: usize,
+    /// Largest batch `next_batch` hands out (0 = unlimited).
+    max_batch: usize,
 }
 
 impl PacedArrivals {
@@ -74,7 +78,21 @@ impl PacedArrivals {
             horizon,
             sleeper: PreciseSleeper::default(),
             buf: Vec::new(),
+            cursor: 0,
+            max_batch: 0,
         }
+    }
+
+    /// Bound the size of the batches [`PacedArrivals::next_batch`] hands
+    /// out. A generator that fell behind catches up by emitting its whole
+    /// backlog; with a cap the backlog arrives as consecutive chunks of at
+    /// most `n` arrivals instead of one unbounded slice — which is what a
+    /// consumer allocating mbufs burst-by-burst from a *finite* pool
+    /// needs: the chunk size bounds how many pool buffers one batch can
+    /// demand before any can be recycled. `0` removes the cap.
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
     }
 
     /// The clock this pacer runs against (share it with consumers so
@@ -84,16 +102,28 @@ impl PacedArrivals {
     }
 
     /// Block until at least one arrival is due, then return the batch of
-    /// arrival timestamps with `t ≤ now` (all before the horizon). `None`
-    /// once the horizon has passed or the source is exhausted.
+    /// arrival timestamps with `t ≤ now` (all before the horizon), at
+    /// most `max_batch` long if a cap is set. `None` once the horizon has
+    /// passed or the source is exhausted.
     pub fn next_batch(&mut self) -> Option<&[Nanos]> {
         loop {
+            // Hand out the rest of an already-drained backlog first.
+            if self.cursor < self.buf.len() {
+                let end = match self.max_batch {
+                    0 => self.buf.len(),
+                    cap => (self.cursor + cap).min(self.buf.len()),
+                };
+                let chunk = &self.buf[self.cursor..end];
+                self.cursor = end;
+                return Some(chunk);
+            }
             let now = self.clock.now();
             let cut = now.min(self.horizon.saturating_sub(Nanos(1)));
             self.buf.clear();
+            self.cursor = 0;
             let n = self.source.drain(cut, Some(&mut self.buf));
             if n > 0 {
-                return Some(&self.buf);
+                continue; // serve from the freshly drained buffer
             }
             if now >= self.horizon {
                 return None;
@@ -135,6 +165,27 @@ mod tests {
             for &t in batch {
                 assert!(t >= last, "timestamps must be ordered");
                 assert!(t < horizon, "arrival past the horizon");
+                last = t;
+            }
+            total += batch.len() as u64;
+        }
+        assert_eq!(total, 2000);
+    }
+
+    #[test]
+    fn capped_batches_preserve_schedule_and_order() {
+        // Same CBR run as above, but handed out in chunks of ≤ 32: the
+        // total and the ordering must be unchanged, every chunk bounded.
+        let horizon = Nanos::from_millis(20);
+        let mut paced = PacedArrivals::new(Box::new(Cbr::new(100_000.0, Nanos::ZERO)), horizon)
+            .with_max_batch(32);
+        let mut total = 0u64;
+        let mut last = Nanos::ZERO;
+        while let Some(batch) = paced.next_batch() {
+            assert!(!batch.is_empty());
+            assert!(batch.len() <= 32, "cap violated: {}", batch.len());
+            for &t in batch {
+                assert!(t >= last, "timestamps must stay ordered across chunks");
                 last = t;
             }
             total += batch.len() as u64;

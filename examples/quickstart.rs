@@ -26,9 +26,12 @@ fn main() {
     let queues = vec![Arc::new(ArrayQueue::<u64>::new(4096))];
     let cfg = MetronomeConfig::default(); // M = 3, V̄ = 10 µs, TL = 500 µs
 
-    let m = Metronome::start(cfg, queues.clone(), |_queue, _packet: u64| {
-        // A real application would forward/inspect the packet here.
-        std::hint::black_box(_packet);
+    let m = Metronome::start(cfg, queues.clone(), |_queue, burst: &mut Vec<u64>| {
+        // A real application would forward/inspect the burst here (the
+        // worker hands over each drained burst in one call, DPDK-style).
+        for packet in burst.drain(..) {
+            std::hint::black_box(packet);
+        }
     });
 
     // Give the workers a moment to spawn before offering load, like a NIC

@@ -127,7 +127,7 @@ fn sim_and_realtime_backends_agree_on_policy_statistics() {
     let rt_queues: Vec<Arc<ArrayQueue<u64>>> = (0..N_QUEUES)
         .map(|_| Arc::new(ArrayQueue::new(CAPACITY)))
         .collect();
-    let harness = RealtimeHarness::new(cfg.clone(), rt_queues.clone(), |_q, _item: u64| {});
+    let harness = RealtimeHarness::new(cfg.clone(), rt_queues.clone(), |_q, _b: &mut Vec<u64>| {});
     let mut rt_backends: Vec<_> = (0..M_THREADS).map(|_| harness.backend()).collect();
 
     // --- identical engines, identical entropy streams --------------------

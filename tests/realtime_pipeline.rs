@@ -185,5 +185,52 @@ fn ring_overflow_under_overload_conserves_packets() {
         r.dropped,
         "per-queue drops drifted from the total"
     );
+    // Drop causes partition the total.
+    assert_eq!(r.dropped, r.dropped_ring + r.dropped_pool);
     assert!(r.loss > 0.0 && r.loss < 1.0);
+}
+
+/// Pool exhaustion is its own drop cause: a big ring with a starved mbuf
+/// pool loses packets at allocation, not at the descriptors — and the
+/// report must say so (ring tail-drop vs pool exhaustion), with the pool
+/// counters exposing the starvation.
+#[test]
+fn pool_exhaustion_is_a_distinct_drop_cause() {
+    let _guard = serial();
+    let cfg = MetronomeConfig {
+        m_threads: 2,
+        n_queues: 1,
+        ..MetronomeConfig::default()
+    };
+    // Ring far larger than the pool: descriptors are never the bottleneck,
+    // so every loss must be charged to the pool. The slow app holds each
+    // buffer ~30 µs, capping pool turnover at ~33 kpps × 24 buffers.
+    let sc = Scenario::metronome("rt-pool-starved", cfg, TrafficSpec::CbrPps(150_000.0))
+        .with_duration(Nanos::from_millis(150))
+        .with_ring(4096)
+        .with_mbuf_pool(24)
+        .with_seed(0x9001);
+    let r = run_realtime_with(&sc, &|_q| {
+        Box::new(SlowApp {
+            per_packet: Duration::from_micros(30),
+        })
+    });
+
+    assert!(r.dropped_pool > 0, "starved pool must drop at allocation");
+    assert_eq!(r.offered, r.forwarded + r.dropped, "conservation");
+    assert_eq!(r.dropped, r.dropped_ring + r.dropped_pool);
+    assert_eq!(
+        r.queues.iter().map(|q| q.dropped_pool).sum::<u64>(),
+        r.dropped_pool,
+        "per-queue pool drops drifted from the total"
+    );
+    let pool = r.mempool.expect("realtime run reports pool stats");
+    assert!(pool.alloc_failures >= r.dropped_pool);
+    assert_eq!(pool.population, 24);
+    // An alloc failure means some allocation found the freelist empty —
+    // and since occupancy accounting shares the freelist's critical
+    // section, the peak must have registered the full population (and can
+    // never exceed it).
+    assert_eq!(pool.in_use_peak, 24, "starved pool must hit its ceiling");
+    assert_eq!(pool.allocs, pool.frees, "every buffer must come home");
 }

@@ -28,9 +28,11 @@ fn multiqueue_processes_exactly_once() {
     let m = {
         let count = Arc::clone(&count);
         let xor = Arc::clone(&xor);
-        Metronome::start(cfg, queues.clone(), move |_q, item| {
-            count.fetch_add(1, Ordering::Relaxed);
-            xor.fetch_xor(item, Ordering::Relaxed);
+        Metronome::start(cfg, queues.clone(), move |_q, burst: &mut Vec<u64>| {
+            for item in burst.drain(..) {
+                count.fetch_add(1, Ordering::Relaxed);
+                xor.fetch_xor(item, Ordering::Relaxed);
+            }
         })
     };
     let n = 30_000u64;
@@ -74,12 +76,14 @@ fn rho_tracks_offered_load_up_and_down() {
         ..MetronomeConfig::default()
     };
     let queues = vec![Arc::new(ArrayQueue::<u64>::new(8192))];
-    let m = Metronome::start(cfg, queues.clone(), |_q, item| {
-        let t = Instant::now();
-        while t.elapsed() < Duration::from_micros(20) {
-            std::hint::spin_loop();
+    let m = Metronome::start(cfg, queues.clone(), |_q, burst: &mut Vec<u64>| {
+        for item in burst.drain(..) {
+            let t = Instant::now();
+            while t.elapsed() < Duration::from_micros(20) {
+                std::hint::spin_loop();
+            }
+            std::hint::black_box(item);
         }
-        std::hint::black_box(item);
     });
     let sleeper = metronome_repro::core::PreciseSleeper::default();
 

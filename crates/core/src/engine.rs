@@ -27,6 +27,7 @@
 
 use crate::policy::ThreadPolicy;
 use metronome_sim::Nanos;
+use metronome_telemetry::{NullSink, PhaseKind, SleepKind, TelemetrySink};
 
 pub use crate::policy::Role;
 
@@ -230,6 +231,8 @@ enum Phase {
     GoSleep {
         /// Requested sleep length.
         dur: Nanos,
+        /// Which timeout the sleep is taken under (telemetry label).
+        kind: SleepKind,
     },
 }
 
@@ -280,14 +283,32 @@ impl MetronomeEngine {
     /// Advance the protocol by one step against `backend`, returning what
     /// the driver must do before the next step.
     pub fn step<B: Backend>(&mut self, backend: &mut B) -> EngineOp {
+        self.step_with(backend, &NullSink)
+    }
+
+    /// [`MetronomeEngine::step`] with telemetry: phase transitions,
+    /// drained-burst counts, `TS` recomputations and sleep intents are
+    /// published into `sink` as they happen. `sink` is called at protocol
+    /// grain (per turn / per burst, never per packet), so a counter sink
+    /// adds a handful of relaxed-atomic increments per turn; with
+    /// [`NullSink`] this monomorphizes back to the plain loop.
+    pub fn step_with<B: Backend, S: TelemetrySink>(
+        &mut self,
+        backend: &mut B,
+        sink: &S,
+    ) -> EngineOp {
         match self.phase {
             Phase::Init => {
                 let stagger = backend.stagger();
                 self.phase = Phase::AfterSleep;
+                sink.phase(PhaseKind::Stagger);
+                sink.sleep_planned(SleepKind::Stagger, stagger);
                 EngineOp::Wait(stagger)
             }
             Phase::AfterSleep => {
                 self.policy.on_wake();
+                sink.wake();
+                sink.phase(PhaseKind::Wake);
                 let q = self.policy.queue_to_contend();
                 backend.before_contend(q);
                 self.phase = Phase::TryAcquire;
@@ -297,6 +318,7 @@ impl MetronomeEngine {
                 let q = self.policy.queue_to_contend();
                 if backend.try_acquire(q) {
                     self.policy.on_race_won();
+                    sink.phase(PhaseKind::Drain);
                     self.phase = Phase::Chunk { q, k: 0 };
                     EngineOp::Work(backend.costs().acquire)
                 } else {
@@ -305,12 +327,16 @@ impl MetronomeEngine {
                     let n_queues = backend.n_queues();
                     let draw = backend.draw();
                     self.policy.on_race_lost(n_queues, draw);
+                    sink.phase(PhaseKind::LostRace);
                     let dur = if backend.equal_timeouts() {
                         backend.ts(q)
                     } else {
                         backend.tl()
                     };
-                    self.phase = Phase::GoSleep { dur };
+                    self.phase = Phase::GoSleep {
+                        dur,
+                        kind: SleepKind::Long,
+                    };
                     let costs = backend.costs();
                     EngineOp::Work(costs.busy_try + costs.sleep_call)
                 }
@@ -322,6 +348,7 @@ impl MetronomeEngine {
                 }
                 let taken = backend.rx_burst(q, self.burst);
                 if taken > 0 {
+                    sink.retrieved(q, taken);
                     self.phase = Phase::Chunk { q, k: taken };
                     EngineOp::Work(backend.chunk_cost(taken))
                 } else {
@@ -330,14 +357,21 @@ impl MetronomeEngine {
                         self.policy.on_empty_poll();
                     }
                     let dur = backend.release(q);
+                    sink.ts_update(q, dur);
+                    sink.phase(PhaseKind::Release);
                     debug_assert_eq!(self.policy.role(), Role::Primary);
-                    self.phase = Phase::GoSleep { dur };
+                    self.phase = Phase::GoSleep {
+                        dur,
+                        kind: SleepKind::Short,
+                    };
                     let costs = backend.costs();
                     EngineOp::Work(costs.empty_poll + costs.release + costs.sleep_call)
                 }
             }
-            Phase::GoSleep { dur } => {
+            Phase::GoSleep { dur, kind } => {
                 self.phase = Phase::AfterSleep;
+                sink.sleep_planned(kind, dur);
+                sink.phase(PhaseKind::Sleep);
                 EngineOp::Sleep(dur)
             }
         }
@@ -489,6 +523,42 @@ mod tests {
         let mut b = ScriptBackend::new(1);
         let mut e = MetronomeEngine::new(0, 32);
         assert_eq!(e.step(&mut b), EngineOp::Wait(Nanos::ZERO));
+    }
+
+    #[test]
+    fn step_with_publishes_telemetry() {
+        use metronome_telemetry::TelemetryHub;
+        use std::sync::atomic::Ordering;
+
+        let hub = TelemetryHub::new(1, 1);
+        let sink = hub.worker_sink(0);
+        let mut b = ScriptBackend::new(1);
+        b.queued[0].extend(0..40u64);
+        let mut e = MetronomeEngine::new(0, 32);
+        loop {
+            if let EngineOp::Sleep(_) = e.step_with(&mut b, &sink) {
+                break;
+            }
+        }
+        assert_eq!(hub.total_retrieved(), 40);
+        assert_eq!(hub.total_wakeups(), 1);
+        // Two non-empty bursts → two burst records.
+        assert_eq!(hub.queue(0).bursts.load(Ordering::Relaxed), 2);
+        // The TS gauge carries the release()-computed timeout.
+        assert_eq!(hub.queue(0).ts_ns.load(Ordering::Relaxed), b.ts.as_nanos());
+        // The winner's sleep is a short (TS) sleep.
+        assert_eq!(hub.worker(0).sleeps_short.load(Ordering::Relaxed), 1);
+        assert_eq!(hub.worker(0).sleeps_long.load(Ordering::Relaxed), 0);
+
+        // A lost race publishes a long (TL) sleep intent.
+        b.locked[0] = true;
+        loop {
+            if let EngineOp::Sleep(_) = e.step_with(&mut b, &sink) {
+                break;
+            }
+        }
+        assert_eq!(hub.worker(0).sleeps_long.load(Ordering::Relaxed), 1);
+        assert_eq!(hub.total_wakeups(), 2);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::policy::ThreadPolicy;
 use crate::trylock::TryLock;
 use crossbeam::queue::ArrayQueue;
 use metronome_sim::Nanos;
+use metronome_telemetry::{NullSink, TelemetryHub, TelemetrySink};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -262,7 +263,7 @@ where
 
 /// A single-threaded harness over the realtime backend components.
 ///
-/// Spawns no threads: it builds the same [`SharedState`] a running
+/// Spawns no threads: it builds the same `SharedState` a running
 /// [`Metronome`] uses and hands out per-worker [`RealtimeBackend`]s that a
 /// test can drive step by step. This is what the sim-vs-realtime parity
 /// test uses to execute both backends under one deterministic schedule.
@@ -329,6 +330,42 @@ impl<T: Send + 'static> Metronome<T> {
     where
         F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
     {
+        Self::start_with_sinks(cfg, queues, process, |_worker| NullSink)
+    }
+
+    /// [`Metronome::start`] with telemetry: every worker publishes wakes,
+    /// busy/sleep time, drained bursts and `TS` updates into `hub`
+    /// (relaxed-atomic increments at protocol grain — the hot path takes
+    /// no lock and allocates nothing for telemetry). The hub must have
+    /// `cfg.m_threads` worker slots and `cfg.n_queues` queue slots.
+    pub fn start_with_telemetry<F>(
+        cfg: MetronomeConfig,
+        queues: Vec<Arc<ArrayQueue<T>>>,
+        process: F,
+        hub: &Arc<TelemetryHub>,
+    ) -> Self
+    where
+        F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+    {
+        assert_eq!(hub.n_workers(), cfg.m_threads, "hub/config worker mismatch");
+        assert_eq!(hub.n_queues(), cfg.n_queues, "hub/config queue mismatch");
+        let hub = Arc::clone(hub);
+        Self::start_with_sinks(cfg, queues, process, move |worker| hub.worker_sink(worker))
+    }
+
+    /// Shared spawn path: `make_sink` builds the per-worker telemetry
+    /// view ([`NullSink`] when telemetry is off, so the plain-`start`
+    /// worker monomorphizes to the pre-telemetry loop).
+    fn start_with_sinks<F, S>(
+        cfg: MetronomeConfig,
+        queues: Vec<Arc<ArrayQueue<T>>>,
+        process: F,
+        make_sink: impl Fn(usize) -> S,
+    ) -> Self
+    where
+        F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+        S: TelemetrySink + Send + 'static,
+    {
         // One construction path for the worker substrate: the harness the
         // parity test drives is exactly what the threaded runtime runs.
         let harness = RealtimeHarness::new(cfg.clone(), queues, process);
@@ -338,12 +375,13 @@ impl<T: Send + 'static> Metronome<T> {
         for worker in 0..cfg.m_threads {
             let backend = harness.backend();
             let stop = Arc::clone(&stop);
+            let sink = make_sink(worker);
             let initial_queue = worker % cfg.n_queues;
             let burst = cfg.burst;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("metronome-{worker}"))
-                    .spawn(move || run_worker(initial_queue, burst, backend, sleeper, &stop))
+                    .spawn(move || run_worker(initial_queue, burst, backend, sleeper, sink, &stop))
                     .expect("spawn metronome worker"),
             );
         }
@@ -407,23 +445,29 @@ impl<T: Send + 'static> Metronome<T> {
 ///
 /// This is the whole worker body: the Listing 2 protocol itself lives in
 /// [`MetronomeEngine::step`]; here we only execute the ops it yields.
-fn run_worker<T, F>(
+fn run_worker<T, F, S>(
     initial_queue: usize,
     burst: u32,
     mut backend: RealtimeBackend<T, F>,
     sleeper: PreciseSleeper,
+    sink: S,
     stop: &AtomicBool,
 ) -> ThreadPolicy
 where
     T: Send + 'static,
     F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+    S: TelemetrySink,
 {
     let mut engine = MetronomeEngine::new(initial_queue, burst);
+    // Busy/sleep accounting happens only at turn boundaries (one Instant
+    // read per sleep, never per packet).
+    let mut awake_since = Instant::now();
     loop {
-        match engine.step(&mut backend) {
+        match engine.step_with(&mut backend, &sink) {
             // Real cycles were already spent doing the step.
             EngineOp::Work(_) => {}
             EngineOp::Sleep(dur) | EngineOp::Wait(dur) => {
+                sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
                 // Sleep points are turn boundaries: the queue lock is never
                 // held here, so exiting now cannot strand a TryLock or drop
                 // an in-flight renewal cycle mid-drain.
@@ -431,8 +475,11 @@ where
                     return engine.into_policy();
                 }
                 if !dur.is_zero() {
+                    let slept_from = Instant::now();
                     sleeper.sleep(Duration::from_nanos(dur.as_nanos()));
+                    sink.slept(Nanos(slept_from.elapsed().as_nanos() as u64));
                 }
+                awake_since = Instant::now();
             }
         }
     }
@@ -586,6 +633,55 @@ mod tests {
         assert_eq!(stats.ts.len(), 1);
         let ctrl = stats.controller.expect("controller snapshot");
         assert_eq!(ctrl.queue(0).total_tries, won);
+    }
+
+    #[test]
+    fn telemetry_hub_tracks_a_realtime_run() {
+        let cfg = MetronomeConfig {
+            m_threads: 2,
+            n_queues: 1,
+            ..MetronomeConfig::default()
+        };
+        let hub = TelemetryHub::new(2, 1);
+        let queues = vec![Arc::new(ArrayQueue::<u64>::new(1024))];
+        let m = Metronome::start_with_telemetry(
+            cfg,
+            queues.clone(),
+            |_q, burst: &mut Vec<u64>| {
+                burst.drain(..);
+            },
+            &hub,
+        );
+        let n = 2_000u64;
+        for i in 0..n {
+            let mut item = i;
+            loop {
+                match m.queues()[0].push(item) {
+                    Ok(()) => break,
+                    Err(v) => {
+                        item = v;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while m.processed(0) < n && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = m.stop();
+        // The hub saw exactly what the engine processed and how often the
+        // workers woke — same events, counted on two independent paths.
+        assert_eq!(hub.total_retrieved(), stats.total_processed());
+        assert_eq!(hub.total_wakeups(), stats.wakes.iter().sum::<u64>());
+        // Busy/sleep spans were measured and the TS gauge is live.
+        assert!(hub.worker(0).busy_nanos.load(Ordering::Relaxed) > 0);
+        assert!(
+            hub.worker(0).sleep_nanos.load(Ordering::Relaxed)
+                + hub.worker(1).sleep_nanos.load(Ordering::Relaxed)
+                > 0
+        );
+        assert!(hub.queue(0).ts_ns.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::mbuf::Mbuf;
 use bytes::BytesMut;
+use metronome_telemetry::OccupancyProbe;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -253,6 +254,19 @@ impl Mempool {
                 self.shared.in_use.fetch_sub(n, Ordering::Relaxed);
             }
         }
+    }
+}
+
+/// The sampler-facing gauge view of a pool: "occupancy" is buffers
+/// currently handed out (in use). Reads are atomic loads — the freelist
+/// lock is never taken.
+impl OccupancyProbe for Mempool {
+    fn occupancy(&self) -> u64 {
+        self.shared.in_use.load(Ordering::Relaxed)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.shared.population as u64
     }
 }
 

@@ -23,6 +23,7 @@ use crate::ring::valid_ring_size;
 use bytes::BytesMut;
 use crossbeam::queue::ArrayQueue;
 use metronome_net::toeplitz::Toeplitz;
+use metronome_telemetry::OccupancyProbe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -148,6 +149,18 @@ impl SharedRing {
     }
 }
 
+/// The sampler-facing gauge view of a ring (see
+/// [`metronome_telemetry::OccupancyProbe`]); reads are lock-free.
+impl OccupancyProbe for SharedRing {
+    fn occupancy(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    fn capacity(&self) -> u64 {
+        self.queue.capacity() as u64
+    }
+}
+
 /// The receive side of an RSS-enabled NIC port: `N` shared rings behind
 /// one Toeplitz hasher.
 pub struct RssPort {
@@ -198,6 +211,12 @@ impl RssPort {
     /// The per-queue rings (for counters and occupancy checks).
     pub fn rings(&self) -> &[SharedRing] {
         &self.rings
+    }
+
+    /// Per-queue ring occupancies in one pass (the telemetry sampler's
+    /// gauge column; each read is lock-free).
+    pub fn occupancies(&self) -> Vec<u64> {
+        self.rings.iter().map(OccupancyProbe::occupancy).collect()
     }
 
     /// Consumer handles for the workers, one per queue.

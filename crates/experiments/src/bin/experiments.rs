@@ -1,7 +1,7 @@
 //! Command-line harness regenerating the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--full] [--realtime] [--seed N] [--out DIR]
+//! experiments [--full] [--realtime] [--json] [--seed N] [--out DIR]
 //!             [all | fig1 | fig4 | table1 | fig5 | fig6 | fig7 | fig8 |
 //!              fig9 | fig10 | fig11 | fig12 | table2 | fig13 | fig14 |
 //!              fig15 | table3 | fig16]...
@@ -11,7 +11,11 @@
 //! real-thread pipeline (×1000-scaled rates; see `ExpConfig::realtime`).
 //!
 //! Prints paper-style tables to stdout and writes CSV series under the
-//! output directory (default `results/`).
+//! output directory (default `results/`). With `--json`, every raw
+//! `RunReport` behind a table cell is additionally written as
+//! machine-readable JSON (`<label>.json`, via the telemetry JSON
+//! writer), including the windowed telemetry series when the experiment
+//! sampled one.
 
 use metronome_experiments::{run_experiment, ExpConfig, ALL_EXPERIMENTS};
 use std::collections::BTreeSet;
@@ -20,12 +24,14 @@ use std::path::PathBuf;
 fn main() {
     let mut cfg = ExpConfig::default();
     let mut out_dir = PathBuf::from("results");
+    let mut json = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => cfg.full = true,
             "--realtime" => cfg.realtime = true,
+            "--json" => json = true,
             "--seed" => {
                 cfg.seed = args
                     .next()
@@ -37,7 +43,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--full] [--realtime] [--seed N] [--out DIR] [all | {}]",
+                    "usage: experiments [--full] [--realtime] [--json] [--seed N] [--out DIR] [all | {}]",
                     ALL_EXPERIMENTS.join(" | ")
                 );
                 return;
@@ -71,6 +77,13 @@ fn main() {
             let path = out_dir.join(name);
             std::fs::write(&path, content).expect("write csv");
             println!("  -> {}", path.display());
+        }
+        if json {
+            for (label, report) in &out.reports {
+                let path = out_dir.join(format!("{label}.json"));
+                std::fs::write(&path, report.to_json()).expect("write report json");
+                println!("  -> {}", path.display());
+            }
         }
         println!();
     }

@@ -82,6 +82,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             "fig1_sleep_services.csv".into(),
             render_csv(&headers, &csv_rows),
         )],
+        reports: Vec::new(),
     }
 }
 

@@ -119,6 +119,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
                 &csv_rows,
             ),
         )],
+        reports: Vec::new(),
     }
 }
 

@@ -51,6 +51,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         title: "Figure 5: latency and CPU vs target vacation (10/5 Gbps)".into(),
         table: render_table(&headers, &rows),
         csvs: vec![("fig5_vbar_tradeoff.csv".into(), render_csv(&headers, &rows))],
+        reports: Vec::new(),
     }
 }
 

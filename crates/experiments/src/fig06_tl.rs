@@ -40,6 +40,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         title: "Figure 6: busy tries and CPU vs TL (line rate)".into(),
         table: render_table(&headers, &rows),
         csvs: vec![("fig6_tl_sweep.csv".into(), render_csv(&headers, &rows))],
+        reports: Vec::new(),
     }
 }
 

@@ -38,6 +38,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         title: "Figure 7: busy tries and CPU vs number of threads M (line rate)".into(),
         table: render_table(&headers, &rows),
         csvs: vec![("fig7_m_sweep.csv".into(), render_csv(&headers, &rows))],
+        reports: Vec::new(),
     }
 }
 

@@ -57,6 +57,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         title: "Figure 8: latency vs number of threads M (10/1 Gbps)".into(),
         table: render_table(&headers, &rows),
         csvs: vec![("fig8_latency_vs_m.csv".into(), render_csv(&headers, &rows))],
+        reports: Vec::new(),
     }
 }
 

@@ -56,6 +56,7 @@ pub fn run_cell(system: System, gbps: f64, cfg: &ExpConfig) -> RunReport {
 /// Run the experiment.
 pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for gbps in [10.0f64, 5.0, 1.0, 0.5] {
         for (name, system) in [
             ("static", System::Static),
@@ -63,7 +64,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             ("xdp", System::Xdp),
         ] {
             let r = run_cell(system, gbps, cfg);
-            let lat = r.latency_us.expect("latency sampled");
+            let lat = *r.latency_us.as_ref().expect("latency sampled");
             rows.push(vec![
                 format!("{gbps}"),
                 name.into(),
@@ -75,6 +76,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
                 format!("{:.4}", r.loss_permille()),
                 format!("{:.2}", r.throughput_mpps),
             ]);
+            reports.push((format!("fig10_{gbps}g_{name}"), r));
         }
     }
     let headers = [
@@ -93,6 +95,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         title: "Figure 10: static DPDK vs Metronome vs XDP (latency, CPU)".into(),
         table: render_table(&headers, &rows),
         csvs: vec![("fig10_three_way.csv".into(), render_csv(&headers, &rows))],
+        reports,
     }
 }
 

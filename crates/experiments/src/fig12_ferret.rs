@@ -181,6 +181,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
                 render_csv(&tab2_headers, &tab2_rows),
             ),
         ],
+        reports: Vec::new(),
     }
 }
 

@@ -96,6 +96,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             "fig13_14_multiqueue_grid.csv".into(),
             render_csv(&headers, &rows),
         )],
+        reports: Vec::new(),
     }
 }
 

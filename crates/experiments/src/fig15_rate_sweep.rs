@@ -64,6 +64,7 @@ pub fn run_point(metronome: bool, mpps: f64, cfg: &ExpConfig) -> RunReport {
 /// sizing is visible next to the loss it prevents.
 pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for mpps in [37.0f64, 30.0, 20.0, 15.0, 10.0, 0.0] {
         for (name, metronome) in [("static", false), ("metronome", true)] {
             let r = run_point(metronome, mpps, cfg);
@@ -82,6 +83,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
                 format!("{}", r.dropped_pool),
                 pool_use,
             ]);
+            reports.push((format!("fig15_{mpps}mpps_{name}"), r));
         }
     }
     let headers = [
@@ -100,6 +102,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         title: "Figure 15: multiqueue CPU and power vs rate (XL710, N=4, M=5)".into(),
         table: render_table(&headers, &rows),
         csvs: vec![("fig15_rate_sweep.csv".into(), render_csv(&headers, &rows))],
+        reports,
     }
 }
 

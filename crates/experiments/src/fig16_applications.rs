@@ -51,6 +51,7 @@ pub fn run_point(app: AppProfile, metronome: bool, mpps: f64, cfg: &ExpConfig) -
 /// Run the experiment.
 pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     let ipsec_rates = [5.61f64, 3.0, 1.0, 0.5, 0.1];
     let flow_rates = [14.88f64, 10.0, 5.0, 1.0, 0.5];
     for (app, rates) in [
@@ -68,6 +69,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
                     format!("{:.2}", r.throughput_mpps),
                     format!("{:.3}", r.loss_permille()),
                 ]);
+                reports.push((format!("fig16_{}_{mpps}mpps_{name}", app.name), r));
             }
         }
     }
@@ -84,6 +86,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         title: "Figure 16: IPsec gateway and FloWatcher CPU usage".into(),
         table: render_table(&headers, &rows),
         csvs: vec![("fig16_applications.csv".into(), render_csv(&headers, &rows))],
+        reports,
     }
 }
 

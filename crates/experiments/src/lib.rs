@@ -29,6 +29,7 @@ pub mod fig16_applications;
 pub mod tab1_vacation_targets;
 pub mod tab3_unbalanced;
 
+use metronome_runtime::RunReport;
 use metronome_sim::Nanos;
 
 /// Global experiment options.
@@ -80,6 +81,11 @@ pub struct ExpOutput {
     pub table: String,
     /// (filename, content) CSVs for plotting.
     pub csvs: Vec<(String, String)>,
+    /// (label, report) pairs for the machine-readable path: the raw
+    /// [`RunReport`] behind each cell of the table, serialized to JSON by
+    /// the `experiments` binary when `--json` is passed. Modules that only
+    /// derive scalar sweeps leave this empty.
+    pub reports: Vec<(String, RunReport)>,
 }
 
 /// Render an aligned ASCII table.

@@ -64,6 +64,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             "table1_vacation_targets.csv".into(),
             render_csv(&headers, &rows.to_vec()),
         )],
+        reports: Vec::new(),
     }
 }
 

@@ -43,10 +43,8 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
             format!("{:.2}", q.busy_try_fraction * 100.0),
             (q.total_tries + q.busy_tries).to_string(),
             format!("{:.4}", q.rho),
-            format!(
-                "{:.2}",
-                q.drained as f64 / r.forwarded.max(1) as f64 * 100.0
-            ),
+            // queue_share guards the zero-forwarded case (never NaN).
+            format!("{:.2}", r.queue_share(i) * 100.0),
         ]);
     }
     rows.push(vec![
@@ -68,6 +66,7 @@ pub fn run(cfg: &ExpConfig) -> ExpOutput {
         title: "Table III: per-queue statistics under unbalanced traffic".into(),
         table: render_table(&headers, &rows),
         csvs: vec![("table3_unbalanced.csv".into(), render_csv(&headers, &rows))],
+        reports: vec![("table3_unbalanced".into(), r)],
     }
 }
 

@@ -11,7 +11,7 @@
 //!              (Listing 2 on real threads)   (process_burst + latency)
 //! ```
 //!
-//! * **Load generation** — the scenario's [`TrafficSpec`] builds one
+//! * **Load generation** — the scenario's [`crate::scenario::TrafficSpec`] builds one
 //!   aggregate [`metronome_traffic::ArrivalProcess`], replayed in real
 //!   time by [`PacedArrivals`] (MoonGen's role) in bounded batches. Each
 //!   arrival takes a pre-allocated buffer from the shared [`Mempool`] and
@@ -53,8 +53,11 @@ use metronome_core::MetronomeConfig;
 use metronome_dpdk::{Mbuf, Mempool, RssPort};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_sim::stats::Histogram;
+use metronome_sim::Nanos;
+use metronome_telemetry::{CounterSnapshot, DropCause, Sampler, TelemetryHub, TelemetrySink};
 use metronome_traffic::{FlowSet, PacedArrivals, WallClock};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -162,6 +165,12 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
             .collect(),
     );
 
+    // ---- telemetry: counters always on, sampling on request --------------
+    // Workers bump the hub's relaxed atomics at protocol grain; the
+    // producer side accounts drops by cause through the same hub, so a
+    // sampler thread (below) sees one coherent counter surface.
+    let hub = TelemetryHub::new(cfg.m_threads, sc.n_queues);
+
     // ---- workers: the Listing 2 protocol on real threads -----------------
     // The latency clock is anchored only after the workers are up (the
     // cell is filled below): anchoring before the spawn would stamp the
@@ -171,27 +180,86 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     let clock_cell: Arc<std::sync::OnceLock<WallClock>> = Arc::new(std::sync::OnceLock::new());
     let measure_latency = sc.latency_stride > 0;
     let run_start = Instant::now();
-    let metronome = Metronome::start(cfg.clone(), port.worker_queues(), {
-        let apps = Arc::clone(&apps);
-        let clock_cell = Arc::clone(&clock_cell);
-        let pool = pool.clone();
-        move |q, burst: &mut Vec<Mbuf>| {
-            // One lock, one process_burst, one histogram pass, one
-            // free_burst — per burst, never per packet.
-            let mut slot = apps[q].lock();
-            let _verdicts = slot.proc.process_burst(burst);
-            if measure_latency {
-                if let Some(clock) = clock_cell.get() {
-                    let done = clock.now();
-                    for mbuf in burst.iter() {
-                        let lat = done.saturating_sub(mbuf.arrival);
-                        slot.latency_ns.record(lat.as_nanos());
+    let metronome = Metronome::start_with_telemetry(
+        cfg.clone(),
+        port.worker_queues(),
+        {
+            let apps = Arc::clone(&apps);
+            let clock_cell = Arc::clone(&clock_cell);
+            let pool = pool.clone();
+            move |q, burst: &mut Vec<Mbuf>| {
+                // One lock, one process_burst, one histogram pass, one
+                // free_burst — per burst, never per packet.
+                let mut slot = apps[q].lock();
+                let _verdicts = slot.proc.process_burst(burst);
+                if measure_latency {
+                    if let Some(clock) = clock_cell.get() {
+                        let done = clock.now();
+                        for mbuf in burst.iter() {
+                            let lat = done.saturating_sub(mbuf.arrival);
+                            slot.latency_ns.record(lat.as_nanos());
+                        }
                     }
                 }
+                drop(slot);
+                pool.free_burst(burst.drain(..));
             }
-            drop(slot);
-            pool.free_burst(burst.drain(..));
-        }
+        },
+        &hub,
+    );
+
+    // ---- sampler thread (the realtime counterpart of the simulation's
+    // scheduled sampling events): every `series_every` it snapshots the
+    // hub's cumulative counters plus the ring/pool occupancy gauges, and
+    // takes one final snapshot after shutdown accounting settles so the
+    // windowed series telescopes exactly to the report's totals.
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let sampler_thread = sc.series_every.map(|every| {
+        let hub = Arc::clone(&hub);
+        let port = Arc::clone(&port);
+        let pool = pool.clone();
+        let apps = Arc::clone(&apps);
+        let stop = Arc::clone(&sampler_stop);
+        let interval = Duration::from_nanos(every.as_nanos());
+        std::thread::Builder::new()
+            .name("metronome-sampler".into())
+            .spawn(move || {
+                let mut sampler = Sampler::new(every);
+                let mut last = Instant::now();
+                loop {
+                    // Acquire pairs with the Release store below: once the
+                    // flag reads true, every counter write the main thread
+                    // made before raising it (worker counters settled by
+                    // join, stranded-frame mirrors) is visible here — the
+                    // final snapshot must telescope exactly.
+                    while last.elapsed() < interval && !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    let stopping = stop.load(Ordering::Acquire);
+                    let mut snap =
+                        CounterSnapshot::new(Nanos(run_start.elapsed().as_nanos() as u64));
+                    hub.fill_snapshot(&mut snap);
+                    snap.offered = port.total_offered() + snap.dropped_pool;
+                    snap.occupancy = port.occupancies();
+                    snap.pool_in_use = pool.in_use() as u64;
+                    if measure_latency {
+                        // Merging the per-queue histograms takes each app
+                        // mutex briefly; workers hold it once per burst,
+                        // so contention is rare and bounded.
+                        let mut merged = Histogram::latency();
+                        for app in apps.iter() {
+                            merged.merge(&app.lock().latency_ns);
+                        }
+                        snap.latency = Some(merged);
+                    }
+                    sampler.sample(snap);
+                    last = Instant::now();
+                    if stopping {
+                        return sampler.into_series();
+                    }
+                }
+            })
+            .expect("spawn sampler thread")
     });
 
     // ---- traffic: one aggregate arrival process, wall-clock paced --------
@@ -214,7 +282,6 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     let mut staged: Vec<Vec<Mbuf>> = (0..sc.n_queues)
         .map(|_| Vec::with_capacity(GEN_BATCH))
         .collect();
-    let mut pool_drops: Vec<u64> = vec![0; sc.n_queues];
     while let Some(batch) = paced.next_batch() {
         pool.alloc_burst(batch.len(), &mut blanks);
         for &t in batch {
@@ -230,7 +297,7 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
                 }
                 // Pool exhausted: the NIC has a descriptor but no buffer
                 // to DMA into — a drop cause of its own.
-                None => pool_drops[*q] += 1,
+                None => hub.dropped(*q, DropCause::Pool, 1),
             }
         }
         for (q, frames) in staged.iter_mut().enumerate() {
@@ -239,7 +306,9 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
             }
             port.offer_burst(q, frames);
             // Whatever the ring rejected is tail-dropped (already counted
-            // by the ring): recycle the buffers in one transaction.
+            // by the ring; mirrored into the telemetry hub): recycle the
+            // buffers in one transaction.
+            hub.dropped(q, DropCause::Ring, frames.len() as u64);
             pool.free_burst(frames.drain(..));
         }
     }
@@ -279,12 +348,14 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     let stranded: Vec<u64> = port
         .rings()
         .iter()
-        .map(|ring| {
+        .enumerate()
+        .map(|(q, ring)| {
             let mut n = 0u64;
             while ring.pop_burst(&mut stranded_scratch, GEN_BATCH) > 0 {
                 n += stranded_scratch.len() as u64;
                 pool.free_burst(stranded_scratch.drain(..));
             }
+            hub.dropped(q, DropCause::Ring, n);
             n
         })
         .collect();
@@ -293,6 +364,16 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     // recycle after each burst and the generator after each offer, so a
     // leak here is a real datapath bug, not a timing artifact.
     debug_assert_eq!(pool.in_use(), 0, "mbuf leak: pool buffers unaccounted");
+
+    // Shutdown accounting is settled: release the sampler for its final
+    // snapshot, so the series totals match the report's counters exactly.
+    let timeseries = sampler_thread.map(|handle| {
+        sampler_stop.store(true, Ordering::Release);
+        handle.join().expect("sampler thread panicked")
+    });
+    let pool_drops: Vec<u64> = (0..sc.n_queues)
+        .map(|q| hub.queue(q).dropped_pool.load(Ordering::Relaxed))
+        .collect();
 
     let ctrl = stats
         .controller
@@ -315,6 +396,7 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     report.dropped_ring = dropped_ring;
     report.dropped_pool = dropped_pool;
     report.mempool = Some(pool.stats());
+    report.timeseries = timeseries;
     report.queues = (0..sc.n_queues)
         .map(|q| {
             let st = ctrl.queue(q);

@@ -3,6 +3,8 @@
 use metronome_dpdk::MempoolStats;
 use metronome_sim::stats::Boxplot;
 use metronome_sim::Nanos;
+use metronome_telemetry::export::json::{timeseries_json, Json};
+use metronome_telemetry::TimeSeries;
 
 /// Per-queue outcome of a run.
 #[derive(Clone, Debug)]
@@ -99,6 +101,10 @@ pub struct RunReport {
     pub ferret_standalone: Option<Nanos>,
     /// Fig. 9 time series (empty unless requested).
     pub series: Vec<RampPoint>,
+    /// Windowed telemetry series (`None` unless the scenario requested
+    /// sampling via `with_series`): per-window duty cycle, throughput,
+    /// `TS`/ρ trajectory, drops by cause, occupancy, latency percentiles.
+    pub timeseries: Option<TimeSeries>,
     /// Raw vacation-period samples in µs (Fig. 4 / Table I), capped.
     pub vacation_samples_us: Vec<f64>,
 }
@@ -148,6 +154,7 @@ impl RunReport {
             ferret_completion: None,
             ferret_standalone: None,
             series: Vec::new(),
+            timeseries: None,
             vacation_samples_us: Vec::new(),
         }
     }
@@ -210,5 +217,94 @@ impl RunReport {
         } else {
             self.queues.iter().map(|q| q.rho).sum::<f64>() / self.queues.len() as f64
         }
+    }
+
+    /// Queue `q`'s share of the forwarded traffic, in `[0, 1]` — 0 when
+    /// nothing was forwarded (Silent / zero-rate scenarios), never NaN.
+    pub fn queue_share(&self, q: usize) -> f64 {
+        if self.forwarded == 0 {
+            0.0
+        } else {
+            self.queues.get(q).map_or(0.0, |qr| qr.drained as f64) / self.forwarded as f64
+        }
+    }
+
+    /// Machine-readable JSON of the whole report (through the telemetry
+    /// JSON writer — the vendored build has no serde). Integer counters
+    /// are emitted exactly; non-finite floats render as `null`, so a
+    /// pathological report can never produce unparseable output.
+    pub fn to_json(&self) -> String {
+        let queues: Vec<Json> = self
+            .queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                Json::obj()
+                    .with("queue", i)
+                    .with("mean_vacation_us", q.mean_vacation_us)
+                    .with("mean_busy_us", q.mean_busy_us)
+                    .with("nv", q.nv)
+                    .with("rho", q.rho)
+                    .with("total_tries", q.total_tries)
+                    .with("busy_tries", q.busy_tries)
+                    .with("busy_try_fraction", q.busy_try_fraction)
+                    .with("drained", q.drained)
+                    .with("share", self.queue_share(i))
+                    .with("dropped", q.dropped)
+                    .with("dropped_pool", q.dropped_pool)
+            })
+            .collect();
+        let boxplot = |b: &Boxplot| {
+            Json::obj()
+                .with("min", b.min)
+                .with("q1", b.q1)
+                .with("median", b.median)
+                .with("q3", b.q3)
+                .with("max", b.max)
+                .with("mean", b.mean)
+                .with("std_dev", b.std_dev)
+                .with("count", b.count)
+        };
+        let mut doc = Json::obj()
+            .with("name", self.name.as_str())
+            .with("duration_s", self.duration.as_secs_f64())
+            .with("offered", self.offered)
+            .with("forwarded", self.forwarded)
+            .with("dropped", self.dropped)
+            .with("dropped_ring", self.dropped_ring)
+            .with("dropped_pool", self.dropped_pool)
+            .with("throughput_mpps", self.throughput_mpps)
+            .with("loss", self.loss)
+            .with("cpu_total_pct", self.cpu_total_pct)
+            .with(
+                "cpu_per_thread_pct",
+                Json::Arr(self.cpu_per_thread_pct.iter().map(|&c| c.into()).collect()),
+            )
+            .with("power_watts", self.power_watts)
+            .with("busy_try_fraction", self.busy_try_fraction)
+            .with("total_wakes", self.total_wakes)
+            .with("latency_us", self.latency_us.as_ref().map(boxplot))
+            .with(
+                "mempool",
+                self.mempool.map(|m| {
+                    Json::obj()
+                        .with("population", m.population)
+                        .with("allocs", m.allocs)
+                        .with("frees", m.frees)
+                        .with("alloc_failures", m.alloc_failures)
+                        .with("in_use_peak", m.in_use_peak)
+                }),
+            )
+            .with(
+                "ferret_completion_s",
+                self.ferret_completion.map(|n| n.as_secs_f64()),
+            )
+            .with("ferret_slowdown", self.ferret_slowdown())
+            .with("queues", Json::Arr(queues));
+        match &self.timeseries {
+            Some(ts) => doc.push("timeseries", timeseries_json(ts)),
+            None => doc.push("timeseries", Json::Null),
+        };
+        doc.render()
     }
 }

@@ -11,6 +11,7 @@ use metronome_core::MetronomeConfig;
 use metronome_os::executor::OsSim;
 use metronome_os::ThreadId;
 use metronome_sim::Nanos;
+use metronome_telemetry::{CounterSnapshot, Sampler};
 
 /// Execute a scenario and produce its report.
 pub fn run(sc: &Scenario) -> RunReport {
@@ -97,7 +98,14 @@ pub fn run(sc: &Scenario) -> RunReport {
     // backend actually charges per chunk.
     let mu = sc.app.mu_pps(sc.os.freq.max_mhz(), metro_cfg.burst);
     let mut series = Vec::new();
+    let mut timeseries = None;
     if let Some(every) = sc.series_every {
+        // The simulation's sampling points are scheduled events: the run
+        // is advanced window by window and the cumulative world/OS
+        // counters are snapshotted at each boundary. The telemetry
+        // sampler differences consecutive snapshots into windows, so the
+        // per-window columns sum exactly to the end-of-run aggregates.
+        let mut sampler = Sampler::new(every);
         let mut t = Nanos::ZERO;
         let mut last_cpu = Nanos::ZERO;
         while t < sc.duration {
@@ -121,7 +129,27 @@ pub fn run(sc: &Scenario) -> RunReport {
                 rho: world.controller.rho(0),
                 cpu_pct: window_cpu.as_secs_f64() / every.as_secs_f64() * 100.0,
             });
+            let mut snap = CounterSnapshot::new(t);
+            snap.retrieved = world.total_drained();
+            snap.offered = world.total_offered();
+            snap.dropped_ring = world.total_dropped();
+            snap.wakeups = net_tids.iter().map(|&tid| os.thread_wakeups(tid)).sum();
+            snap.busy_nanos = cpu_now.as_nanos();
+            // Idle-thread time: everything the net threads did not burn.
+            snap.sleep_nanos =
+                (net_tids.len() as u64 * t.as_nanos()).saturating_sub(snap.busy_nanos);
+            snap.ts_ns = (0..sc.n_queues)
+                .map(|q| world.controller.ts(q).as_nanos())
+                .collect();
+            snap.rho = (0..sc.n_queues).map(|q| world.controller.rho(q)).collect();
+            snap.occupancy = world.queues.iter().map(|q| q.ring.occupancy()).collect();
+            snap.energy_joules = os.package_energy(t);
+            if sc.latency_stride > 0 {
+                snap.latency = Some(world.latency_hist.clone());
+            }
+            sampler.sample(snap);
         }
+        timeseries = Some(sampler.into_series());
     } else {
         os.run_until(&mut world, sc.duration);
     }
@@ -178,6 +206,7 @@ pub fn run(sc: &Scenario) -> RunReport {
     report.ferret_completion = ferret_completion;
     report.ferret_standalone = ferret_standalone;
     report.series = series;
+    report.timeseries = timeseries;
     report.vacation_samples_us = std::mem::take(&mut world.vacation_samples_us);
     report
 }

@@ -17,7 +17,7 @@
 use crate::calib;
 use metronome_core::controller::AdaptiveController;
 use metronome_dpdk::ring::RxRingModel;
-use metronome_sim::stats::{MeanVar, Reservoir};
+use metronome_sim::stats::{Histogram, MeanVar, Reservoir};
 use metronome_sim::Nanos;
 use metronome_traffic::ArrivalProcess;
 use std::collections::VecDeque;
@@ -225,6 +225,10 @@ pub struct World {
     pub base_latency: Nanos,
     /// End-to-end latency samples (µs), reservoir-sampled.
     pub latency_us: Reservoir,
+    /// Cumulative latency histogram (ns): every sample, O(1) insert. The
+    /// telemetry sampler differences snapshots of this into per-window
+    /// percentiles (the reservoir cannot be windowed — it forgets).
+    pub latency_hist: Histogram,
     /// Vacation-period samples in µs (for Fig. 4 / Table I), capped.
     pub vacation_samples_us: Vec<f64>,
     /// Cap on retained vacation samples.
@@ -248,6 +252,7 @@ impl World {
             controller,
             base_latency,
             latency_us: Reservoir::new(20_000, seed ^ 0x1A7E),
+            latency_hist: Histogram::latency(),
             vacation_samples_us: Vec::new(),
             vacation_sample_cap: 200_000,
             ferret_done: Vec::new(),
@@ -297,6 +302,7 @@ impl World {
     /// Record a finalized latency sample.
     pub fn push_latency(&mut self, lat: Nanos) {
         self.latency_us.add(lat.as_micros_f64());
+        self.latency_hist.record(lat.as_nanos());
     }
 
     /// A chunk of `k` packets from queue `q` finished processing: run the
@@ -304,8 +310,10 @@ impl World {
     pub fn chunk_done(&mut self, q: usize, now: Nanos, k: u64) {
         let base = self.base_latency;
         let latency = &mut self.latency_us;
+        let hist = &mut self.latency_hist;
         self.queues[q].chunk_processed(now, k, base, &mut |lat| {
             latency.add(lat.as_micros_f64());
+            hist.record(lat.as_nanos());
         });
     }
 
@@ -313,8 +321,10 @@ impl World {
     pub fn flush_queue_tx(&mut self, q: usize, now: Nanos) {
         let base = self.base_latency;
         let latency = &mut self.latency_us;
+        let hist = &mut self.latency_hist;
         self.queues[q].flush_tx(now, base, &mut |lat| {
             latency.add(lat.as_micros_f64());
+            hist.record(lat.as_nanos());
         });
     }
 

@@ -1,0 +1,297 @@
+//! Lock-light counters: the hot-path half of the telemetry subsystem.
+//!
+//! A [`TelemetryHub`] owns one [`WorkerCounters`] per thread and one
+//! [`QueueCounters`] per Rx queue, all plain `AtomicU64`s updated with
+//! `Ordering::Relaxed`. Workers publish through a per-thread
+//! [`WorkerTelemetry`] view (which binds the worker index once, so the
+//! sink callbacks carry no identity lookup); the sampler thread reads the
+//! same atomics without ever blocking a worker. Counter reads are
+//! monotone-per-counter but not a consistent cross-counter cut — windowed
+//! deltas absorb that, which is why the sampler works on snapshots.
+
+use crate::sink::{DropCause, PhaseKind, SleepKind, TelemetrySink};
+use metronome_sim::Nanos;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-worker counters (one cache-friendly block per thread).
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Timer wake-ups.
+    pub wakeups: AtomicU64,
+    /// Nanoseconds spent awake (wake → next sleep).
+    pub busy_nanos: AtomicU64,
+    /// Nanoseconds spent asleep (as measured, including oversleep).
+    pub sleep_nanos: AtomicU64,
+    /// Sleeps taken under the short adaptive timeout `TS`.
+    pub sleeps_short: AtomicU64,
+    /// Sleeps taken under the long backup timeout `TL`.
+    pub sleeps_long: AtomicU64,
+}
+
+/// Per-queue counters plus the `TS` gauge.
+#[derive(Debug, Default)]
+pub struct QueueCounters {
+    /// Packets retrieved (drained by winners).
+    pub retrieved: AtomicU64,
+    /// Non-empty retrieval bursts.
+    pub bursts: AtomicU64,
+    /// Packets tail-dropped at the Rx ring.
+    pub dropped_ring: AtomicU64,
+    /// Packets lost to mempool exhaustion.
+    pub dropped_pool: AtomicU64,
+    /// Current adaptive `TS` in nanoseconds (gauge, last-writer-wins).
+    pub ts_ns: AtomicU64,
+}
+
+/// The shared counter block for one running Metronome instance.
+#[derive(Debug)]
+pub struct TelemetryHub {
+    workers: Vec<WorkerCounters>,
+    queues: Vec<QueueCounters>,
+}
+
+impl TelemetryHub {
+    /// Hub for `m_workers` threads over `n_queues` queues.
+    pub fn new(m_workers: usize, n_queues: usize) -> Arc<Self> {
+        Arc::new(TelemetryHub {
+            workers: (0..m_workers).map(|_| WorkerCounters::default()).collect(),
+            queues: (0..n_queues).map(|_| QueueCounters::default()).collect(),
+        })
+    }
+
+    /// Number of worker slots.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of queue slots.
+    pub fn n_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// A worker's counter block.
+    pub fn worker(&self, w: usize) -> &WorkerCounters {
+        &self.workers[w]
+    }
+
+    /// A queue's counter block.
+    pub fn queue(&self, q: usize) -> &QueueCounters {
+        &self.queues[q]
+    }
+
+    /// The per-thread publishing view for worker `w`.
+    pub fn worker_sink(self: &Arc<Self>, w: usize) -> WorkerTelemetry {
+        assert!(w < self.workers.len(), "worker index out of range");
+        WorkerTelemetry {
+            hub: Arc::clone(self),
+            worker: w,
+        }
+    }
+
+    /// Total packets retrieved across queues.
+    pub fn total_retrieved(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(|q| q.retrieved.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total wake-ups across workers.
+    pub fn total_wakeups(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.wakeups.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Fold the hub's counters into `snap` (the sampler-facing read side).
+    /// Gauges the hub does not own (occupancy, pool, energy, latency) are
+    /// left untouched for the caller to fill.
+    pub fn fill_snapshot(&self, snap: &mut crate::sampler::CounterSnapshot) {
+        snap.retrieved = self.total_retrieved();
+        snap.wakeups = self.total_wakeups();
+        snap.busy_nanos = self
+            .workers
+            .iter()
+            .map(|w| w.busy_nanos.load(Ordering::Relaxed))
+            .sum();
+        snap.sleep_nanos = self
+            .workers
+            .iter()
+            .map(|w| w.sleep_nanos.load(Ordering::Relaxed))
+            .sum();
+        snap.dropped_ring = self
+            .queues
+            .iter()
+            .map(|q| q.dropped_ring.load(Ordering::Relaxed))
+            .sum();
+        snap.dropped_pool = self
+            .queues
+            .iter()
+            .map(|q| q.dropped_pool.load(Ordering::Relaxed))
+            .sum();
+        snap.ts_ns = self
+            .queues
+            .iter()
+            .map(|q| q.ts_ns.load(Ordering::Relaxed))
+            .collect();
+    }
+}
+
+/// A queue-level sink over the whole hub (no worker identity): producers
+/// (load generators, NIC models) use this to account drops.
+impl TelemetrySink for TelemetryHub {
+    fn retrieved(&self, q: usize, n: u64) {
+        let qc = &self.queues[q];
+        qc.retrieved.fetch_add(n, Ordering::Relaxed);
+        qc.bursts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn dropped(&self, q: usize, cause: DropCause, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let qc = &self.queues[q];
+        match cause {
+            DropCause::Ring => qc.dropped_ring.fetch_add(n, Ordering::Relaxed),
+            DropCause::Pool => qc.dropped_pool.fetch_add(n, Ordering::Relaxed),
+        };
+    }
+
+    fn ts_update(&self, q: usize, ts: Nanos) {
+        self.queues[q].ts_ns.store(ts.as_nanos(), Ordering::Relaxed);
+    }
+}
+
+/// Worker `w`'s publishing handle: binds the worker index so every sink
+/// callback is a direct relaxed-atomic bump on pre-resolved counters.
+#[derive(Clone, Debug)]
+pub struct WorkerTelemetry {
+    hub: Arc<TelemetryHub>,
+    worker: usize,
+}
+
+impl WorkerTelemetry {
+    /// The hub this view publishes into.
+    pub fn hub(&self) -> &Arc<TelemetryHub> {
+        &self.hub
+    }
+
+    /// The bound worker index.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+}
+
+impl TelemetrySink for WorkerTelemetry {
+    fn phase(&self, _phase: PhaseKind) {
+        // Phase transitions are implied by the counter deltas below; a
+        // tracing sink could record them individually.
+    }
+
+    fn wake(&self) {
+        self.hub.workers[self.worker]
+            .wakeups
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn sleep_planned(&self, kind: SleepKind, _planned: Nanos) {
+        let w = &self.hub.workers[self.worker];
+        match kind {
+            SleepKind::Short => w.sleeps_short.fetch_add(1, Ordering::Relaxed),
+            SleepKind::Long => w.sleeps_long.fetch_add(1, Ordering::Relaxed),
+            SleepKind::Stagger => 0,
+        };
+    }
+
+    fn busy(&self, dur: Nanos) {
+        self.hub.workers[self.worker]
+            .busy_nanos
+            .fetch_add(dur.as_nanos(), Ordering::Relaxed);
+    }
+
+    fn slept(&self, dur: Nanos) {
+        self.hub.workers[self.worker]
+            .sleep_nanos
+            .fetch_add(dur.as_nanos(), Ordering::Relaxed);
+    }
+
+    fn retrieved(&self, q: usize, n: u64) {
+        self.hub.retrieved(q, n);
+    }
+
+    fn dropped(&self, q: usize, cause: DropCause, n: u64) {
+        self.hub.dropped(q, cause, n);
+    }
+
+    fn ts_update(&self, q: usize, ts: Nanos) {
+        self.hub.ts_update(q, ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_accumulates_worker_events() {
+        let hub = TelemetryHub::new(2, 2);
+        let w0 = hub.worker_sink(0);
+        let w1 = hub.worker_sink(1);
+        w0.wake();
+        w0.busy(Nanos::from_micros(5));
+        w0.slept(Nanos::from_micros(30));
+        w0.retrieved(0, 32);
+        w1.wake();
+        w1.retrieved(1, 8);
+        w1.dropped(1, DropCause::Pool, 3);
+        hub.dropped(0, DropCause::Ring, 4);
+        hub.ts_update(0, Nanos::from_micros(17));
+
+        assert_eq!(hub.total_wakeups(), 2);
+        assert_eq!(hub.total_retrieved(), 40);
+        assert_eq!(hub.queue(0).dropped_ring.load(Ordering::Relaxed), 4);
+        assert_eq!(hub.queue(1).dropped_pool.load(Ordering::Relaxed), 3);
+        assert_eq!(hub.queue(0).ts_ns.load(Ordering::Relaxed), 17_000);
+        assert_eq!(hub.worker(0).busy_nanos.load(Ordering::Relaxed), 5_000);
+        assert_eq!(hub.worker(0).sleep_nanos.load(Ordering::Relaxed), 30_000);
+        assert_eq!(hub.queue(0).bursts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn sleep_kinds_split() {
+        let hub = TelemetryHub::new(1, 1);
+        let w = hub.worker_sink(0);
+        w.sleep_planned(SleepKind::Short, Nanos::from_micros(20));
+        w.sleep_planned(SleepKind::Short, Nanos::from_micros(20));
+        w.sleep_planned(SleepKind::Long, Nanos::from_micros(500));
+        w.sleep_planned(SleepKind::Stagger, Nanos::ZERO);
+        assert_eq!(hub.worker(0).sleeps_short.load(Ordering::Relaxed), 2);
+        assert_eq!(hub.worker(0).sleeps_long.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn snapshot_fill_reads_all_counters() {
+        let hub = TelemetryHub::new(1, 2);
+        let w = hub.worker_sink(0);
+        w.wake();
+        w.retrieved(0, 10);
+        w.retrieved(1, 20);
+        hub.dropped(0, DropCause::Ring, 2);
+        hub.ts_update(1, Nanos::from_micros(25));
+        let mut snap = crate::sampler::CounterSnapshot::new(Nanos::from_millis(1));
+        hub.fill_snapshot(&mut snap);
+        assert_eq!(snap.retrieved, 30);
+        assert_eq!(snap.wakeups, 1);
+        assert_eq!(snap.dropped_ring, 2);
+        assert_eq!(snap.ts_ns, vec![0, 25_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn worker_sink_bounds_checked() {
+        let hub = TelemetryHub::new(1, 1);
+        let _ = hub.worker_sink(1);
+    }
+}

@@ -1,0 +1,94 @@
+//! CSV export of a [`TimeSeries`]: one row per window, the derived
+//! per-window columns the figures plot plus the raw counter deltas.
+
+use crate::sampler::TimeSeries;
+
+/// Column headers of [`timeseries_csv`], in order.
+pub const HEADERS: &[&str] = &[
+    "window",
+    "t_start_s",
+    "t_end_s",
+    "retrieved",
+    "offered",
+    "dropped_ring",
+    "dropped_pool",
+    "wakeups",
+    "duty_cycle",
+    "throughput_mpps",
+    "loss",
+    "ts_us_q0",
+    "rho_q0",
+    "occupancy",
+    "pool_in_use",
+    "power_w",
+    "lat_p50_us",
+    "lat_p95_us",
+    "lat_p99_us",
+];
+
+/// Render the series as CSV (headers + one row per window). Latency
+/// columns are empty for windows that recorded no samples.
+pub fn timeseries_csv(ts: &TimeSeries) -> String {
+    let mut out = HEADERS.join(",");
+    out.push('\n');
+    for w in &ts.windows {
+        let (p50, p95, p99) = match &w.latency {
+            Some(l) => (
+                format!("{:.3}", l.p50_us),
+                format!("{:.3}", l.p95_us),
+                format!("{:.3}", l.p99_us),
+            ),
+            None => (String::new(), String::new(), String::new()),
+        };
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{},{},{},{},{},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{:.3},{},{},{}\n",
+            w.index,
+            w.start.as_secs_f64(),
+            w.end.as_secs_f64(),
+            w.retrieved,
+            w.offered,
+            w.dropped_ring,
+            w.dropped_pool,
+            w.wakeups,
+            w.duty_cycle(),
+            w.throughput_mpps(),
+            w.loss(),
+            w.ts_us(),
+            w.rho0(),
+            w.total_occupancy(),
+            w.pool_in_use,
+            w.power_watts,
+            p50,
+            p95,
+            p99,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{CounterSnapshot, Sampler};
+    use metronome_sim::Nanos;
+
+    #[test]
+    fn one_row_per_window_plus_header() {
+        let mut s = Sampler::new(Nanos::from_millis(1));
+        for i in 1..=3u64 {
+            let mut snap = CounterSnapshot::new(Nanos::from_millis(i));
+            snap.retrieved = i * 10;
+            snap.ts_ns = vec![20_000];
+            s.sample(snap);
+        }
+        let csv = timeseries_csv(&s.into_series());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].split(',').count(), HEADERS.len());
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), HEADERS.len(), "row {row}");
+        }
+        // Windows are deltas: each window retrieved 10.
+        assert!(lines[2].contains(",10,"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Hand-rolled JSON writer (the vendored-shim build has no serde).
+//!
+//! A tiny document model ([`Json`]) plus a renderer that emits valid,
+//! deterministic JSON: object keys keep insertion order, `u64` counters
+//! are written as integers (no f64 round-trip), and non-finite floats
+//! become `null` so a report can never smuggle `NaN` into a file a parser
+//! will choke on. This writer is the one serializer in the workspace —
+//! `RunReport --json` output and the telemetry series both go through it.
+
+use crate::sampler::TimeSeries;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (counters; emitted exactly).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float (non-finite values render as `null`).
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Add a field to an object (panics if `self` is not an object).
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("push on non-object Json"),
+        }
+        self
+    }
+
+    /// Builder-style [`Json::push`].
+    pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
+        self.push(key, value);
+        self
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` keeps round-trip precision and always includes
+                    // a decimal point or exponent, so integers stay floats.
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+/// The whole series as a JSON document: interval, totals, and one object
+/// per window with both raw deltas and the derived per-window columns.
+pub fn timeseries_json(ts: &TimeSeries) -> Json {
+    let windows: Vec<Json> = ts
+        .windows
+        .iter()
+        .map(|w| {
+            let mut o = Json::obj()
+                .with("index", w.index)
+                .with("t_start_s", w.start.as_secs_f64())
+                .with("t_end_s", w.end.as_secs_f64())
+                .with("retrieved", w.retrieved)
+                .with("offered", w.offered)
+                .with("dropped_ring", w.dropped_ring)
+                .with("dropped_pool", w.dropped_pool)
+                .with("wakeups", w.wakeups)
+                .with("busy_nanos", w.busy_nanos)
+                .with("sleep_nanos", w.sleep_nanos)
+                .with("duty_cycle", w.duty_cycle())
+                .with("throughput_mpps", w.throughput_mpps())
+                .with("loss", w.loss())
+                .with(
+                    "ts_us",
+                    Json::Arr(
+                        w.ts_ns
+                            .iter()
+                            .map(|&ns| Json::Float(ns as f64 / 1e3))
+                            .collect(),
+                    ),
+                )
+                .with("rho", Json::Arr(w.rho.iter().map(|&r| r.into()).collect()))
+                .with(
+                    "occupancy",
+                    Json::Arr(w.occupancy.iter().map(|&o| o.into()).collect()),
+                )
+                .with("pool_in_use", w.pool_in_use)
+                .with("power_watts", w.power_watts);
+            match &w.latency {
+                Some(l) => o.push(
+                    "latency_us",
+                    Json::obj()
+                        .with("count", l.count)
+                        .with("p50", l.p50_us)
+                        .with("p95", l.p95_us)
+                        .with("p99", l.p99_us),
+                ),
+                None => o.push("latency_us", Json::Null),
+            };
+            o
+        })
+        .collect();
+    Json::obj()
+        .with("interval_s", ts.interval.as_secs_f64())
+        .with(
+            "totals",
+            Json::obj()
+                .with("retrieved", ts.totals.retrieved)
+                .with("offered", ts.totals.offered)
+                .with("dropped_ring", ts.totals.dropped_ring)
+                .with("dropped_pool", ts.totals.dropped_pool)
+                .with("wakeups", ts.totals.wakeups)
+                .with("busy_nanos", ts.totals.busy_nanos)
+                .with("sleep_nanos", ts.totals.sleep_nanos),
+        )
+        .with("windows", Json::Arr(windows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{CounterSnapshot, Sampler};
+    use metronome_sim::Nanos;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::UInt(u64::MAX).render(), u64::MAX.to_string());
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(2.0).render(), "2.0");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn objects_keep_order_and_nest() {
+        let j = Json::obj()
+            .with("b", 1u64)
+            .with("a", Json::Arr(vec![Json::Null, 2.5.into()]));
+        assert_eq!(j.render(), r#"{"b":1,"a":[null,2.5]}"#);
+    }
+
+    #[test]
+    fn timeseries_document_shape() {
+        let mut s = Sampler::new(Nanos::from_millis(1));
+        let mut snap = CounterSnapshot::new(Nanos::from_millis(1));
+        snap.retrieved = 42;
+        snap.ts_ns = vec![17_000];
+        s.sample(snap);
+        let doc = timeseries_json(&s.into_series()).render();
+        assert!(doc.contains(r#""retrieved":42"#));
+        assert!(doc.contains(r#""ts_us":[17.0]"#));
+        assert!(doc.contains(r#""windows":["#));
+        assert!(!doc.contains("NaN"));
+    }
+}

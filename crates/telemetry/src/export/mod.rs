@@ -1,0 +1,86 @@
+//! Pluggable exporters over a sampled [`TimeSeries`].
+//!
+//! Three built-in formats (the vendor-shim build has no serde, so JSON is
+//! hand-rolled):
+//!
+//! * [`csv`] — one row per window, ready for plotting;
+//! * [`json`] — a structured document (also the workspace's generic JSON
+//!   writer, reused by `RunReport`'s `--json` output);
+//! * [`prometheus`] — text exposition format of the closing totals plus a
+//!   parser for round-trip tests and scrape tooling.
+
+pub mod csv;
+pub mod json;
+pub mod prometheus;
+
+use crate::sampler::TimeSeries;
+
+/// A serialization format for a sampled series.
+pub trait Exporter {
+    /// Render the series.
+    fn export(&self, series: &TimeSeries) -> String;
+    /// Conventional file extension (no dot).
+    fn file_ext(&self) -> &'static str;
+}
+
+/// CSV exporter (see [`csv::timeseries_csv`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CsvExporter;
+
+impl Exporter for CsvExporter {
+    fn export(&self, series: &TimeSeries) -> String {
+        csv::timeseries_csv(series)
+    }
+    fn file_ext(&self) -> &'static str {
+        "csv"
+    }
+}
+
+/// JSON exporter (see [`json::timeseries_json`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JsonExporter;
+
+impl Exporter for JsonExporter {
+    fn export(&self, series: &TimeSeries) -> String {
+        json::timeseries_json(series).render()
+    }
+    fn file_ext(&self) -> &'static str {
+        "json"
+    }
+}
+
+/// Prometheus exporter: renders the series' closing cumulative totals as
+/// a `/metrics`-style page (see [`prometheus::snapshot_metrics`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrometheusExporter;
+
+impl Exporter for PrometheusExporter {
+    fn export(&self, series: &TimeSeries) -> String {
+        prometheus::render(&prometheus::snapshot_metrics(&series.totals))
+    }
+    fn file_ext(&self) -> &'static str {
+        "prom"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{CounterSnapshot, Sampler};
+    use metronome_sim::Nanos;
+
+    #[test]
+    fn all_exporters_render_the_same_series() {
+        let mut s = Sampler::new(Nanos::from_millis(1));
+        let mut snap = CounterSnapshot::new(Nanos::from_millis(1));
+        snap.retrieved = 99;
+        s.sample(snap);
+        let ts = s.into_series();
+        let exporters: [&dyn Exporter; 3] = [&CsvExporter, &JsonExporter, &PrometheusExporter];
+        for e in exporters {
+            let out = e.export(&ts);
+            assert!(out.contains("99"), "{} output missing data", e.file_ext());
+            assert!(!e.file_ext().is_empty());
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Prometheus text exposition format: render and parse.
+//!
+//! The render side emits the standard `# HELP` / `# TYPE` preamble and
+//! one sample line per labelled value — what a `/metrics` endpoint would
+//! serve. The parse side reads the same subset back (names, labels with
+//! escaped values, finite float values, counter/gauge types), which gives
+//! the exporter a round-trip test and downstream tooling a scrape parser
+//! that doesn't need a Prometheus server.
+
+use crate::sampler::CounterSnapshot;
+
+/// Metric type, per the exposition format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotone cumulative counter.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+}
+
+impl PromKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One labelled sample of a metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// Label pairs, in order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A metric family: name, help, type, and its samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromMetric {
+    /// Metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// Free-text help line.
+    pub help: String,
+    /// Counter or gauge.
+    pub kind: PromKind,
+    /// The samples.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromMetric {
+    /// A metric with one unlabelled sample.
+    pub fn scalar(name: &str, help: &str, kind: PromKind, value: f64) -> Self {
+        PromMetric {
+            name: name.into(),
+            help: help.into(),
+            kind,
+            samples: vec![PromSample {
+                labels: Vec::new(),
+                value,
+            }],
+        }
+    }
+
+    /// A metric with one sample per queue, labelled `queue="<i>"`.
+    pub fn per_queue(name: &str, help: &str, kind: PromKind, values: &[f64]) -> Self {
+        PromMetric {
+            name: name.into(),
+            help: help.into(),
+            kind,
+            samples: values
+                .iter()
+                .enumerate()
+                .map(|(q, &v)| PromSample {
+                    labels: vec![("queue".into(), q.to_string())],
+                    value: v,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Render metric families in the text exposition format.
+pub fn render(metrics: &[PromMetric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        // The exposition format requires escaping `\` and newlines in
+        // help text — unescaped, a multi-line help would masquerade as a
+        // sample line and break the round-trip.
+        let help = m.help.replace('\\', "\\\\").replace('\n', "\\n");
+        out.push_str(&format!("# HELP {} {help}\n", m.name));
+        out.push_str(&format!("# TYPE {} {}\n", m.name, m.kind.as_str()));
+        for s in &m.samples {
+            out.push_str(&m.name);
+            if !s.labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in s.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(k);
+                    out.push_str("=\"");
+                    for c in v.chars() {
+                        match c {
+                            '\\' => out.push_str("\\\\"),
+                            '"' => out.push_str("\\\""),
+                            '\n' => out.push_str("\\n"),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                out.push('}');
+            }
+            out.push(' ');
+            if s.value.is_finite() {
+                if s.value == s.value.trunc() && s.value.abs() < 1e15 {
+                    out.push_str(&format!("{}", s.value as i64));
+                } else {
+                    out.push_str(&format!("{:?}", s.value));
+                }
+            } else {
+                out.push_str("NaN");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse text in the exposition format back into metric families.
+///
+/// Supports the subset [`render`] emits: `# HELP` / `# TYPE` preambles,
+/// optional labels with escaped values, float sample values. Unknown
+/// comment lines are skipped; a sample line for a metric with no `# TYPE`
+/// preamble defaults to gauge.
+pub fn parse(text: &str) -> Result<Vec<PromMetric>, String> {
+    let mut metrics: Vec<PromMetric> = Vec::new();
+    let find = |metrics: &mut Vec<PromMetric>, name: &str| -> usize {
+        match metrics.iter().position(|m| m.name == name) {
+            Some(i) => i,
+            None => {
+                metrics.push(PromMetric {
+                    name: name.into(),
+                    help: String::new(),
+                    kind: PromKind::Gauge,
+                    samples: Vec::new(),
+                });
+                metrics.len() - 1
+            }
+        }
+    };
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {raw}", ln + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            let i = find(&mut metrics, name);
+            metrics[i].help = unescape_help(help);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').ok_or_else(|| err("malformed TYPE"))?;
+            let kind = match kind.trim() {
+                "counter" => PromKind::Counter,
+                "gauge" => PromKind::Gauge,
+                other => return Err(err(&format!("unsupported metric type '{other}'"))),
+            };
+            let i = find(&mut metrics, name);
+            metrics[i].kind = kind;
+        } else if line.starts_with('#') {
+            continue; // other comments
+        } else {
+            // Sample line: name[{labels}] value
+            let (head, value) = line
+                .rsplit_once(|c: char| c.is_whitespace())
+                .ok_or_else(|| err("missing value"))?;
+            let value: f64 = value.parse().map_err(|_| err("bad value"))?;
+            let (name, labels) = match head.find('{') {
+                Some(open) => {
+                    let name = &head[..open];
+                    let body = head[open..]
+                        .strip_prefix('{')
+                        .and_then(|s| s.strip_suffix('}'))
+                        .ok_or_else(|| err("unterminated label set"))?;
+                    (name, parse_labels(body).map_err(|m| err(&m))?)
+                }
+                None => (head.trim_end(), Vec::new()),
+            };
+            let i = find(&mut metrics, name);
+            metrics[i].samples.push(PromSample { labels, value });
+        }
+    }
+    Ok(metrics)
+}
+
+/// Undo [`render`]'s help-text escaping (`\\` and `\n`).
+fn unescape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    let mut chars = help.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Skip separators / trailing comma.
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label '{key}' value not quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err("unterminated label value".into()),
+            }
+        }
+        labels.push((key, value));
+    }
+}
+
+/// The standard metric families for one cumulative snapshot, prefixed
+/// `metronome_` — what a live `/metrics` scrape of a running instance
+/// would serve.
+pub fn snapshot_metrics(snap: &CounterSnapshot) -> Vec<PromMetric> {
+    let per_queue_f64 = |v: &[u64]| -> Vec<f64> { v.iter().map(|&x| x as f64).collect() };
+    vec![
+        PromMetric::scalar(
+            "metronome_retrieved_packets_total",
+            "Packets retrieved and processed",
+            PromKind::Counter,
+            snap.retrieved as f64,
+        ),
+        PromMetric::scalar(
+            "metronome_dropped_ring_packets_total",
+            "Packets tail-dropped at the Rx rings",
+            PromKind::Counter,
+            snap.dropped_ring as f64,
+        ),
+        PromMetric::scalar(
+            "metronome_dropped_pool_packets_total",
+            "Packets lost to mempool exhaustion",
+            PromKind::Counter,
+            snap.dropped_pool as f64,
+        ),
+        PromMetric::scalar(
+            "metronome_wakeups_total",
+            "Worker timer wake-ups",
+            PromKind::Counter,
+            snap.wakeups as f64,
+        ),
+        PromMetric::scalar(
+            "metronome_busy_seconds_total",
+            "Worker awake time, summed over workers",
+            PromKind::Counter,
+            snap.busy_nanos as f64 / 1e9,
+        ),
+        PromMetric::scalar(
+            "metronome_sleep_seconds_total",
+            "Worker asleep time, summed over workers",
+            PromKind::Counter,
+            snap.sleep_nanos as f64 / 1e9,
+        ),
+        PromMetric::per_queue(
+            "metronome_ts_microseconds",
+            "Current adaptive short timeout TS per queue",
+            PromKind::Gauge,
+            &snap
+                .ts_ns
+                .iter()
+                .map(|&ns| ns as f64 / 1e3)
+                .collect::<Vec<_>>(),
+        ),
+        PromMetric::per_queue(
+            "metronome_rho",
+            "Smoothed per-queue load estimate",
+            PromKind::Gauge,
+            &snap.rho,
+        ),
+        PromMetric::per_queue(
+            "metronome_ring_occupancy",
+            "Rx ring occupancy per queue",
+            PromKind::Gauge,
+            &per_queue_f64(&snap.occupancy),
+        ),
+        PromMetric::scalar(
+            "metronome_mempool_in_use",
+            "Mempool buffers currently handed out",
+            PromKind::Gauge,
+            snap.pool_in_use as f64,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metronome_sim::Nanos;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let metrics = vec![
+            PromMetric::scalar("m_total", "a counter", PromKind::Counter, 12345.0),
+            PromMetric::scalar("m_help", "multi\nline \\ help", PromKind::Gauge, 1.0),
+            PromMetric::per_queue("m_gauge", "per queue", PromKind::Gauge, &[1.5, 0.25, 3.0]),
+            PromMetric {
+                name: "m_tricky".into(),
+                help: "labels with escapes".into(),
+                kind: PromKind::Gauge,
+                samples: vec![PromSample {
+                    labels: vec![("app".into(), "l3\"fwd\\x".into())],
+                    value: -0.5,
+                }],
+            },
+        ];
+        let text = render(&metrics);
+        let back = parse(&text).expect("parse what we rendered");
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn snapshot_metrics_round_trip() {
+        let mut snap = CounterSnapshot::new(Nanos::from_secs(1));
+        snap.retrieved = 1_000_000;
+        snap.dropped_ring = 17;
+        snap.wakeups = 42_000;
+        snap.busy_nanos = 250_000_000;
+        snap.ts_ns = vec![17_500, 28_000];
+        snap.rho = vec![0.83, 0.12];
+        snap.occupancy = vec![3, 0];
+        snap.pool_in_use = 64;
+        let metrics = snapshot_metrics(&snap);
+        let text = render(&metrics);
+        let back = parse(&text).expect("valid exposition text");
+        assert_eq!(back, metrics);
+        // Spot-check the text itself.
+        assert!(text.contains("# TYPE metronome_retrieved_packets_total counter"));
+        assert!(text.contains("metronome_retrieved_packets_total 1000000"));
+        assert!(text.contains("metronome_ts_microseconds{queue=\"1\"} 28"));
+        assert!(text.contains("metronome_rho{queue=\"0\"} 0.83"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("# TYPE m histogram\nm 1\n").is_err());
+        assert!(parse("m_no_value\n").is_err());
+        assert!(parse("m{x=\"unterminated} 1\n").is_err());
+    }
+
+    #[test]
+    fn parse_skips_unknown_comments_and_blank_lines() {
+        let text = "# EOF-ish comment\n\nm 3\n";
+        let m = parse(text).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].samples[0].value, 3.0);
+        assert_eq!(m[0].kind, PromKind::Gauge); // defaulted
+    }
+}

@@ -1,0 +1,49 @@
+//! Occupancy probes: the read-only gauge surface of the datapath.
+//!
+//! Rings, mempools and their simulation models all answer "how full are
+//! you" — the sampler should not care which concrete structure it is
+//! probing. Datapath types implement [`OccupancyProbe`] in their own
+//! crates (see `metronome-dpdk`); the sampler folds any set of probes
+//! into a snapshot's gauge columns.
+
+/// Something with a bounded occupancy that can be read without blocking
+/// the datapath (implementations must be lock-free or take only short,
+/// uncontended critical sections).
+pub trait OccupancyProbe {
+    /// Items currently held.
+    fn occupancy(&self) -> u64;
+
+    /// Maximum items the structure can hold.
+    fn capacity(&self) -> u64;
+
+    /// Fill fraction in `[0, 1]` (0 for a zero-capacity structure).
+    fn utilization(&self) -> f64 {
+        let cap = self.capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            self.occupancy() as f64 / cap as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(u64, u64);
+    impl OccupancyProbe for Fixed {
+        fn occupancy(&self) -> u64 {
+            self.0
+        }
+        fn capacity(&self) -> u64 {
+            self.1
+        }
+    }
+
+    #[test]
+    fn utilization_guards_zero_capacity() {
+        assert_eq!(Fixed(0, 0).utilization(), 0.0);
+        assert!((Fixed(32, 128).utilization() - 0.25).abs() < 1e-12);
+    }
+}

@@ -25,6 +25,9 @@
 //! * [`apps`] — l3fwd, IPsec gateway, FloWatcher, the ferret co-tenant.
 //! * [`runtime`] — whole-system scenarios: Metronome vs static DPDK vs
 //!   XDP under any workload, with CPU/power/latency/loss reporting.
+//! * [`telemetry`] — windowed time-series metrics on both backends:
+//!   lock-light counters, a fixed-interval sampler, CSV/JSON/Prometheus
+//!   exporters.
 //!
 //! ## Quick start
 //!
@@ -59,4 +62,5 @@ pub use metronome_net as net;
 pub use metronome_os as os;
 pub use metronome_runtime as runtime;
 pub use metronome_sim as sim;
+pub use metronome_telemetry as telemetry;
 pub use metronome_traffic as traffic;

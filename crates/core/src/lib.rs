@@ -12,6 +12,13 @@
 //!   as a resumable [`engine::MetronomeEngine`] state machine over the
 //!   [`engine::Backend`] capability trait, so the identical protocol code
 //!   drives the discrete-event simulation and the real-thread runtime;
+//! * [`discipline`] — the retrieval-discipline layer: the Listing 2 loop
+//!   as one [`discipline::RetrievalDiscipline`] among four — Metronome,
+//!   busy-polling DPDK ([`discipline::BusyPoll`]), interrupt-driven
+//!   XDP/NAPI ([`discipline::InterruptLike`] parked on a
+//!   [`discipline::Doorbell`]), and fixed-period retrieval
+//!   ([`discipline::ConstSleep`]) — so the paper's comparative baselines
+//!   run on real threads too;
 //! * [`policy`] — the primary/backup diversity policy: race winners sleep
 //!   the short adaptive timeout `TS` and re-contend their queue, losers
 //!   sleep the long timeout `TL` and re-contend a random queue (§IV-A,
@@ -53,6 +60,7 @@
 
 pub mod config;
 pub mod controller;
+pub mod discipline;
 pub mod engine;
 pub mod model;
 pub mod policy;
@@ -62,6 +70,10 @@ pub mod trylock;
 
 pub use config::MetronomeConfig;
 pub use controller::AdaptiveController;
+pub use discipline::{
+    AnyDiscipline, BusyPoll, ConstSleep, DisciplineKind, DisciplineSpec, Doorbell, InterruptLike,
+    MetronomeDiscipline, ModerationConfig, ParkToken, RetrievalDiscipline, Verdict,
+};
 pub use engine::{Backend, EngineOp, MetronomeEngine, StepCosts};
 pub use policy::{Role, ThreadPolicy};
 pub use realtime::{Metronome, PreciseSleeper, RealtimeBackend, RealtimeHarness, RealtimeStats};

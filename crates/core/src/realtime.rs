@@ -1,10 +1,14 @@
-//! Real-thread Metronome: the paper's Listing 2 on actual OS threads.
+//! Real-thread packet retrieval: the paper's Listing 2 — and its
+//! comparative baselines — on actual OS threads.
 //!
-//! This module is the adoptable library surface: it runs the shared
-//! [`MetronomeEngine`] (trylock racing, primary/backup timeouts, adaptive
-//! `TS`) with `std::thread` workers against in-process lock-free queues.
-//! Each worker owns a [`RealtimeBackend`] that realizes the engine's
-//! [`Backend`] capabilities with real primitives:
+//! This module is the adoptable library surface: it runs a
+//! [`RetrievalDiscipline`] worker set (by default the shared
+//! [`crate::engine::MetronomeEngine`]: trylock racing, primary/backup
+//! timeouts, adaptive `TS`; via [`Metronome::start_discipline`] also the
+//! BusyPoll / InterruptLike / ConstSleep baselines) with `std::thread`
+//! workers against in-process lock-free queues. Each worker owns a
+//! [`RealtimeBackend`] that realizes the engine's [`Backend`]
+//! capabilities with real primitives:
 //!
 //! | engine capability | simulation realization | real-thread realization |
 //! |---|---|---|
@@ -24,7 +28,8 @@
 
 use crate::config::MetronomeConfig;
 use crate::controller::AdaptiveController;
-use crate::engine::{Backend, EngineOp, MetronomeEngine};
+use crate::discipline::{DisciplineSpec, Doorbell, RetrievalDiscipline, Verdict};
+use crate::engine::Backend;
 use crate::policy::ThreadPolicy;
 use crate::trylock::TryLock;
 use crossbeam::queue::ArrayQueue;
@@ -35,11 +40,28 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// How long a parked worker waits on its doorbell before re-checking the
+/// stop flag (bounds shutdown latency of idle InterruptLike workers).
+const PARK_STOP_CHECK: Duration = Duration::from_millis(1);
+
 /// Hybrid sleep: OS sleep for the bulk, spin for the residual.
 ///
 /// `spin_threshold` is how much of the tail is spun; larger values buy
 /// precision with CPU. The default 120 µs comfortably covers typical Linux
 /// `nanosleep` overshoot (≈50–100 µs without an RT class).
+///
+/// **Accounting semantic.** A `sleep()` call — including its spun tail,
+/// which for intervals at or below `spin_threshold` is the *whole*
+/// interval — counts as sleep time in telemetry, not busy time. The
+/// sleeper stands in for the paper's kernel `hr_sleep()`, whose sleeps
+/// are genuinely CPU-free; charging its user-space spin to the worker
+/// would report the substitution artifact instead of the protocol's
+/// cost. Every retrieval discipline goes through the same sleeper with
+/// the same threshold, so cross-discipline duty-cycle comparisons stay
+/// apples-to-apples *under the `hr_sleep` model*; the real spin cost of
+/// the substitution is documented in DESIGN.md §2 and measurable by
+/// dropping the threshold to zero ([`PreciseSleeper::with_spin_threshold`],
+/// the `nanosleep`-precision ablation).
 #[derive(Clone, Copy, Debug)]
 pub struct PreciseSleeper {
     /// Portion of the interval spun instead of slept.
@@ -55,16 +77,28 @@ impl Default for PreciseSleeper {
 }
 
 impl PreciseSleeper {
+    /// A sleeper spinning the final `spin_threshold` of every interval.
+    /// Larger thresholds buy wake precision with CPU; zero degrades to a
+    /// plain `thread::sleep` (the `nanosleep` ablation).
+    pub fn with_spin_threshold(spin_threshold: Duration) -> Self {
+        PreciseSleeper { spin_threshold }
+    }
+
     /// Sleep for at least `dur`, waking within spin precision of the
-    /// deadline (sub-microsecond on an unloaded core).
-    pub fn sleep(&self, dur: Duration) {
-        let deadline = Instant::now() + dur;
+    /// deadline (sub-microsecond on an unloaded core). Returns the
+    /// measured oversleep — how far past the requested deadline the call
+    /// actually returned — so callers can feed telemetry's sleep-
+    /// precision counters.
+    pub fn sleep(&self, dur: Duration) -> Duration {
+        let start = Instant::now();
+        let deadline = start + dur;
         if dur > self.spin_threshold {
             std::thread::sleep(dur - self.spin_threshold);
         }
         while Instant::now() < deadline {
             std::hint::spin_loop();
         }
+        start.elapsed().saturating_sub(dur)
     }
 }
 
@@ -111,6 +145,10 @@ struct SharedState {
     /// `TL` is fixed (§IV-E), so workers read it without the controller
     /// lock.
     t_long: Nanos,
+    /// One wake-up doorbell per queue. Only the InterruptLike discipline
+    /// parks on them; producers may ring unconditionally (a ring with no
+    /// waiter is one uncontended mutex bump).
+    doorbells: Vec<Arc<Doorbell>>,
 }
 
 impl SharedState {
@@ -122,6 +160,7 @@ impl SharedState {
             processed: (0..cfg.n_queues).map(|_| AtomicU64::new(0)).collect(),
             rand_state: AtomicU64::new(0x4D3),
             t_long: cfg.t_long,
+            doorbells: (0..cfg.n_queues).map(|_| Doorbell::new()).collect(),
         })
     }
 }
@@ -330,7 +369,7 @@ impl<T: Send + 'static> Metronome<T> {
     where
         F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
     {
-        Self::start_with_sinks(cfg, queues, process, |_worker| NullSink)
+        Self::start_discipline(cfg, DisciplineSpec::Metronome, queues, process)
     }
 
     /// [`Metronome::start`] with telemetry: every worker publishes wakes,
@@ -347,10 +386,49 @@ impl<T: Send + 'static> Metronome<T> {
     where
         F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
     {
-        assert_eq!(hub.n_workers(), cfg.m_threads, "hub/config worker mismatch");
+        Self::start_discipline_with_telemetry(cfg, DisciplineSpec::Metronome, queues, process, hub)
+    }
+
+    /// Start a worker set running an arbitrary retrieval discipline over
+    /// the queues: `cfg.m_threads` racing workers for
+    /// [`DisciplineSpec::Metronome`], one pinned worker per queue for the
+    /// BusyPoll / InterruptLike / ConstSleep baselines (which ignore the
+    /// trylock layer entirely — classic DPDK and XDP have no queue race).
+    pub fn start_discipline<F>(
+        cfg: MetronomeConfig,
+        spec: DisciplineSpec,
+        queues: Vec<Arc<ArrayQueue<T>>>,
+        process: F,
+    ) -> Self
+    where
+        F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+    {
+        Self::start_with_sinks(cfg, spec, queues, process, |_worker| NullSink)
+    }
+
+    /// [`Metronome::start_discipline`] with telemetry. The hub must have
+    /// one worker slot per spawned worker (`spec.workers(...)`) and
+    /// `cfg.n_queues` queue slots.
+    pub fn start_discipline_with_telemetry<F>(
+        cfg: MetronomeConfig,
+        spec: DisciplineSpec,
+        queues: Vec<Arc<ArrayQueue<T>>>,
+        process: F,
+        hub: &Arc<TelemetryHub>,
+    ) -> Self
+    where
+        F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+    {
+        assert_eq!(
+            hub.n_workers(),
+            spec.workers(cfg.m_threads, cfg.n_queues),
+            "hub/config worker mismatch"
+        );
         assert_eq!(hub.n_queues(), cfg.n_queues, "hub/config queue mismatch");
         let hub = Arc::clone(hub);
-        Self::start_with_sinks(cfg, queues, process, move |worker| hub.worker_sink(worker))
+        Self::start_with_sinks(cfg, spec, queues, process, move |worker| {
+            hub.worker_sink(worker)
+        })
     }
 
     /// Shared spawn path: `make_sink` builds the per-worker telemetry
@@ -358,6 +436,7 @@ impl<T: Send + 'static> Metronome<T> {
     /// worker monomorphizes to the pre-telemetry loop).
     fn start_with_sinks<F, S>(
         cfg: MetronomeConfig,
+        spec: DisciplineSpec,
         queues: Vec<Arc<ArrayQueue<T>>>,
         process: F,
         make_sink: impl Fn(usize) -> S,
@@ -371,18 +450,18 @@ impl<T: Send + 'static> Metronome<T> {
         let harness = RealtimeHarness::new(cfg.clone(), queues, process);
         let stop = Arc::new(AtomicBool::new(false));
         let sleeper = PreciseSleeper::default();
+        let label = spec.kind().label();
         let mut handles = Vec::new();
-        for worker in 0..cfg.m_threads {
+        for worker in 0..spec.workers(cfg.m_threads, cfg.n_queues) {
             let backend = harness.backend();
             let stop = Arc::clone(&stop);
             let sink = make_sink(worker);
-            let initial_queue = worker % cfg.n_queues;
-            let burst = cfg.burst;
+            let discipline = spec.build(worker, cfg.n_queues, cfg.burst, &harness.shared.doorbells);
             handles.push(
                 std::thread::Builder::new()
-                    .name(format!("metronome-{worker}"))
-                    .spawn(move || run_worker(initial_queue, burst, backend, sleeper, sink, &stop))
-                    .expect("spawn metronome worker"),
+                    .name(format!("{label}-{worker}"))
+                    .spawn(move || run_worker(discipline, backend, sleeper, sink, &stop))
+                    .expect("spawn retrieval worker"),
             );
         }
         Metronome {
@@ -397,6 +476,13 @@ impl<T: Send + 'static> Metronome<T> {
     /// The Rx queues (for producers to push into).
     pub fn queues(&self) -> &[Arc<ArrayQueue<T>>] {
         &self.queues
+    }
+
+    /// Queue `q`'s wake-up doorbell. A producer feeding an InterruptLike
+    /// worker set must ring it after enqueuing (once per burst); for the
+    /// other disciplines ringing is harmless and ignored.
+    pub fn doorbell(&self, q: usize) -> &Arc<Doorbell> {
+        &self.shared.doorbells[q]
     }
 
     /// Items processed so far on a queue.
@@ -441,44 +527,105 @@ impl<T: Send + 'static> Metronome<T> {
     }
 }
 
-/// Drive the shared engine with real sleeps until `stop` is raised.
+/// Drive one retrieval discipline with real sleeps, spins and doorbell
+/// parks until `stop` is raised.
 ///
-/// This is the whole worker body: the Listing 2 protocol itself lives in
-/// [`MetronomeEngine::step`]; here we only execute the ops it yields.
-fn run_worker<T, F, S>(
-    initial_queue: usize,
-    burst: u32,
-    mut backend: RealtimeBackend<T, F>,
+/// This is the whole worker body: the protocol lives in the discipline's
+/// [`RetrievalDiscipline::turn`]; here we only execute the verdicts it
+/// yields. Busy/sleep accounting happens at verdict boundaries (never per
+/// packet); spans of a worker that never reaches a sleep/park boundary —
+/// a spinning busy poller, or any discipline held in a long drain streak
+/// by sustained load — are flushed every `SPAN_FLUSH_MASK + 1` turns so
+/// windowed duty-cycle sampling stays live without an `Instant` read per
+/// turn.
+fn run_worker<B, D, S>(
+    mut discipline: D,
+    mut backend: B,
     sleeper: PreciseSleeper,
     sink: S,
     stop: &AtomicBool,
 ) -> ThreadPolicy
 where
-    T: Send + 'static,
-    F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+    B: Backend,
+    D: RetrievalDiscipline,
     S: TelemetrySink,
 {
-    let mut engine = MetronomeEngine::new(initial_queue, burst);
-    // Busy/sleep accounting happens only at turn boundaries (one Instant
-    // read per sleep, never per packet).
+    /// Boundary-less turns (empty spins or non-empty drains) between
+    /// busy-span flushes.
+    const SPAN_FLUSH_MASK: u32 = 0x3F;
+
     let mut awake_since = Instant::now();
+    let mut streak: u32 = 0;
     loop {
-        match engine.step_with(&mut backend, &sink) {
-            // Real cycles were already spent doing the step.
-            EngineOp::Work(_) => {}
-            EngineOp::Sleep(dur) | EngineOp::Wait(dur) => {
+        match discipline.turn(&mut backend, &sink) {
+            // Real cycles were already spent doing the step; flush the
+            // running busy span periodically so a saturated worker's duty
+            // cycle shows up in the window it was earned, not in one
+            // spike at the streak's end.
+            Verdict::Continue => {
+                streak = streak.wrapping_add(1);
+                if streak & SPAN_FLUSH_MASK == 0 {
+                    sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
+                    awake_since = Instant::now();
+                }
+            }
+            Verdict::Yield => {
+                // Spin boundary (busy polling): no queue lock is held, so
+                // exiting here cannot strand anything.
+                if stop.load(Ordering::Relaxed) {
+                    sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
+                    return discipline.into_policy();
+                }
+                streak = streak.wrapping_add(1);
+                if streak & SPAN_FLUSH_MASK == 0 {
+                    sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
+                    awake_since = Instant::now();
+                }
+                std::hint::spin_loop();
+            }
+            Verdict::Sleep(dur) => {
                 sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
                 // Sleep points are turn boundaries: the queue lock is never
                 // held here, so exiting now cannot strand a TryLock or drop
                 // an in-flight renewal cycle mid-drain.
                 if stop.load(Ordering::Relaxed) {
-                    return engine.into_policy();
+                    return discipline.into_policy();
+                }
+                if !dur.is_zero() {
+                    let slept_from = Instant::now();
+                    let oversleep = sleeper.sleep(Duration::from_nanos(dur.as_nanos()));
+                    sink.slept(Nanos(slept_from.elapsed().as_nanos() as u64));
+                    sink.overslept(Nanos(oversleep.as_nanos() as u64));
+                }
+                awake_since = Instant::now();
+            }
+            Verdict::Wait(dur) => {
+                // Start-up stagger: an exact idle wait with no oversleep
+                // semantics (and none recorded).
+                sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
+                if stop.load(Ordering::Relaxed) {
+                    return discipline.into_policy();
                 }
                 if !dur.is_zero() {
                     let slept_from = Instant::now();
                     sleeper.sleep(Duration::from_nanos(dur.as_nanos()));
                     sink.slept(Nanos(slept_from.elapsed().as_nanos() as u64));
                 }
+                awake_since = Instant::now();
+            }
+            Verdict::Park(token) => {
+                sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
+                let parked_from = Instant::now();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        sink.slept(Nanos(parked_from.elapsed().as_nanos() as u64));
+                        return discipline.into_policy();
+                    }
+                    if token.wait(PARK_STOP_CHECK) {
+                        break;
+                    }
+                }
+                sink.slept(Nanos(parked_from.elapsed().as_nanos() as u64));
                 awake_since = Instant::now();
             }
         }
@@ -682,6 +829,127 @@ mod tests {
                 > 0
         );
         assert!(hub.queue(0).ts_ns.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn precise_sleeper_reports_oversleep() {
+        let s = PreciseSleeper::with_spin_threshold(Duration::from_micros(200));
+        let req = Duration::from_micros(300);
+        let t0 = Instant::now();
+        let over = s.sleep(req);
+        let actual = t0.elapsed();
+        // The report must equal the measured lateness (within the cost of
+        // the two Instant reads).
+        assert!(actual >= req);
+        assert!(
+            over <= actual.saturating_sub(req) + Duration::from_micros(50),
+            "oversleep {over:?} inconsistent with actual {actual:?}"
+        );
+    }
+
+    /// Run one baseline discipline end-to-end on real threads: feed items,
+    /// assert exactly-once processing, return the final stats.
+    fn run_discipline_once(spec: DisciplineSpec, ring: bool) -> RealtimeStats {
+        let cfg = MetronomeConfig {
+            m_threads: 2,
+            n_queues: 2,
+            ..MetronomeConfig::default()
+        };
+        let queues: Vec<_> = (0..2)
+            .map(|_| Arc::new(ArrayQueue::<u64>::new(4096)))
+            .collect();
+        let seen = Arc::new(AtomicU64::new(0));
+        let m = {
+            let seen = Arc::clone(&seen);
+            Metronome::start_discipline(
+                cfg,
+                spec,
+                queues.clone(),
+                move |_q, burst: &mut Vec<u64>| {
+                    seen.fetch_add(burst.drain(..).count() as u64, Ordering::Relaxed);
+                },
+            )
+        };
+        let n: u64 = 4_000;
+        for i in 0..n {
+            let q = (i % 2) as usize;
+            let mut item = i;
+            loop {
+                match m.queues()[q].push(item) {
+                    Ok(()) => break,
+                    Err(v) => {
+                        item = v;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            if ring && i % 32 == 0 {
+                m.doorbell(q).ring();
+            }
+        }
+        if ring {
+            m.doorbell(0).ring();
+            m.doorbell(1).ring();
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while seen.load(Ordering::Relaxed) < n && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = m.stop();
+        assert_eq!(seen.load(Ordering::Relaxed), n, "lost or stalled items");
+        assert_eq!(stats.total_processed(), n);
+        stats
+    }
+
+    #[test]
+    fn busy_poll_discipline_processes_on_real_threads() {
+        let stats = run_discipline_once(DisciplineSpec::BusyPoll, false);
+        // Busy pollers never sleep, so they record no wakes.
+        assert_eq!(stats.wakes.iter().sum::<u64>(), 0);
+        assert_eq!(stats.processed.len(), 2);
+    }
+
+    #[test]
+    fn const_sleep_discipline_processes_on_real_threads() {
+        let stats = run_discipline_once(DisciplineSpec::ConstSleep(Nanos::from_micros(200)), false);
+        // Fixed-period retrieval wakes on its timer.
+        assert!(stats.wakes.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn interrupt_discipline_parks_and_wakes_on_doorbell() {
+        let stats = run_discipline_once(
+            DisciplineSpec::InterruptLike(crate::discipline::ModerationConfig::default()),
+            true,
+        );
+        // Every retrieval episode was interrupt-initiated.
+        assert!(stats.wakes.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn interrupt_discipline_stop_while_parked_exits() {
+        // No traffic, no rings: both workers park. stop() must still join
+        // them promptly via the bounded doorbell wait.
+        let cfg = MetronomeConfig {
+            m_threads: 1,
+            n_queues: 1,
+            ..MetronomeConfig::default()
+        };
+        let queues = vec![Arc::new(ArrayQueue::<u64>::new(64))];
+        let m = Metronome::start_discipline(
+            cfg,
+            DisciplineSpec::InterruptLike(crate::discipline::ModerationConfig::default()),
+            queues,
+            |_q, _b: &mut Vec<u64>| {},
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = Instant::now();
+        let stats = m.stop();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "parked worker did not observe stop"
+        );
+        assert_eq!(stats.total_processed(), 0);
     }
 
     #[test]

@@ -27,12 +27,20 @@ use metronome_telemetry::OccupancyProbe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// A producer-side wake-up callback: invoked once per offer that accepted
+/// at least one frame (the "raise the IRQ line" hook an interrupt-driven
+/// consumer arms — e.g. ringing a `metronome_core` `Doorbell`).
+pub type WakeHook = Arc<dyn Fn() + Send + Sync>;
+
 /// A bounded multi-producer multi-consumer mbuf ring with tail-drop
 /// accounting.
 pub struct SharedRing {
     queue: Arc<ArrayQueue<Mbuf>>,
     accepted: AtomicU64,
     dropped: AtomicU64,
+    /// Rung after every accepting offer; `None` (the default) costs one
+    /// predictable branch per burst.
+    wake_hook: Option<WakeHook>,
 }
 
 impl SharedRing {
@@ -47,6 +55,7 @@ impl SharedRing {
             queue: Arc::new(ArrayQueue::new(capacity)),
             accepted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            wake_hook: None,
         }
     }
 
@@ -55,12 +64,28 @@ impl SharedRing {
         Arc::clone(&self.queue)
     }
 
+    /// Arm the producer-side doorbell hook: `hook` runs after every offer
+    /// that accepted at least one frame (once per burst, never per
+    /// packet). Install it before producers start offering — the hook is
+    /// how an interrupt-driven retrieval discipline learns that packets
+    /// arrived while it was parked.
+    pub fn set_wake_hook(&mut self, hook: WakeHook) {
+        self.wake_hook = Some(hook);
+    }
+
+    fn wake(&self) {
+        if let Some(hook) = &self.wake_hook {
+            hook();
+        }
+    }
+
     /// Offer one frame; on a full ring it is tail-dropped and `false` is
     /// returned.
     pub fn offer(&self, mbuf: Mbuf) -> bool {
         match self.queue.push(mbuf) {
             Ok(()) => {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
+                self.wake();
                 true
             }
             Err(_) => {
@@ -98,6 +123,7 @@ impl SharedRing {
         let accepted = total - rejected;
         if accepted > 0 {
             self.accepted.fetch_add(accepted as u64, Ordering::Relaxed);
+            self.wake();
         }
         if rejected > 0 {
             self.dropped.fetch_add(rejected as u64, Ordering::Relaxed);
@@ -193,6 +219,13 @@ impl RssPort {
     /// flow, not per packet, like a NIC's indirection table.
     pub fn queue_for(&self, rss_input: &[u8]) -> usize {
         self.toeplitz.queue_for(rss_input, self.rings.len())
+    }
+
+    /// Arm queue `q`'s doorbell hook (see [`SharedRing::set_wake_hook`]):
+    /// the hook runs after every accepting offer into that ring, which is
+    /// how an InterruptLike consumer parked on the queue gets woken.
+    pub fn set_wake_hook(&mut self, q: usize, hook: WakeHook) {
+        self.rings[q].set_wake_hook(hook);
     }
 
     /// Offer a frame to queue `q` (its metadata should carry the RSS
@@ -318,6 +351,34 @@ mod tests {
         assert_eq!(single.accepted(), burst.accepted());
         assert_eq!(single.dropped(), burst.dropped());
         assert_eq!(single.occupancy(), burst.occupancy());
+    }
+
+    #[test]
+    fn wake_hook_fires_once_per_accepting_offer() {
+        use std::sync::atomic::AtomicUsize;
+
+        let rings = AtomicUsize::new(0);
+        let rings = Arc::new(rings);
+        let mut r = SharedRing::new(32);
+        let counter = Arc::clone(&rings);
+        r.set_wake_hook(Arc::new(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }));
+        // Single offers: one ring each.
+        r.offer(frame());
+        r.offer(frame());
+        assert_eq!(rings.load(Ordering::Relaxed), 2);
+        // A burst rings once, not per packet.
+        let mut burst: Vec<Mbuf> = (0..10).map(|_| frame()).collect();
+        r.offer_burst(&mut burst);
+        assert_eq!(rings.load(Ordering::Relaxed), 3);
+        // A fully rejected burst (ring full) must not ring.
+        let mut fill: Vec<Mbuf> = (0..32).map(|_| frame()).collect();
+        r.offer_burst(&mut fill);
+        let before = rings.load(Ordering::Relaxed);
+        let mut rejected: Vec<Mbuf> = (0..4).map(|_| frame()).collect();
+        assert_eq!(r.offer_burst(&mut rejected), 0);
+        assert_eq!(rings.load(Ordering::Relaxed), before);
     }
 
     #[test]

@@ -9,10 +9,18 @@
 //!   idle. XDP runs on 4 cores at 10/5 Gbps and 1 core at 1/0.5 Gbps —
 //!   the paper's "minimal number of cores ... in order not to lose
 //!   packets".
+//!
+//! With [`ExpConfig::realtime`] set, every cell runs on real threads at a
+//! ×1000-scaled rate: static DPDK becomes a pinned `BusyPoll` worker (CPU
+//! ≈ 100% per queue), Metronome runs the Listing 2 engine (CPU strictly
+//! lower and proportional), XDP becomes a doorbell-parked `InterruptLike`
+//! worker set — and an extra 0 Gbps row shows the interrupt discipline's
+//! ≈0% idle CPU. The Fig. 10 shape, measured instead of simulated.
 
 use crate::{render_csv, render_table, ExpConfig, ExpOutput};
 use metronome_core::MetronomeConfig;
-use metronome_runtime::{run as run_scenario, RunReport, Scenario, TrafficSpec};
+use metronome_dpdk::nic::gbps_to_pps;
+use metronome_runtime::{run as run_scenario, run_realtime, RunReport, Scenario, TrafficSpec};
 
 /// Systems compared by the figure.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -27,10 +35,38 @@ pub enum System {
 
 /// One cell of the figure.
 pub fn run_cell(system: System, gbps: f64, cfg: &ExpConfig) -> RunReport {
+    let seed = cfg.seed ^ ((gbps * 16.0) as u64) ^ ((system as u64) << 24);
+    // Minimal cores not to lose packets: one XDP core caps at ≈6.7 Mpps,
+    // so 10/5 Gbps need 4 queues (as in the paper), lower rates run on
+    // one.
+    let xdp_queues = if gbps >= 5.0 { 4 } else { 1 };
+    if cfg.realtime {
+        // Real threads at ×1000-scaled rates (see ExpConfig::realtime):
+        // the same three-way comparison, with each system mapped onto its
+        // retrieval discipline by the realtime runner.
+        let traffic = if gbps == 0.0 {
+            TrafficSpec::Silent
+        } else {
+            TrafficSpec::CbrPps(gbps_to_pps(gbps, 64) / 1e3)
+        };
+        let sc = match system {
+            System::Static => Scenario::static_dpdk(format!("fig10-static-rt-{gbps}g"), 1, traffic),
+            System::Metronome => Scenario::metronome(
+                format!("fig10-metronome-rt-{gbps}g"),
+                MetronomeConfig::default(),
+                traffic,
+            ),
+            System::Xdp => Scenario::xdp(format!("fig10-xdp-rt-{gbps}g"), xdp_queues, traffic),
+        };
+        return run_realtime(
+            &sc.with_duration(cfg.realtime_dur())
+                .with_latency()
+                .with_seed(seed),
+        );
+    }
     let traffic = TrafficSpec::CbrGbps(gbps);
     let dur = cfg.dur(1.5, 30.0);
     let stride = if gbps < 2.0 { 61 } else { 509 };
-    let seed = cfg.seed ^ ((gbps * 16.0) as u64) ^ ((system as u64) << 24);
     let sc = match system {
         System::Static => Scenario::static_dpdk(format!("fig10-static-{gbps}g"), 1, traffic),
         System::Metronome => Scenario::metronome(
@@ -38,13 +74,7 @@ pub fn run_cell(system: System, gbps: f64, cfg: &ExpConfig) -> RunReport {
             MetronomeConfig::default(),
             traffic,
         ),
-        System::Xdp => {
-            // Minimal cores not to lose packets: one XDP core caps at
-            // ≈6.7 Mpps, so 10/5 Gbps need 4 queues (as in the paper),
-            // lower rates run on one.
-            let queues = if gbps >= 5.0 { 4 } else { 1 };
-            Scenario::xdp(format!("fig10-xdp-{gbps}g"), queues, traffic)
-        }
+        System::Xdp => Scenario::xdp(format!("fig10-xdp-{gbps}g"), xdp_queues, traffic),
     };
     run_scenario(
         &sc.with_duration(dur)
@@ -57,21 +87,33 @@ pub fn run_cell(system: System, gbps: f64, cfg: &ExpConfig) -> RunReport {
 pub fn run(cfg: &ExpConfig) -> ExpOutput {
     let mut rows = Vec::new();
     let mut reports = Vec::new();
-    for gbps in [10.0f64, 5.0, 1.0, 0.5] {
+    // The realtime sweep appends a 0 Gbps (idle) row: the interrupt-driven
+    // discipline's defining bar — ≈0% CPU with no traffic — measured on a
+    // parked worker rather than asserted by the simulator's model.
+    let rates: &[f64] = if cfg.realtime {
+        &[10.0, 5.0, 1.0, 0.5, 0.0]
+    } else {
+        &[10.0, 5.0, 1.0, 0.5]
+    };
+    for &gbps in rates {
         for (name, system) in [
             ("static", System::Static),
             ("metronome", System::Metronome),
             ("xdp", System::Xdp),
         ] {
             let r = run_cell(system, gbps, cfg);
-            let lat = *r.latency_us.as_ref().expect("latency sampled");
+            // Idle cells record no latency samples; render them empty.
+            let lat_cell = |f: &dyn Fn(&metronome_sim::stats::Boxplot) -> f64| match &r.latency_us {
+                Some(lat) => format!("{:.2}", f(lat)),
+                None => "-".into(),
+            };
             rows.push(vec![
                 format!("{gbps}"),
                 name.into(),
-                format!("{:.2}", lat.mean),
-                format!("{:.2}", lat.q1),
-                format!("{:.2}", lat.median),
-                format!("{:.2}", lat.q3),
+                lat_cell(&|l| l.mean),
+                lat_cell(&|l| l.q1),
+                lat_cell(&|l| l.median),
+                lat_cell(&|l| l.q3),
                 format!("{:.1}", r.cpu_total_pct),
                 format!("{:.4}", r.loss_permille()),
                 format!("{:.2}", r.throughput_mpps),

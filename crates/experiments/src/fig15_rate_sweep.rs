@@ -13,25 +13,31 @@ use metronome_runtime::{run as run_scenario, run_realtime, RunReport, Scenario, 
 
 /// One rate point for either system.
 ///
-/// With [`ExpConfig::realtime`] set, Metronome points execute on the
-/// realtime backend at a ×1000-scaled rate (kpps instead of Mpps — see
-/// the flag's docs); the static baseline stays simulation-only.
+/// With [`ExpConfig::realtime`] set, both systems execute on the realtime
+/// backend at a ×1000-scaled rate (kpps instead of Mpps — see the flag's
+/// docs): Metronome as M = 5 racing workers, static DPDK as four pinned
+/// busy-polling workers.
 pub fn run_point(metronome: bool, mpps: f64, cfg: &ExpConfig) -> RunReport {
-    if cfg.realtime && metronome {
+    if cfg.realtime {
         let traffic = if mpps == 0.0 {
             TrafficSpec::Silent
         } else {
             TrafficSpec::CbrPps(mpps * 1e3)
         };
-        let sc = Scenario::metronome(
-            format!("fig15-met-rt-{mpps}kpps"),
-            MetronomeConfig::multiqueue(5, 4),
-            traffic,
-        )
-        .with_nic(NicProfile::XL710)
-        .with_latency()
-        .with_duration(cfg.realtime_dur())
-        .with_seed(cfg.seed ^ (mpps as u64) << 2);
+        let sc = if metronome {
+            Scenario::metronome(
+                format!("fig15-met-rt-{mpps}kpps"),
+                MetronomeConfig::multiqueue(5, 4),
+                traffic,
+            )
+        } else {
+            Scenario::static_dpdk(format!("fig15-static-rt-{mpps}kpps"), 4, traffic)
+        };
+        let sc = sc
+            .with_nic(NicProfile::XL710)
+            .with_latency()
+            .with_duration(cfg.realtime_dur())
+            .with_seed(cfg.seed ^ (mpps as u64) << 2);
         return run_realtime(&sc);
     }
     let traffic = if mpps == 0.0 {

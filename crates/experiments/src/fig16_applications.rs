@@ -15,20 +15,31 @@ use metronome_runtime::{
 
 /// One rate point for one app and system.
 ///
-/// With [`ExpConfig::realtime`] set, Metronome points run the *functional*
+/// With [`ExpConfig::realtime`] set, both systems run the *functional*
 /// application (real ESP encapsulation, real flow tables) on real threads
-/// at a ×1000-scaled rate; the static baseline stays simulation-only.
+/// at a ×1000-scaled rate: Metronome as the Listing 2 engine, static DPDK
+/// as a pinned busy-polling worker.
 pub fn run_point(app: AppProfile, metronome: bool, mpps: f64, cfg: &ExpConfig) -> RunReport {
-    if cfg.realtime && metronome {
-        let sc = Scenario::metronome(
-            format!("fig16-{}-met-rt-{mpps}kpps", app.name),
-            MetronomeConfig::default(),
-            TrafficSpec::CbrPps(mpps * 1e3),
-        )
-        .with_app(app)
-        .with_latency()
-        .with_duration(cfg.realtime_dur())
-        .with_seed(cfg.seed ^ (mpps * 8.0) as u64);
+    if cfg.realtime {
+        let traffic = TrafficSpec::CbrPps(mpps * 1e3);
+        let sc = if metronome {
+            Scenario::metronome(
+                format!("fig16-{}-met-rt-{mpps}kpps", app.name),
+                MetronomeConfig::default(),
+                traffic,
+            )
+        } else {
+            Scenario::static_dpdk(
+                format!("fig16-{}-static-rt-{mpps}kpps", app.name),
+                1,
+                traffic,
+            )
+        };
+        let sc = sc
+            .with_app(app)
+            .with_latency()
+            .with_duration(cfg.realtime_dur())
+            .with_seed(cfg.seed ^ (mpps * 8.0) as u64);
         return run_realtime(&sc);
     }
     let traffic = TrafficSpec::CbrPps(mpps * 1e6);

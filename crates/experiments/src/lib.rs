@@ -39,12 +39,17 @@ pub struct ExpConfig {
     pub full: bool,
     /// Master seed.
     pub seed: u64,
-    /// Run Metronome points on the realtime backend (`--realtime`):
-    /// real threads, wall-clock paced load generation, functional packet
-    /// processors. Rates are scaled down ×1000 (kpps instead of Mpps) —
-    /// an in-process generator cannot pace tens of Mpps — so realtime
-    /// rows validate the pipeline and relative shapes, not absolute
-    /// line-rate numbers. Experiments without a realtime path ignore it.
+    /// Run the comparative experiments on the realtime backend
+    /// (`--realtime`): real threads, wall-clock paced load generation,
+    /// functional packet processors, with every system mapped onto its
+    /// retrieval discipline — Metronome (Listing 2), static DPDK
+    /// (busy-polling `BusyPoll` workers), XDP (doorbell-parked
+    /// `InterruptLike` workers). fig10 runs all three systems this way
+    /// (plus an idle row); fig15/fig16 run both of theirs. Rates are
+    /// scaled down ×1000 (kpps instead of Mpps) — an in-process generator
+    /// cannot pace tens of Mpps — so realtime rows validate the pipeline
+    /// and relative shapes, not absolute line-rate numbers. Experiments
+    /// without a realtime path ignore it.
     pub realtime: bool,
 }
 

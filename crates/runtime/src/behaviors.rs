@@ -248,6 +248,98 @@ impl Behavior<World> for StaticPoller {
 }
 
 // ---------------------------------------------------------------------------
+// Constant-sleep retrieval (the fixed r_sleep strawman)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+enum ConstSleepPhase {
+    /// Just woke from the fixed timer.
+    AfterSleep,
+    /// Draining the queue.
+    Poll,
+    /// A chunk of `k` packets finished processing.
+    Chunk {
+        /// Packets in the chunk.
+        k: u64,
+    },
+    /// Queue dry: go back to sleep for the fixed period.
+    GoSleep,
+}
+
+/// The fixed-period retrieval baseline, one thread per queue: drain the
+/// queue dry, `r_sleep(period)`, repeat. The simulation counterpart of
+/// the realtime `ConstSleep` discipline — it charges the same calibrated
+/// wake/sleep-path cycle costs as a Metronome worker, so its CPU differs
+/// from Metronome's only through the (non-adaptive) timeout itself.
+pub struct ConstSleepWorker {
+    q: usize,
+    app: AppProfile,
+    burst: u64,
+    period: Nanos,
+    service: SleepService,
+    phase: ConstSleepPhase,
+}
+
+impl ConstSleepWorker {
+    /// Worker bound to queue `q`, sleeping `period` between drains.
+    pub fn new(
+        q: usize,
+        app: AppProfile,
+        burst: u64,
+        period: Nanos,
+        service: SleepService,
+    ) -> Self {
+        ConstSleepWorker {
+            q,
+            app,
+            burst,
+            period,
+            service,
+            phase: ConstSleepPhase::Poll,
+        }
+    }
+}
+
+impl Behavior<World> for ConstSleepWorker {
+    fn on_run(&mut self, world: &mut World, ctx: &mut RunCtx<'_>) -> Action {
+        let q = self.q;
+        loop {
+            match self.phase {
+                ConstSleepPhase::AfterSleep => {
+                    self.phase = ConstSleepPhase::Poll;
+                    return Action::Work(Cycles(calib::WAKE_PATH_CYCLES));
+                }
+                ConstSleepPhase::Poll => {
+                    let taken = world.queues[q].take_burst(ctx.now, self.burst);
+                    if taken > 0 {
+                        self.phase = ConstSleepPhase::Chunk { k: taken };
+                        return Action::Work(Cycles(self.app.burst_cycles(taken)));
+                    }
+                    if world.queues[q].tx_stale(ctx.now) {
+                        world.flush_queue_tx(q, ctx.now);
+                    }
+                    self.phase = ConstSleepPhase::GoSleep;
+                    return Action::Work(Cycles(
+                        calib::EMPTY_POLL_CYCLES + calib::SLEEP_CALL_CYCLES,
+                    ));
+                }
+                ConstSleepPhase::Chunk { k } => {
+                    world.chunk_done(q, ctx.now, k);
+                    self.phase = ConstSleepPhase::Poll;
+                }
+                ConstSleepPhase::GoSleep => {
+                    self.phase = ConstSleepPhase::AfterSleep;
+                    return Action::Sleep {
+                        service: self.service,
+                        duration: self.period,
+                    };
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // XDP / NAPI baseline (paper §V-D)
 // ---------------------------------------------------------------------------
 

@@ -39,7 +39,9 @@ pub mod world;
 
 pub use apps_profile::AppProfile;
 pub use behaviors::{MetronomeWorker, WorldBackend};
-pub use realtime_runner::{run_realtime, run_realtime_with};
+pub use realtime_runner::{
+    run_realtime, run_realtime_with, try_run_realtime, try_run_realtime_with, RealtimeError,
+};
 pub use report::{QueueReport, RampPoint, RunReport};
 pub use runner::run;
 pub use scenario::{FerretSpec, Scenario, SystemKind, TrafficSpec};

@@ -7,8 +7,8 @@
 //! ```text
 //! ArrivalProcess ──wall-clock──▶ mempool alloc ──Toeplitz RSS──▶ mbuf rings
 //!   (PacedArrivals)               (template refill)               (RssPort)
-//!        ──▶ Metronome workers ──▶ PacketProcessor bursts ──▶ mempool free
-//!              (Listing 2 on real threads)   (process_burst + latency)
+//!        ──▶ retrieval workers ──▶ PacketProcessor bursts ──▶ mempool free
+//!          (discipline per SystemKind)  (process_burst + latency)
 //! ```
 //!
 //! * **Load generation** — the scenario's [`crate::scenario::TrafficSpec`] builds one
@@ -24,11 +24,16 @@
 //!   by ring in bursts (`offer_burst`); a full ring tail-drops with
 //!   per-queue accounting, and the dropped frames' buffers recycle
 //!   straight back to the pool.
-//! * **Retrieval** — `cfg.m_threads` real Metronome workers
-//!   ([`Metronome`]) race trylocks and drain bursts, running the same
-//!   `MetronomeEngine` as the simulation; each drained burst is processed
-//!   with one [`PacketProcessor::process_burst`] call and its mbufs are
-//!   returned to the pool in one `free_burst`.
+//! * **Retrieval** — every [`SystemKind`] maps onto a
+//!   `metronome_core::discipline` worker set ([`Metronome`] spawns it):
+//!   Metronome threads race trylocks and sleep adaptive timeouts
+//!   (Listing 2); `StaticDpdk` pins one spinning `BusyPoll` worker per
+//!   queue; `Xdp` parks one `InterruptLike` worker per queue on a
+//!   [`metronome_core::discipline::Doorbell`] the RSS port rings on every
+//!   accepted burst (adaptive moderation window included); `ConstSleep`
+//!   retrieves on a fixed period; `Idle` spawns nothing. Same rings, same
+//!   apps, same report — only the retrieval discipline differs, which is
+//!   exactly what the paper's comparative figures vary.
 //! * **Processing & measurement** — each frame passes through a functional
 //!   [`PacketProcessor`] (per-queue instance, so concurrent queues never
 //!   contend), and its scheduled-arrival → completion latency is recorded
@@ -42,14 +47,21 @@
 //! exact and asserted: `offered = forwarded + dropped`, where `dropped`
 //! breaks down into ring tail-drops, mempool-exhaustion drops, and frames
 //! stranded in rings at shutdown (normally zero — the runner drains
-//! before stopping).
+//! before stopping; under `Idle` every accepted frame is stranded by
+//! construction and counted).
+//!
+//! A scenario the runner cannot execute (an app profile with no
+//! functional processor, a queue-count mismatch) is rejected with a typed
+//! [`RealtimeError`] through [`try_run_realtime`]; the panicking
+//! [`run_realtime`] convenience wrapper merely unwraps it.
 
 use crate::report::{QueueReport, RunReport};
 use crate::scenario::{Scenario, SystemKind};
 use metronome_apps::processor::PacketProcessor;
 use metronome_apps::{FloWatcher, IpsecGateway, L3Fwd};
+use metronome_core::discipline::{DisciplineSpec, ModerationConfig};
 use metronome_core::realtime::Metronome;
-use metronome_core::MetronomeConfig;
+use metronome_core::{AdaptiveController, MetronomeConfig};
 use metronome_dpdk::{Mbuf, Mempool, RssPort};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_sim::stats::Histogram;
@@ -80,56 +92,169 @@ const GEN_BATCH: usize = 256;
 /// drain the rings before declaring leftovers stranded.
 const DRAIN_GRACE: Duration = Duration::from_secs(10);
 
+/// Why the realtime runner refused to execute a scenario. Returned by
+/// [`try_run_realtime`] instead of panicking, so callers sweeping over
+/// generated scenario sets can report and skip.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RealtimeError {
+    /// The Metronome config's queue count disagrees with the scenario's.
+    QueueMismatch {
+        /// Queues in the `MetronomeConfig`.
+        config: usize,
+        /// Queues in the `Scenario`.
+        scenario: usize,
+    },
+    /// The scenario's app profile has no functional processor wired
+    /// (cost-model-only profiles exist in the simulator).
+    NoProcessor {
+        /// The app profile name.
+        app: &'static str,
+    },
+}
+
+impl std::fmt::Display for RealtimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RealtimeError::QueueMismatch { config, scenario } => write!(
+                f,
+                "Metronome config has {config} queues but the scenario has {scenario}"
+            ),
+            RealtimeError::NoProcessor { app } => {
+                write!(f, "no functional processor wired for app profile '{app}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RealtimeError {}
+
 /// Builds the functional packet processor for one queue. Factories run
 /// once per queue at startup; each queue owns its instance, so processor
 /// state (route tables, flow tables, SA counters) is per-queue like DPDK's
 /// per-lcore state.
 pub type ProcessorFactory<'a> = dyn Fn(usize) -> Box<dyn PacketProcessor> + 'a;
 
-/// The functional processor wired to an app profile name (the realtime
-/// counterpart of the cost-only [`crate::apps_profile::AppProfile`]).
+/// The functional processor wired to an app profile name, if one exists
+/// (the realtime counterpart of the cost-only
+/// [`crate::apps_profile::AppProfile`]).
+pub fn processor_for(app_name: &str) -> Option<Box<dyn PacketProcessor>> {
+    match app_name {
+        "l3fwd-lpm" => Some(Box::new(L3Fwd::with_sample_routes(L3FWD_SUBNETS))),
+        "ipsec-secgw-out" => Some(Box::new(IpsecGateway::outbound())),
+        "flowatcher" => Some(Box::new(FloWatcher::new(65_536))),
+        _ => None,
+    }
+}
+
+/// [`processor_for`], panicking when the profile has no functional
+/// implementation.
 ///
 /// # Panics
 /// If the profile has no functional implementation.
 pub fn default_processor(app_name: &str) -> Box<dyn PacketProcessor> {
-    match app_name {
-        "l3fwd-lpm" => Box::new(L3Fwd::with_sample_routes(L3FWD_SUBNETS)),
-        "ipsec-secgw-out" => Box::new(IpsecGateway::outbound()),
-        "flowatcher" => Box::new(FloWatcher::new(65_536)),
-        other => panic!("no functional processor wired for app profile '{other}'"),
-    }
+    processor_for(app_name)
+        .unwrap_or_else(|| panic!("no functional processor wired for app profile '{app_name}'"))
 }
 
 /// Per-queue application state: the processor plus its latency histogram,
 /// behind one mutex taken **once per burst**, not per packet. Uncontended
-/// by construction — only the worker holding the queue's trylock
-/// processes that queue's packets.
+/// by construction — only one worker drains a queue at a time (the
+/// Metronome trylock, or 1:1 worker/queue pinning in the baselines).
 struct QueueApp {
     proc: Box<dyn PacketProcessor>,
     latency_ns: Histogram,
 }
 
-/// Execute a Metronome scenario end-to-end on real threads, with the
-/// app profile's default functional processor.
+/// The worker configuration and discipline a [`SystemKind`] maps onto:
+/// `None` for [`SystemKind::Idle`] (no workers at all).
+fn discipline_for(
+    sc: &Scenario,
+) -> Result<Option<(MetronomeConfig, DisciplineSpec)>, RealtimeError> {
+    let baseline_cfg = || MetronomeConfig {
+        m_threads: sc.n_queues,
+        n_queues: sc.n_queues,
+        ..MetronomeConfig::default()
+    };
+    match &sc.system {
+        SystemKind::Metronome(cfg) => {
+            if cfg.n_queues != sc.n_queues {
+                return Err(RealtimeError::QueueMismatch {
+                    config: cfg.n_queues,
+                    scenario: sc.n_queues,
+                });
+            }
+            Ok(Some((cfg.clone(), DisciplineSpec::Metronome)))
+        }
+        SystemKind::StaticDpdk => Ok(Some((baseline_cfg(), DisciplineSpec::BusyPoll))),
+        SystemKind::Xdp => Ok(Some((
+            baseline_cfg(),
+            DisciplineSpec::InterruptLike(ModerationConfig::default()),
+        ))),
+        SystemKind::ConstSleep { period } => {
+            Ok(Some((baseline_cfg(), DisciplineSpec::ConstSleep(*period))))
+        }
+        SystemKind::Idle => Ok(None),
+    }
+}
+
+/// Execute a scenario end-to-end on real threads, with the app profile's
+/// default functional processor. Every [`SystemKind`] executes (each maps
+/// onto a retrieval discipline; `Idle` runs the pipeline with no
+/// consumers).
 ///
 /// # Panics
-/// If the scenario's system is not [`SystemKind::Metronome`] (the
-/// baselines are simulation-only) or its app has no functional processor.
+/// If the scenario is rejected (see [`try_run_realtime`] for the
+/// non-panicking form).
 pub fn run_realtime(sc: &Scenario) -> RunReport {
-    run_realtime_with(sc, &|_q| default_processor(sc.app.name))
+    try_run_realtime(sc).unwrap_or_else(|e| panic!("realtime scenario rejected: {e}"))
 }
 
 /// [`run_realtime`] with a custom per-queue processor factory (tests use
 /// this to inject instrumented or deliberately slow applications).
+///
+/// # Panics
+/// If the scenario is rejected (see [`try_run_realtime_with`]).
 pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunReport {
-    let cfg: MetronomeConfig = match &sc.system {
-        SystemKind::Metronome(cfg) => cfg.clone(),
-        other => panic!("the realtime runner executes Metronome scenarios only (got {other:?})"),
-    };
-    assert_eq!(cfg.n_queues, sc.n_queues, "scenario/config queue mismatch");
+    try_run_realtime_with(sc, make_app)
+        .unwrap_or_else(|e| panic!("realtime scenario rejected: {e}"))
+}
+
+/// Fallible [`run_realtime`]: a scenario the runner cannot execute comes
+/// back as a typed [`RealtimeError`] instead of a panic.
+pub fn try_run_realtime(sc: &Scenario) -> Result<RunReport, RealtimeError> {
+    // Resolve the processor up front so the factory below cannot panic on
+    // user input.
+    if processor_for(sc.app.name).is_none() {
+        return Err(RealtimeError::NoProcessor { app: sc.app.name });
+    }
+    try_run_realtime_with(sc, &|_q| default_processor(sc.app.name))
+}
+
+/// Fallible [`run_realtime_with`].
+pub fn try_run_realtime_with(
+    sc: &Scenario,
+    make_app: &ProcessorFactory,
+) -> Result<RunReport, RealtimeError> {
+    let dispatch = discipline_for(sc)?;
 
     // ---- receive side: RSS port over bounded mbuf rings ------------------
-    let port = Arc::new(RssPort::new(sc.n_queues, sc.ring_size));
+    let mut port = RssPort::new(sc.n_queues, sc.ring_size);
+
+    // ---- worker shape ----------------------------------------------------
+    // The worker config sizes the shared state (controller, locks,
+    // doorbells) even when no workers spawn, so the report's per-queue
+    // columns keep their shape under `Idle`.
+    let worker_cfg = dispatch
+        .as_ref()
+        .map(|(cfg, _)| cfg.clone())
+        .unwrap_or_else(|| MetronomeConfig {
+            m_threads: sc.n_queues.max(1),
+            n_queues: sc.n_queues,
+            ..MetronomeConfig::default()
+        });
+    let n_workers = dispatch
+        .as_ref()
+        .map_or(0, |(cfg, spec)| spec.workers(cfg.m_threads, cfg.n_queues));
 
     // ---- the shared mbuf pool --------------------------------------------
     // Default population: every ring full twice over, plus a generation
@@ -137,7 +262,7 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     // correctly sized run never sees pool exhaustion, small enough that a
     // deliberate `with_mbuf_pool` undersizing bites immediately.
     let population = sc.mbuf_pool.unwrap_or_else(|| {
-        2 * sc.n_queues * sc.ring_size + GEN_BATCH + cfg.m_threads * cfg.burst as usize
+        2 * sc.n_queues * sc.ring_size + GEN_BATCH + n_workers.max(1) * worker_cfg.burst as usize
     });
     let pool = Mempool::new(population, MBUF_DATAROOM);
 
@@ -168,10 +293,12 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     // ---- telemetry: counters always on, sampling on request --------------
     // Workers bump the hub's relaxed atomics at protocol grain; the
     // producer side accounts drops by cause through the same hub, so a
-    // sampler thread (below) sees one coherent counter surface.
-    let hub = TelemetryHub::new(cfg.m_threads, sc.n_queues);
+    // sampler thread (below) sees one coherent counter surface. The hub
+    // carries the discipline label so exported series from different
+    // systems stay distinguishable.
+    let hub = TelemetryHub::labeled(n_workers, sc.n_queues, sc.system.label());
 
-    // ---- workers: the Listing 2 protocol on real threads -----------------
+    // ---- workers: the scenario's retrieval discipline on real threads ----
     // The latency clock is anchored only after the workers are up (the
     // cell is filled below): anchoring before the spawn would stamp the
     // arrivals falling due during thread creation with scheduled times
@@ -180,33 +307,48 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
     let clock_cell: Arc<std::sync::OnceLock<WallClock>> = Arc::new(std::sync::OnceLock::new());
     let measure_latency = sc.latency_stride > 0;
     let run_start = Instant::now();
-    let metronome = Metronome::start_with_telemetry(
-        cfg.clone(),
-        port.worker_queues(),
-        {
-            let apps = Arc::clone(&apps);
-            let clock_cell = Arc::clone(&clock_cell);
-            let pool = pool.clone();
-            move |q, burst: &mut Vec<Mbuf>| {
-                // One lock, one process_burst, one histogram pass, one
-                // free_burst — per burst, never per packet.
-                let mut slot = apps[q].lock();
-                let _verdicts = slot.proc.process_burst(burst);
-                if measure_latency {
-                    if let Some(clock) = clock_cell.get() {
-                        let done = clock.now();
-                        for mbuf in burst.iter() {
-                            let lat = done.saturating_sub(mbuf.arrival);
-                            slot.latency_ns.record(lat.as_nanos());
+    let metronome = dispatch.map(|(cfg, spec)| {
+        let worker_set = Metronome::start_discipline_with_telemetry(
+            cfg,
+            spec.clone(),
+            port.worker_queues(),
+            {
+                let apps = Arc::clone(&apps);
+                let clock_cell = Arc::clone(&clock_cell);
+                let pool = pool.clone();
+                move |q, burst: &mut Vec<Mbuf>| {
+                    // One lock, one process_burst, one histogram pass, one
+                    // free_burst — per burst, never per packet.
+                    let mut slot = apps[q].lock();
+                    let _verdicts = slot.proc.process_burst(burst);
+                    if measure_latency {
+                        if let Some(clock) = clock_cell.get() {
+                            let done = clock.now();
+                            for mbuf in burst.iter() {
+                                let lat = done.saturating_sub(mbuf.arrival);
+                                slot.latency_ns.record(lat.as_nanos());
+                            }
                         }
                     }
+                    drop(slot);
+                    pool.free_burst(burst.drain(..));
                 }
-                drop(slot);
-                pool.free_burst(burst.drain(..));
+            },
+            &hub,
+        );
+        // Interrupt-driven workers park on per-queue doorbells; arm the
+        // RSS port's producer-side hook so every accepted burst rings the
+        // queue's bell (the "raise the IRQ" edge). The hook is installed
+        // before generation starts, so no accepted frame can pre-date it.
+        if matches!(spec, DisciplineSpec::InterruptLike(_)) {
+            for q in 0..sc.n_queues {
+                let bell = Arc::clone(worker_set.doorbell(q));
+                port.set_wake_hook(q, Arc::new(move || bell.ring()));
             }
-        },
-        &hub,
-    );
+        }
+        worker_set
+    });
+    let port = Arc::new(port);
 
     // ---- sampler thread (the realtime counterpart of the simulation's
     // scheduled sampling events): every `series_every` it snapshots the
@@ -326,24 +468,28 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
 
     // ---- drain and stop ---------------------------------------------------
     // Generation is over, so `accepted` is final; wait for the workers to
-    // catch up before stopping, bounded by a grace period.
-    let deadline = Instant::now() + DRAIN_GRACE;
-    loop {
-        let processed: u64 = (0..sc.n_queues).map(|q| metronome.processed(q)).sum();
-        if processed >= port.total_accepted() || Instant::now() >= deadline {
-            break;
+    // catch up before stopping, bounded by a grace period. With no
+    // workers (`Idle`) there is nothing to wait for: everything accepted
+    // is stranded by construction.
+    if let Some(m) = &metronome {
+        let deadline = Instant::now() + DRAIN_GRACE;
+        loop {
+            let processed: u64 = (0..sc.n_queues).map(|q| m.processed(q)).sum();
+            if processed >= port.total_accepted() || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
         }
-        std::thread::sleep(Duration::from_millis(1));
     }
-    let stats = metronome.stop();
+    let stats = metronome.map(Metronome::stop).unwrap_or_default();
     // Busy time accrues from worker start to join — including the drain
     // tail past the traffic horizon — so CPU% must be normalized by the
     // same span, not by the scenario duration.
     let actual_wall = run_start.elapsed().as_secs_f64();
     // Anything still queued was accepted but never retrieved (only possible
-    // if the grace period expired): count it as dropped so conservation
-    // stays exact — and recycle the buffers, so the pool audit below
-    // still balances.
+    // if the grace period expired, or always under `Idle`): count it as
+    // dropped so conservation stays exact — and recycle the buffers, so
+    // the pool audit below still balances.
     let mut stranded_scratch: Vec<Mbuf> = Vec::new();
     let stranded: Vec<u64> = port
         .rings()
@@ -375,10 +521,13 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
         .map(|q| hub.queue(q).dropped_pool.load(Ordering::Relaxed))
         .collect();
 
+    // The Metronome discipline snapshots its adaptive controller at stop;
+    // the lock-free baselines (and `Idle`) never touch one, so their
+    // per-queue race/vacation columns read zero from a fresh instance.
     let ctrl = stats
         .controller
-        .as_ref()
-        .expect("Metronome::stop snapshots the controller");
+        .clone()
+        .unwrap_or_else(|| AdaptiveController::new(worker_cfg.clone()));
     let forwarded = stats.total_processed();
     let dropped_pool: u64 = pool_drops.iter().sum();
     let dropped_ring = port.total_dropped() + stranded.iter().sum::<u64>();
@@ -410,20 +559,30 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
                 total_tries: st.total_tries,
                 busy_tries: st.busy_tries,
                 busy_try_fraction: st.busy_try_fraction(),
-                drained: stats.processed[q],
+                drained: stats.processed.get(q).copied().unwrap_or(0),
                 dropped: port.rings()[q].dropped() + stranded[q] + pool_drops[q],
                 dropped_pool: pool_drops[q],
             }
         })
         .collect();
-    // CPU: the measured busy-period fraction of the run. This is a lower
-    // bound (wake path and trylock races are excluded); real deployments
-    // would read /proc — the sim charges those costs from calibration.
-    report.cpu_total_pct = (0..sc.n_queues)
-        .map(|q| ctrl.queue(q).busy_sum.as_secs_f64())
-        .sum::<f64>()
-        / actual_wall.max(f64::MIN_POSITIVE)
-        * 100.0;
+    // CPU: the workers' own measured awake time (the telemetry hub's busy
+    // spans, flushed at every sleep/park/spin boundary) over the actual
+    // wall span — comparable across disciplines: a busy poller reads
+    // ≈100% per queue, a parked interrupt worker ≈0 at idle, Metronome in
+    // between and proportional to load. This measures *occupancy*, not
+    // scheduler CPU time: on an oversubscribed host a spinning worker's
+    // involuntary descheduling still counts as busy, exactly like the
+    // "burned core" the paper charges to static DPDK. Real deployments
+    // would read /proc; the sim charges calibrated cycle costs instead.
+    report.cpu_per_thread_pct = (0..n_workers)
+        .map(|w| {
+            hub.worker(w).busy_nanos.load(Ordering::Relaxed) as f64
+                / 1e9
+                / actual_wall.max(f64::MIN_POSITIVE)
+                * 100.0
+        })
+        .collect();
+    report.cpu_total_pct = report.cpu_per_thread_pct.iter().sum();
     report.busy_try_fraction = ctrl.busy_try_fraction();
     report.total_wakes = stats.wakes.iter().sum();
     if measure_latency {
@@ -433,5 +592,5 @@ pub fn run_realtime_with(sc: &Scenario, make_app: &ProcessorFactory) -> RunRepor
         }
         report.latency_us = merged.boxplot_scaled(1e-3);
     }
-    report
+    Ok(report)
 }

@@ -1,6 +1,6 @@
 //! Scenario execution: wire world + OS + behaviors, run, collect.
 
-use crate::behaviors::{FerretWorker, MetronomeWorker, StaticPoller, XdpHandler};
+use crate::behaviors::{ConstSleepWorker, FerretWorker, MetronomeWorker, StaticPoller, XdpHandler};
 use crate::calib;
 use crate::report::{QueueReport, RampPoint, RunReport};
 use crate::scenario::{Scenario, SystemKind};
@@ -73,6 +73,18 @@ pub fn run(sc: &Scenario) -> RunReport {
                 net_tids.push(os.spawn(format!("xdp-{q}"), q, sc.net_nice, Box::new(b)));
             }
         }
+        SystemKind::ConstSleep { period } => {
+            for q in 0..sc.n_queues {
+                let b = ConstSleepWorker::new(
+                    q,
+                    sc.app,
+                    metro_cfg.burst as u64,
+                    *period,
+                    sc.sleep_service,
+                );
+                net_tids.push(os.spawn(format!("const-sleep-{q}"), q, sc.net_nice, Box::new(b)));
+            }
+        }
         SystemKind::Idle => {}
     }
 
@@ -130,6 +142,7 @@ pub fn run(sc: &Scenario) -> RunReport {
                 cpu_pct: window_cpu.as_secs_f64() / every.as_secs_f64() * 100.0,
             });
             let mut snap = CounterSnapshot::new(t);
+            snap.discipline = sc.system.label();
             snap.retrieved = world.total_drained();
             snap.offered = world.total_offered();
             snap.dropped_ring = world.total_dropped();

@@ -2,6 +2,7 @@
 
 use crate::apps_profile::AppProfile;
 use crate::calib;
+use metronome_core::discipline::DisciplineKind;
 use metronome_core::MetronomeConfig;
 use metronome_dpdk::nic::{gbps_to_pps, NicProfile};
 use metronome_os::config::{DaemonConfig, Governor, OsConfig};
@@ -12,6 +13,13 @@ use metronome_traffic::{
 };
 
 /// Which packet-retrieval system runs.
+///
+/// Every variant executes on **both** backends: the discrete-event
+/// simulator models it with calibrated costs, and the realtime runner
+/// maps it onto a `metronome_core::discipline` worker set (Metronome →
+/// the Listing 2 engine, StaticDpdk → `BusyPoll`, Xdp → `InterruptLike`
+/// parked on doorbells, ConstSleep → fixed-period retrieval, Idle → no
+/// workers).
 #[derive(Clone, Debug)]
 pub enum SystemKind {
     /// The paper's contribution.
@@ -20,9 +28,31 @@ pub enum SystemKind {
     StaticDpdk,
     /// XDP/NAPI interrupt-driven baseline, one core per queue.
     Xdp,
+    /// Fixed-period retrieval (`r_sleep(P)` between drains), one thread
+    /// per queue — the constant-sleep strawman Metronome's adaptive `TS`
+    /// beats.
+    ConstSleep {
+        /// The fixed retrieval period `P`.
+        period: Nanos,
+    },
     /// No packet system at all — baseline for co-tenant-alone runs
     /// (the "ferret alone" bars of Fig. 12).
     Idle,
+}
+
+impl SystemKind {
+    /// Stable lowercase label shared by telemetry series, reports and
+    /// thread names — the realtime disciplines' own vocabulary
+    /// ([`DisciplineKind::label`]), plus "idle" for the no-system case.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemKind::Metronome(_) => DisciplineKind::Metronome.label(),
+            SystemKind::StaticDpdk => DisciplineKind::BusyPoll.label(),
+            SystemKind::Xdp => DisciplineKind::InterruptLike.label(),
+            SystemKind::ConstSleep { .. } => DisciplineKind::ConstSleep.label(),
+            SystemKind::Idle => "idle",
+        }
+    }
 }
 
 /// The offered workload.
@@ -280,6 +310,20 @@ impl Scenario {
         s
     }
 
+    /// A constant-sleep scenario: one thread per queue draining on a
+    /// fixed `period` timer (the naive `r_sleep` baseline).
+    pub fn const_sleep(
+        name: impl Into<String>,
+        n_queues: usize,
+        period: Nanos,
+        traffic: TrafficSpec,
+    ) -> Self {
+        assert!(!period.is_zero(), "constant sleep period must be positive");
+        let mut s = Scenario::base(name, SystemKind::ConstSleep { period }, n_queues);
+        s.traffic = traffic;
+        s
+    }
+
     /// A scenario with no packet system (co-tenant baselines).
     pub fn idle(name: impl Into<String>) -> Self {
         Scenario::base(name, SystemKind::Idle, 1)
@@ -381,7 +425,9 @@ impl Scenario {
     pub fn n_net_threads(&self) -> usize {
         match &self.system {
             SystemKind::Metronome(cfg) => cfg.m_threads,
-            SystemKind::StaticDpdk | SystemKind::Xdp => self.n_queues,
+            SystemKind::StaticDpdk | SystemKind::Xdp | SystemKind::ConstSleep { .. } => {
+                self.n_queues
+            }
             SystemKind::Idle => 0,
         }
     }
@@ -444,6 +490,16 @@ mod tests {
 
         let x = Scenario::xdp("x", 4, TrafficSpec::CbrGbps(10.0));
         assert_eq!(x.n_net_threads(), 4);
+
+        let c = Scenario::const_sleep(
+            "c",
+            2,
+            Nanos::from_micros(50),
+            TrafficSpec::CbrPps(10_000.0),
+        );
+        assert_eq!(c.n_net_threads(), 2);
+        assert_eq!(c.system.label(), "const-sleep");
+        assert_eq!(Scenario::idle("i").system.label(), "idle");
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub struct WorkerCounters {
     pub sleeps_short: AtomicU64,
     /// Sleeps taken under the long backup timeout `TL`.
     pub sleeps_long: AtomicU64,
+    /// Sleeps taken under a fixed-period retrieval timer (ConstSleep's
+    /// `r_sleep` period, InterruptLike's moderation window).
+    pub sleeps_fixed: AtomicU64,
+    /// Measured oversleep: how much later than requested the sleep
+    /// service actually woke the thread, summed in nanoseconds. Lets the
+    /// ConstSleep baseline and Metronome report comparable sleep-service
+    /// precision on real hardware.
+    pub oversleep_nanos: AtomicU64,
 }
 
 /// Per-queue counters plus the `TS` gauge.
@@ -49,15 +57,31 @@ pub struct QueueCounters {
 pub struct TelemetryHub {
     workers: Vec<WorkerCounters>,
     queues: Vec<QueueCounters>,
+    /// Which retrieval discipline the counted workers run ("metronome",
+    /// "busy-poll", "interrupt", "const-sleep", ...). Propagated into
+    /// snapshots so exported series are comparable across systems.
+    discipline: &'static str,
 }
 
 impl TelemetryHub {
-    /// Hub for `m_workers` threads over `n_queues` queues.
+    /// Hub for `m_workers` threads over `n_queues` queues, labelled with
+    /// the default "metronome" discipline.
     pub fn new(m_workers: usize, n_queues: usize) -> Arc<Self> {
+        Self::labeled(m_workers, n_queues, "metronome")
+    }
+
+    /// [`TelemetryHub::new`] with an explicit retrieval-discipline label.
+    pub fn labeled(m_workers: usize, n_queues: usize, discipline: &'static str) -> Arc<Self> {
         Arc::new(TelemetryHub {
             workers: (0..m_workers).map(|_| WorkerCounters::default()).collect(),
             queues: (0..n_queues).map(|_| QueueCounters::default()).collect(),
+            discipline,
         })
+    }
+
+    /// The retrieval-discipline label this hub counts under.
+    pub fn discipline(&self) -> &'static str {
+        self.discipline
     }
 
     /// Number of worker slots.
@@ -109,6 +133,7 @@ impl TelemetryHub {
     /// Gauges the hub does not own (occupancy, pool, energy, latency) are
     /// left untouched for the caller to fill.
     pub fn fill_snapshot(&self, snap: &mut crate::sampler::CounterSnapshot) {
+        snap.discipline = self.discipline;
         snap.retrieved = self.total_retrieved();
         snap.wakeups = self.total_wakeups();
         snap.busy_nanos = self
@@ -120,6 +145,11 @@ impl TelemetryHub {
             .workers
             .iter()
             .map(|w| w.sleep_nanos.load(Ordering::Relaxed))
+            .sum();
+        snap.oversleep_nanos = self
+            .workers
+            .iter()
+            .map(|w| w.oversleep_nanos.load(Ordering::Relaxed))
             .sum();
         snap.dropped_ring = self
             .queues
@@ -201,6 +231,7 @@ impl TelemetrySink for WorkerTelemetry {
         match kind {
             SleepKind::Short => w.sleeps_short.fetch_add(1, Ordering::Relaxed),
             SleepKind::Long => w.sleeps_long.fetch_add(1, Ordering::Relaxed),
+            SleepKind::Fixed => w.sleeps_fixed.fetch_add(1, Ordering::Relaxed),
             SleepKind::Stagger => 0,
         };
     }
@@ -214,6 +245,12 @@ impl TelemetrySink for WorkerTelemetry {
     fn slept(&self, dur: Nanos) {
         self.hub.workers[self.worker]
             .sleep_nanos
+            .fetch_add(dur.as_nanos(), Ordering::Relaxed);
+    }
+
+    fn overslept(&self, dur: Nanos) {
+        self.hub.workers[self.worker]
+            .oversleep_nanos
             .fetch_add(dur.as_nanos(), Ordering::Relaxed);
     }
 
@@ -266,9 +303,26 @@ mod tests {
         w.sleep_planned(SleepKind::Short, Nanos::from_micros(20));
         w.sleep_planned(SleepKind::Short, Nanos::from_micros(20));
         w.sleep_planned(SleepKind::Long, Nanos::from_micros(500));
+        w.sleep_planned(SleepKind::Fixed, Nanos::from_micros(100));
         w.sleep_planned(SleepKind::Stagger, Nanos::ZERO);
         assert_eq!(hub.worker(0).sleeps_short.load(Ordering::Relaxed), 2);
         assert_eq!(hub.worker(0).sleeps_long.load(Ordering::Relaxed), 1);
+        assert_eq!(hub.worker(0).sleeps_fixed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn discipline_label_reaches_snapshots() {
+        let hub = TelemetryHub::labeled(1, 1, "busy-poll");
+        assert_eq!(hub.discipline(), "busy-poll");
+        let w = hub.worker_sink(0);
+        w.overslept(Nanos::from_micros(3));
+        w.overslept(Nanos::from_micros(4));
+        let mut snap = crate::sampler::CounterSnapshot::new(Nanos::from_millis(1));
+        hub.fill_snapshot(&mut snap);
+        assert_eq!(snap.discipline, "busy-poll");
+        assert_eq!(snap.oversleep_nanos, 7_000);
+        // The default constructor keeps the historical label.
+        assert_eq!(TelemetryHub::new(1, 1).discipline(), "metronome");
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub const HEADERS: &[&str] = &[
     "dropped_ring",
     "dropped_pool",
     "wakeups",
+    "oversleep_us",
     "duty_cycle",
     "throughput_mpps",
     "loss",
@@ -24,6 +25,7 @@ pub const HEADERS: &[&str] = &[
     "lat_p50_us",
     "lat_p95_us",
     "lat_p99_us",
+    "discipline",
 ];
 
 /// Render the series as CSV (headers + one row per window). Latency
@@ -41,7 +43,7 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             None => (String::new(), String::new(), String::new()),
         };
         out.push_str(&format!(
-            "{},{:.6},{:.6},{},{},{},{},{},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{:.3},{},{},{}\n",
+            "{},{:.6},{:.6},{},{},{},{},{},{:.3},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{:.3},{},{},{},{}\n",
             w.index,
             w.start.as_secs_f64(),
             w.end.as_secs_f64(),
@@ -50,6 +52,7 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             w.dropped_ring,
             w.dropped_pool,
             w.wakeups,
+            w.oversleep_nanos as f64 / 1e3,
             w.duty_cycle(),
             w.throughput_mpps(),
             w.loss(),
@@ -61,6 +64,7 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             p50,
             p95,
             p99,
+            ts.discipline(),
         ));
     }
     out

@@ -180,6 +180,7 @@ pub fn timeseries_json(ts: &TimeSeries) -> Json {
                 .with("wakeups", w.wakeups)
                 .with("busy_nanos", w.busy_nanos)
                 .with("sleep_nanos", w.sleep_nanos)
+                .with("oversleep_nanos", w.oversleep_nanos)
                 .with("duty_cycle", w.duty_cycle())
                 .with("throughput_mpps", w.throughput_mpps())
                 .with("loss", w.loss())
@@ -215,6 +216,7 @@ pub fn timeseries_json(ts: &TimeSeries) -> Json {
         .collect();
     Json::obj()
         .with("interval_s", ts.interval.as_secs_f64())
+        .with("discipline", ts.discipline())
         .with(
             "totals",
             Json::obj()
@@ -224,7 +226,8 @@ pub fn timeseries_json(ts: &TimeSeries) -> Json {
                 .with("dropped_pool", ts.totals.dropped_pool)
                 .with("wakeups", ts.totals.wakeups)
                 .with("busy_nanos", ts.totals.busy_nanos)
-                .with("sleep_nanos", ts.totals.sleep_nanos),
+                .with("sleep_nanos", ts.totals.sleep_nanos)
+                .with("oversleep_nanos", ts.totals.oversleep_nanos),
         )
         .with("windows", Json::Arr(windows))
 }

@@ -255,10 +255,12 @@ fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
 
 /// The standard metric families for one cumulative snapshot, prefixed
 /// `metronome_` — what a live `/metrics` scrape of a running instance
-/// would serve.
+/// would serve. When the snapshot carries a retrieval-discipline label,
+/// every sample gains a `system="<discipline>"` label so scrapes from
+/// different disciplines stay distinguishable side by side.
 pub fn snapshot_metrics(snap: &CounterSnapshot) -> Vec<PromMetric> {
     let per_queue_f64 = |v: &[u64]| -> Vec<f64> { v.iter().map(|&x| x as f64).collect() };
-    vec![
+    let mut metrics = vec![
         PromMetric::scalar(
             "metronome_retrieved_packets_total",
             "Packets retrieved and processed",
@@ -295,6 +297,12 @@ pub fn snapshot_metrics(snap: &CounterSnapshot) -> Vec<PromMetric> {
             PromKind::Counter,
             snap.sleep_nanos as f64 / 1e9,
         ),
+        PromMetric::scalar(
+            "metronome_oversleep_seconds_total",
+            "Measured sleep-service oversleep, summed over workers",
+            PromKind::Counter,
+            snap.oversleep_nanos as f64 / 1e9,
+        ),
         PromMetric::per_queue(
             "metronome_ts_microseconds",
             "Current adaptive short timeout TS per queue",
@@ -323,7 +331,16 @@ pub fn snapshot_metrics(snap: &CounterSnapshot) -> Vec<PromMetric> {
             PromKind::Gauge,
             snap.pool_in_use as f64,
         ),
-    ]
+    ];
+    if !snap.discipline.is_empty() {
+        for m in &mut metrics {
+            for s in &mut m.samples {
+                s.labels
+                    .insert(0, ("system".into(), snap.discipline.into()));
+            }
+        }
+    }
+    metrics
 }
 
 #[cfg(test)]
@@ -372,6 +389,23 @@ mod tests {
         assert!(text.contains("metronome_retrieved_packets_total 1000000"));
         assert!(text.contains("metronome_ts_microseconds{queue=\"1\"} 28"));
         assert!(text.contains("metronome_rho{queue=\"0\"} 0.83"));
+    }
+
+    #[test]
+    fn discipline_label_round_trips_as_system() {
+        let mut snap = CounterSnapshot::new(Nanos::from_secs(1));
+        snap.discipline = "busy-poll";
+        snap.retrieved = 7;
+        snap.ts_ns = vec![10_000];
+        snap.rho = vec![0.5];
+        snap.occupancy = vec![1];
+        let metrics = snapshot_metrics(&snap);
+        let text = render(&metrics);
+        let back = parse(&text).expect("valid exposition text");
+        assert_eq!(back, metrics);
+        assert!(text.contains("metronome_retrieved_packets_total{system=\"busy-poll\"} 7"));
+        // Per-queue samples carry both labels, system first.
+        assert!(text.contains("metronome_rho{system=\"busy-poll\",queue=\"0\"} 0.5"));
     }
 
     #[test]

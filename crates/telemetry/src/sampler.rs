@@ -29,6 +29,9 @@ use metronome_sim::Nanos;
 pub struct CounterSnapshot {
     /// When the snapshot was taken (run-relative).
     pub at: Nanos,
+    /// Retrieval-discipline label of the counted workers ("" when the
+    /// producing hub predates labelling or no workers ran).
+    pub discipline: &'static str,
     /// Packets retrieved since start.
     pub retrieved: u64,
     /// Packets offered since start (0 when the backend cannot observe it).
@@ -43,6 +46,9 @@ pub struct CounterSnapshot {
     pub busy_nanos: u64,
     /// Total worker asleep time since start, nanoseconds.
     pub sleep_nanos: u64,
+    /// Total measured oversleep (wake-up lateness) since start,
+    /// nanoseconds.
+    pub oversleep_nanos: u64,
     /// Per-queue adaptive `TS` gauge, nanoseconds.
     pub ts_ns: Vec<u64>,
     /// Per-queue smoothed load estimate gauge.
@@ -105,6 +111,8 @@ pub struct Window {
     pub busy_nanos: u64,
     /// Worker asleep time in this window, nanoseconds.
     pub sleep_nanos: u64,
+    /// Measured oversleep in this window, nanoseconds.
+    pub oversleep_nanos: u64,
     /// Per-queue `TS` at window end, nanoseconds.
     pub ts_ns: Vec<u64>,
     /// Per-queue ρ at window end.
@@ -211,6 +219,12 @@ impl TimeSeries {
     pub fn column_sum(&self, f: impl Fn(&Window) -> u64) -> u64 {
         self.windows.iter().map(f).sum()
     }
+
+    /// The retrieval-discipline label the series was sampled under
+    /// (carried by the closing snapshot; "" when unlabelled).
+    pub fn discipline(&self) -> &'static str {
+        self.totals.discipline
+    }
 }
 
 /// Snapshot differencer: feed cumulative [`CounterSnapshot`]s in time
@@ -255,6 +269,9 @@ impl Sampler {
             wakeups: snap.wakeups.saturating_sub(self.prev.wakeups),
             busy_nanos: snap.busy_nanos.saturating_sub(self.prev.busy_nanos),
             sleep_nanos: snap.sleep_nanos.saturating_sub(self.prev.sleep_nanos),
+            oversleep_nanos: snap
+                .oversleep_nanos
+                .saturating_sub(self.prev.oversleep_nanos),
             ts_ns: snap.ts_ns.clone(),
             rho: snap.rho.clone(),
             occupancy: snap.occupancy.clone(),

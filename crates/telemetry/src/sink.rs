@@ -38,6 +38,9 @@ pub enum SleepKind {
     Short,
     /// The long backup timeout `TL` (race losers).
     Long,
+    /// A fixed-period retrieval timer: the ConstSleep baseline's `r_sleep`
+    /// period and the InterruptLike discipline's moderation window.
+    Fixed,
     /// The one-off start-up stagger.
     Stagger,
 }
@@ -83,6 +86,13 @@ pub trait TelemetrySink {
         let _ = dur;
     }
 
+    /// The thread overslept its requested timeout by `dur` (measured
+    /// wake-up lateness of the sleep service; 0 for a perfectly precise
+    /// sleeper).
+    fn overslept(&self, dur: Nanos) {
+        let _ = dur;
+    }
+
     /// `n` packets were retrieved from queue `q` in one burst.
     fn retrieved(&self, q: usize, n: u64) {
         let _ = (q, n);
@@ -122,6 +132,9 @@ impl<S: TelemetrySink + ?Sized> TelemetrySink for &S {
     }
     fn slept(&self, dur: Nanos) {
         (**self).slept(dur)
+    }
+    fn overslept(&self, dur: Nanos) {
+        (**self).overslept(dur)
     }
     fn retrieved(&self, q: usize, n: u64) {
         (**self).retrieved(q, n)

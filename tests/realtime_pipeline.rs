@@ -14,7 +14,10 @@ use metronome_repro::apps::processor::{PacketProcessor, Verdict};
 use metronome_repro::apps::L3Fwd;
 use metronome_repro::core::MetronomeConfig;
 use metronome_repro::dpdk::Mbuf;
-use metronome_repro::runtime::{run_realtime, run_realtime_with, Scenario, TrafficSpec};
+use metronome_repro::runtime::{
+    run_realtime, run_realtime_with, try_run_realtime, AppProfile, RealtimeError, RunReport,
+    Scenario, TrafficSpec,
+};
 use metronome_repro::sim::Nanos;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -188,6 +191,160 @@ fn ring_overflow_under_overload_conserves_packets() {
     // Drop causes partition the total.
     assert_eq!(r.dropped, r.dropped_ring + r.dropped_pool);
     assert!(r.loss > 0.0 && r.loss < 1.0);
+}
+
+/// One equal-offered-load scenario per retrieval discipline (40 kpps of
+/// l3fwd CBR for 200 ms on one queue).
+fn discipline_scenarios() -> Vec<Scenario> {
+    let traffic = TrafficSpec::CbrPps(40_000.0);
+    let cfg = MetronomeConfig {
+        m_threads: 2,
+        n_queues: 1,
+        ..MetronomeConfig::default()
+    };
+    vec![
+        Scenario::metronome("rt-disc-metronome", cfg, traffic.clone()),
+        Scenario::static_dpdk("rt-disc-busy-poll", 1, traffic.clone()),
+        Scenario::xdp("rt-disc-interrupt", 1, traffic.clone()),
+        Scenario::const_sleep("rt-disc-const-sleep", 1, Nanos::from_micros(100), traffic),
+    ]
+    .into_iter()
+    .map(|sc| sc.with_duration(Nanos::from_millis(200)).with_seed(0xD15C))
+    .collect()
+}
+
+/// Discipline parity: every retrieval discipline executes the same
+/// scenario on real threads with exact packet conservation and non-zero
+/// throughput — the realtime runner no longer rejects the baselines.
+#[test]
+fn all_disciplines_conserve_and_forward() {
+    let _guard = serial();
+    for sc in discipline_scenarios() {
+        let r: RunReport = run_realtime(&sc);
+        assert!(r.forwarded > 0, "{}: no packets processed", r.name);
+        assert_eq!(
+            r.offered,
+            r.forwarded + r.dropped,
+            "{}: packets leaked",
+            r.name
+        );
+        assert!(
+            (r.offered as i64 - 8_000).unsigned_abs() <= 32,
+            "{}: CBR schedule drifted: offered {}",
+            r.name,
+            r.offered
+        );
+        // Per-queue accounting still adds up for every discipline.
+        let per_queue: u64 = r.queues.iter().map(|q| q.drained + q.dropped).sum();
+        assert_eq!(per_queue, r.offered, "{}: per-queue drift", r.name);
+        // At 40 kpps with a 100 µs period / moderation window, no
+        // discipline should drop on a default 512-slot ring.
+        assert_eq!(r.dropped, 0, "{}: unexpected drops", r.name);
+    }
+}
+
+/// The Fig. 10 CPU ordering on real threads: a busy poller burns its core
+/// (duty cycle ≈ 100% per queue) while Metronome's sleep&wake scheme
+/// spends strictly less at the same offered load.
+#[test]
+fn busy_poll_burns_the_core_metronome_does_not() {
+    let _guard = serial();
+    let scenarios = discipline_scenarios();
+    let metronome = run_realtime(&scenarios[0]);
+    let busy_poll = run_realtime(&scenarios[1]);
+    // One pinned spinning worker: the whole wall clock is busy time.
+    assert!(
+        busy_poll.cpu_total_pct > 85.0,
+        "busy poller should burn ~a full core, got {:.1}%",
+        busy_poll.cpu_total_pct
+    );
+    assert!(
+        busy_poll.cpu_total_pct < 115.0,
+        "one busy poller cannot exceed one core: {:.1}%",
+        busy_poll.cpu_total_pct
+    );
+    // Metronome at 40 kpps sleeps most of the time.
+    assert!(
+        metronome.cpu_total_pct < 0.7 * busy_poll.cpu_total_pct,
+        "metronome {:.1}% should be well under busy-poll {:.1}%",
+        metronome.cpu_total_pct,
+        busy_poll.cpu_total_pct
+    );
+}
+
+/// The interrupt-driven discipline parks on its doorbell: with no traffic
+/// at all its CPU is ≈ 0 (the XDP idle bar of Fig. 10).
+#[test]
+fn interrupt_discipline_idles_at_zero_cpu() {
+    let _guard = serial();
+    let sc = Scenario::xdp("rt-interrupt-idle", 1, TrafficSpec::Silent)
+        .with_duration(Nanos::from_millis(200))
+        .with_seed(0x1D1E);
+    let r = run_realtime(&sc);
+    assert_eq!(r.offered, 0);
+    assert_eq!(r.forwarded, 0);
+    assert!(
+        r.cpu_total_pct < 5.0,
+        "parked interrupt worker should be ~free, got {:.2}%",
+        r.cpu_total_pct
+    );
+}
+
+/// `Idle` runs the pipeline with no consumers: every accepted frame is
+/// stranded and counted as a ring drop, and conservation still holds.
+#[test]
+fn idle_system_strands_everything() {
+    let _guard = serial();
+    let mut sc = Scenario::idle("rt-idle");
+    sc.traffic = TrafficSpec::CbrPps(40_000.0);
+    let r = run_realtime(&sc.with_duration(Nanos::from_millis(100)).with_seed(0x1D7E));
+    assert!(r.offered > 0);
+    assert_eq!(r.forwarded, 0, "idle system must process nothing");
+    assert_eq!(r.offered, r.dropped, "everything offered must be dropped");
+    assert_eq!(r.cpu_total_pct, 0.0);
+    assert_eq!(r.total_wakes, 0);
+}
+
+/// A scenario the runner cannot execute comes back as a typed error, not
+/// a panic: unknown functional processors and queue-count mismatches.
+#[test]
+fn rejected_scenarios_return_typed_errors() {
+    let _guard = serial();
+    // Cost-model-only app profile: fine in the simulator, no functional
+    // processor on real threads.
+    let bogus = AppProfile {
+        name: "cost-model-only",
+        cycles_per_packet: 100,
+        cycles_per_burst: 50,
+    };
+    let sc = Scenario::metronome(
+        "rt-no-processor",
+        MetronomeConfig::default(),
+        TrafficSpec::Silent,
+    )
+    .with_app(bogus)
+    .with_duration(Nanos::from_millis(10));
+    match try_run_realtime(&sc) {
+        Err(RealtimeError::NoProcessor { app }) => assert_eq!(app, "cost-model-only"),
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("scenario with no functional processor must be rejected"),
+    }
+
+    // Queue-count mismatch between the Metronome config and the scenario.
+    let mut sc = Scenario::metronome(
+        "rt-queue-mismatch",
+        MetronomeConfig::multiqueue(3, 2),
+        TrafficSpec::Silent,
+    )
+    .with_duration(Nanos::from_millis(10));
+    sc.n_queues = 1;
+    match try_run_realtime(&sc) {
+        Err(RealtimeError::QueueMismatch { config, scenario }) => {
+            assert_eq!((config, scenario), (2, 1));
+        }
+        Err(other) => panic!("wrong error: {other}"),
+        Ok(_) => panic!("queue-count mismatch must be rejected"),
+    }
 }
 
 /// Pool exhaustion is its own drop cause: a big ring with a starved mbuf

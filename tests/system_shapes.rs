@@ -44,6 +44,39 @@ fn headline_cpu_proportionality() {
 }
 
 #[test]
+fn const_sleep_sim_sits_between_static_and_metronome() {
+    // The constant-sleep strawman in the simulator: it conserves packets,
+    // forwards the offered load, costs far less than a burned core — but
+    // its fixed timeout cannot beat the adaptive TS at the same latency
+    // target, which is the whole point of eq. (13).
+    let traffic = TrafficSpec::CbrGbps(1.0);
+    let cs = run(
+        &Scenario::const_sleep("cs-1g", 1, Nanos::from_micros(100), traffic.clone())
+            .with_duration(second()),
+    );
+    assert_eq!(cs.offered, cs.forwarded + cs.dropped);
+    assert!(cs.loss < 1e-2, "const-sleep lost {}", cs.loss);
+    assert!(cs.forwarded > 0);
+    // One thread waking every 100 µs costs a few percent, not a core.
+    assert!(
+        cs.cpu_total_pct < 60.0,
+        "const-sleep CPU {}",
+        cs.cpu_total_pct
+    );
+    let st = run(&Scenario::static_dpdk("st-1g", 1, traffic).with_duration(second()));
+    assert!(cs.cpu_total_pct < st.cpu_total_pct);
+    // Its wake cadence is the fixed 1/P regardless of load (±20% for
+    // scheduling noise) — the non-adaptivity Metronome fixes.
+    let expected_wakes = 1e9 / 100_000.0; // duration / period
+    assert!(
+        (cs.total_wakes as f64) > 0.8 * expected_wakes
+            && (cs.total_wakes as f64) < 1.2 * expected_wakes,
+        "fixed-period wakes drifted: {} vs ~{expected_wakes}",
+        cs.total_wakes
+    );
+}
+
+#[test]
 fn vacation_target_controls_latency() {
     // §IV-D: the vacation target is the latency knob.
     let lat = |v_us: u64| {

@@ -17,10 +17,16 @@
 //!
 //! The acceptance bar for the refactor is ≥2× packets/second on the
 //! pooled path; the measured ratio is printed at the end of the run.
+//!
+//! A third section compares the pooled path itself at 8 workers over one
+//! shared pool: every burst through the locked freelist (the PR 3 shape)
+//! vs per-worker mempool caches (the PR 6 shape) — see
+//! [`metronome_bench::hotpath`].
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use metronome_apps::processor::PacketProcessor;
 use metronome_apps::L3Fwd;
+use metronome_bench::hotpath;
 use metronome_dpdk::{Mbuf, Mempool};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_sim::stats::Histogram;
@@ -166,6 +172,18 @@ fn bench_burst_path(c: &mut Criterion) {
         clone_pps / 1e6,
         pooled_pps / 1e6,
         pooled_pps / clone_pps
+    );
+
+    // The PR 6 comparison: the same pooled hot path at 8 workers over one
+    // shared pool, straight through the locked freelist (PR 3 shape) vs
+    // per-worker mempool caches.
+    const WORKER_BURSTS: u64 = 200_000;
+    let locked8 = hotpath::burst_workers_mpps(8, false, WORKER_BURSTS);
+    let cached8 = hotpath::burst_workers_mpps(8, true, WORKER_BURSTS);
+    println!(
+        "burst_path 8-worker summary: shared locked pool {locked8:.2} Mpps, \
+         per-worker caches {cached8:.2} Mpps, speedup {:.2}x",
+        cached8 / locked8
     );
 }
 

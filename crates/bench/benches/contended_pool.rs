@@ -1,0 +1,71 @@
+//! Mempool transaction bench behind the per-worker-cache refactor:
+//! 32-buffer alloc/free transactions through the locked shared freelist
+//! (the PR 3 path) vs a thread-local [`metronome_dpdk::MempoolCache`].
+//!
+//! Two views:
+//!
+//! * Criterion timings of one warm transaction on each path, single
+//!   thread — the per-op constant each path pays;
+//! * a scaling table at 1/2/4/8/16 workers over one shared pool (fixed
+//!   total work, `elapsed / total_ops`) — the acceptance bar is that the
+//!   cached path stays near-flat (≤20% per-op degradation 1→8 workers).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metronome_bench::hotpath::{self, BURST};
+use metronome_dpdk::{Mbuf, Mempool};
+
+/// Total 32-buffer transactions split across the workers in the scaling
+/// table, so every row measures the same amount of work.
+const TOTAL_TXNS: u64 = 400_000;
+
+fn bench_contended_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contended_pool");
+
+    let pool = Mempool::new(4 * BURST, 64);
+    let mut burst: Vec<Mbuf> = Vec::with_capacity(BURST);
+    group.bench_function("locked_txn_32", |b| {
+        b.iter(|| {
+            let got = pool.alloc_burst(BURST, &mut burst);
+            debug_assert_eq!(got, BURST);
+            pool.free_burst(burst.drain(..));
+            black_box(got)
+        })
+    });
+
+    let pool = Mempool::new(8 * BURST, 64);
+    let mut cache = pool.cache(BURST);
+    let mut burst: Vec<Mbuf> = Vec::with_capacity(BURST);
+    group.bench_function("cached_txn_32", |b| {
+        b.iter(|| {
+            let got = cache.alloc_burst(BURST, &mut burst);
+            debug_assert_eq!(got, BURST);
+            cache.free_burst(burst.drain(..));
+            black_box(got)
+        })
+    });
+    group.finish();
+
+    println!("contended_pool scaling (ns per buffer alloc+free, fixed total work):");
+    println!("  workers   locked   cached   locked/cached");
+    let mut cached_one = 0.0;
+    for &workers in &[1usize, 2, 4, 8, 16] {
+        let locked = hotpath::pool_txn_per_op_ns(workers, false, TOTAL_TXNS);
+        let cached = hotpath::pool_txn_per_op_ns(workers, true, TOTAL_TXNS);
+        if workers == 1 {
+            cached_one = cached;
+        }
+        println!(
+            "  {workers:>7}  {locked:>6.1}   {cached:>6.1}   {:>8.2}x",
+            locked / cached
+        );
+        if workers == 8 && cached_one > 0.0 {
+            println!(
+                "  cached per-op degradation 1->8 workers: {:+.1}%",
+                (cached / cached_one - 1.0) * 100.0
+            );
+        }
+    }
+}
+
+criterion_group!(contended_pool, bench_contended_pool);
+criterion_main!(contended_pool);

@@ -1,0 +1,51 @@
+//! `SharedRing` path bench behind the lock-free refactor: the SPSC and
+//! MPSC fast paths vs the locked-queue fallback, all behind the same
+//! offer/pop API.
+//!
+//! Two views:
+//!
+//! * Criterion timings of a single-thread 32-frame offer+pop round trip
+//!   on each path — the per-burst index-update cost with no contention;
+//! * a real producer/consumer thread pair per path (generator shape:
+//!   alloc from a pool cache, offer bursts, consumer drains and frees),
+//!   reported in Mpps.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metronome_bench::hotpath::{self, BURST};
+use metronome_dpdk::{Mbuf, Mempool, RingPath, SharedRing};
+
+/// Items each producer/consumer pair moves for the printed summary.
+const PAIR_ITEMS: u64 = 2_000_000;
+
+const ALL_PATHS: [RingPath; 3] = [RingPath::Spsc, RingPath::Mpsc, RingPath::Locked];
+
+fn bench_ring_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_path");
+    for path in ALL_PATHS {
+        let ring = SharedRing::with_path(1024, path);
+        let consumer = ring.consumer();
+        let pool = Mempool::new(4 * BURST, 64);
+        let mut frames: Vec<Mbuf> = Vec::with_capacity(BURST);
+        pool.alloc_burst(BURST, &mut frames);
+        group.bench_function(&format!("offer_pop_32_{}", path.label()), |b| {
+            b.iter(|| {
+                let accepted = ring.offer_burst(&mut frames);
+                debug_assert_eq!(accepted, BURST);
+                let taken = consumer.pop_burst(&mut frames, BURST);
+                debug_assert_eq!(taken, BURST);
+                black_box(taken)
+            })
+        });
+        pool.free_burst(frames.drain(..));
+    }
+    group.finish();
+
+    println!("ring_path producer/consumer pair ({PAIR_ITEMS} frames each):");
+    for path in ALL_PATHS {
+        let mpps = hotpath::ring_pair_mpps(path, PAIR_ITEMS);
+        println!("  {:<8} {mpps:>7.2} Mpps", path.label());
+    }
+}
+
+criterion_group!(ring_path, bench_ring_path);
+criterion_main!(ring_path);

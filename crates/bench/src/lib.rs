@@ -1,6 +1,6 @@
 //! # metronome-bench — benchmark harness
 //!
-//! Three bench targets (run with `cargo bench`):
+//! Bench targets (run with `cargo bench`):
 //!
 //! * `paper_experiments` — Criterion timing of a scaled-down kernel of
 //!   every table/figure reproduction (one group per experiment), useful as
@@ -10,10 +10,21 @@
 //! * `ablations` — a measurement harness (not a timer) printing the
 //!   design-choice comparisons called out in DESIGN.md §5: diversity vs
 //!   equal timeouts, adaptive vs fixed TS, hr_sleep vs nanosleep, Tx batch
-//!   32 vs 1, burst reactivity vs XDP.
+//!   32 vs 1, burst reactivity vs XDP;
+//! * `burst_path` — per-packet clone vs pooled burst on the l3fwd hot
+//!   path, plus the 8-worker shared-locked vs per-worker-cache comparison;
+//! * `contended_pool` — alloc/free-burst transactions at 1/2/4/8/16
+//!   workers, locked freelist vs per-worker [`hotpath`] caches;
+//! * `ring_path` — SPSC/MPSC/locked `SharedRing` paths, single-thread
+//!   burst round-trips and a real producer/consumer thread pair.
+//!
+//! The multi-thread measurement harnesses live in [`hotpath`];
+//! `examples/bench6.rs` snapshots them into `BENCH_6.json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod hotpath;
 
 use metronome_core::MetronomeConfig;
 use metronome_runtime::{run, RunReport, Scenario, TrafficSpec};

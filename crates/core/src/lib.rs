@@ -66,6 +66,7 @@ pub mod model;
 pub mod policy;
 pub mod predictor;
 pub mod realtime;
+pub mod rxqueue;
 pub mod trylock;
 
 pub use config::MetronomeConfig;
@@ -77,4 +78,5 @@ pub use discipline::{
 pub use engine::{Backend, EngineOp, MetronomeEngine, StepCosts};
 pub use policy::{Role, ThreadPolicy};
 pub use realtime::{Metronome, PreciseSleeper, RealtimeBackend, RealtimeHarness, RealtimeStats};
+pub use rxqueue::RxQueue;
 pub use trylock::TryLock;

@@ -13,7 +13,7 @@
 //! | engine capability | simulation realization | real-thread realization |
 //! |---|---|---|
 //! | race primitive    | owner slot on the sim queue | CMPXCHG [`TryLock`] |
-//! | receive burst     | counting descriptor ring    | [`ArrayQueue`] drained into a reusable scratch buffer, one app call per burst |
+//! | receive burst     | counting descriptor ring    | any [`RxQueue`] (locked `ArrayQueue`, lock-free SPSC/MPSC ring consumer) drained batched into a reusable scratch buffer, one app call per burst |
 //! | sleep service     | calibrated `hr_sleep` model | [`PreciseSleeper`]  |
 //! | entropy           | seeded xoshiro stream       | SplitMix64 counter  |
 //! | clock             | virtual `Nanos`             | `std::time::Instant` |
@@ -31,11 +31,13 @@ use crate::controller::AdaptiveController;
 use crate::discipline::{DisciplineSpec, Doorbell, RetrievalDiscipline, Verdict};
 use crate::engine::Backend;
 use crate::policy::ThreadPolicy;
+use crate::rxqueue::RxQueue;
 use crate::trylock::TryLock;
 use crossbeam::queue::ArrayQueue;
 use metronome_sim::Nanos;
 use metronome_telemetry::{NullSink, TelemetryHub, TelemetrySink};
 use parking_lot::Mutex;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -180,14 +182,17 @@ impl SharedState {
 }
 
 /// The real-thread realization of the engine's [`Backend`] capabilities:
-/// CMPXCHG trylock, `ArrayQueue` receive bursts drained into a reusable
-/// scratch buffer and processed one application call per burst, wall-clock
-/// vacation measurement, and a shared SplitMix64 entropy counter. One
-/// backend instance belongs to one worker thread.
-pub struct RealtimeBackend<T: Send + 'static, F> {
-    queues: Vec<Arc<ArrayQueue<T>>>,
+/// CMPXCHG trylock, [`RxQueue`] receive bursts drained batched into a
+/// reusable scratch buffer and processed one application call per burst,
+/// wall-clock vacation measurement, and a shared SplitMix64 entropy
+/// counter. One backend instance belongs to one worker thread, and its
+/// process closure is `FnMut` *owned by that worker* — per-thread state
+/// (a mempool cache, a flow table shard) lives right in the closure with
+/// no locks around it.
+pub struct RealtimeBackend<T: Send + 'static, P, Q: RxQueue<T> = Arc<ArrayQueue<T>>> {
+    queues: Vec<Q>,
     shared: Arc<SharedState>,
-    process: Arc<F>,
+    process: P,
     /// Reusable burst buffer: filled by `rx_burst`, handed to the process
     /// closure, cleared after — the hot path allocates only until the
     /// buffer's capacity has grown to the configured burst size once.
@@ -198,12 +203,13 @@ pub struct RealtimeBackend<T: Send + 'static, F> {
     pending_vacation: Option<Duration>,
 }
 
-impl<T, F> RealtimeBackend<T, F>
+impl<T, P, Q> RealtimeBackend<T, P, Q>
 where
     T: Send + 'static,
-    F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+    P: FnMut(usize, &mut Vec<T>),
+    Q: RxQueue<T>,
 {
-    fn new(queues: Vec<Arc<ArrayQueue<T>>>, shared: Arc<SharedState>, process: Arc<F>) -> Self {
+    fn new(queues: Vec<Q>, shared: Arc<SharedState>, process: P) -> Self {
         RealtimeBackend {
             queues,
             shared,
@@ -215,10 +221,11 @@ where
     }
 }
 
-impl<T, F> Backend for RealtimeBackend<T, F>
+impl<T, P, Q> Backend for RealtimeBackend<T, P, Q>
 where
     T: Send + 'static,
-    F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+    P: FnMut(usize, &mut Vec<T>),
+    Q: RxQueue<T>,
 {
     fn n_queues(&self) -> usize {
         self.queues.len()
@@ -246,19 +253,13 @@ where
     }
 
     fn rx_burst(&mut self, q: usize, burst: u32) -> u64 {
-        // Drain up to `burst` items into the reusable scratch buffer, then
-        // hand the application the whole burst at once (the rx_burst →
-        // process-array shape of a DPDK lcore loop). The actual drained
-        // count — not the requested burst — is what the engine's Chunk
-        // phase and the cost model see.
+        // Drain up to `burst` items into the reusable scratch buffer with
+        // one batched dequeue, then hand the application the whole burst
+        // at once (the rx_burst → process-array shape of a DPDK lcore
+        // loop). The actual drained count — not the requested burst — is
+        // what the engine's Chunk phase and the cost model see.
         debug_assert!(self.scratch.is_empty(), "scratch not cleared");
-        while self.scratch.len() < burst as usize {
-            match self.queues[q].pop() {
-                Some(item) => self.scratch.push(item),
-                None => break,
-            }
-        }
-        let taken = self.scratch.len() as u64;
+        let taken = self.queues[q].pop_burst(&mut self.scratch, burst as usize) as u64;
         if taken > 0 {
             (self.process)(q, &mut self.scratch);
             // The closure may have consumed the items (e.g. recycled them
@@ -306,34 +307,41 @@ where
 /// [`Metronome`] uses and hands out per-worker [`RealtimeBackend`]s that a
 /// test can drive step by step. This is what the sim-vs-realtime parity
 /// test uses to execute both backends under one deterministic schedule.
-pub struct RealtimeHarness<T: Send + 'static, F> {
-    queues: Vec<Arc<ArrayQueue<T>>>,
+pub struct RealtimeHarness<T: Send + 'static, F, Q: RxQueue<T> = Arc<ArrayQueue<T>>> {
+    queues: Vec<Q>,
     shared: Arc<SharedState>,
     process: Arc<F>,
+    _item: PhantomData<fn() -> T>,
 }
 
-impl<T, F> RealtimeHarness<T, F>
+impl<T, F, Q> RealtimeHarness<T, F, Q>
 where
     T: Send + 'static,
     F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+    Q: RxQueue<T>,
 {
     /// Build the shared state for `cfg` over the given queues.
-    pub fn new(cfg: MetronomeConfig, queues: Vec<Arc<ArrayQueue<T>>>, process: F) -> Self {
+    pub fn new(cfg: MetronomeConfig, queues: Vec<Q>, process: F) -> Self {
         cfg.validate().expect("invalid Metronome configuration");
         assert_eq!(queues.len(), cfg.n_queues, "queue count mismatch");
         RealtimeHarness {
             shared: SharedState::new(&cfg),
             queues,
             process: Arc::new(process),
+            _item: PhantomData,
         }
     }
 
-    /// A worker backend sharing this harness's state.
-    pub fn backend(&self) -> RealtimeBackend<T, F> {
+    /// A worker backend sharing this harness's state (all backends call
+    /// the one shared process closure).
+    pub fn backend(
+        &self,
+    ) -> RealtimeBackend<T, impl FnMut(usize, &mut Vec<T>) + Send + Sync + 'static, Q> {
+        let process = Arc::clone(&self.process);
         RealtimeBackend::new(
             self.queues.clone(),
             Arc::clone(&self.shared),
-            Arc::clone(&self.process),
+            move |q, burst: &mut Vec<T>| process(q, burst),
         )
     }
 
@@ -354,18 +362,19 @@ where
 }
 
 /// A running real-thread Metronome instance over queues of `T`.
-pub struct Metronome<T: Send + 'static> {
-    queues: Vec<Arc<ArrayQueue<T>>>,
+pub struct Metronome<T: Send + 'static, Q: RxQueue<T> = Arc<ArrayQueue<T>>> {
+    queues: Vec<Q>,
     stop: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<ThreadPolicy>>,
     shared: Arc<SharedState>,
     cfg: MetronomeConfig,
+    _item: PhantomData<fn() -> T>,
 }
 
-impl<T: Send + 'static> Metronome<T> {
+impl<T: Send + 'static, Q: RxQueue<T>> Metronome<T, Q> {
     /// Start `cfg.m_threads` workers over the given queues, processing
     /// each item with `process`. Queues must match `cfg.n_queues`.
-    pub fn start<F>(cfg: MetronomeConfig, queues: Vec<Arc<ArrayQueue<T>>>, process: F) -> Self
+    pub fn start<F>(cfg: MetronomeConfig, queues: Vec<Q>, process: F) -> Self
     where
         F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
     {
@@ -379,7 +388,7 @@ impl<T: Send + 'static> Metronome<T> {
     /// `cfg.m_threads` worker slots and `cfg.n_queues` queue slots.
     pub fn start_with_telemetry<F>(
         cfg: MetronomeConfig,
-        queues: Vec<Arc<ArrayQueue<T>>>,
+        queues: Vec<Q>,
         process: F,
         hub: &Arc<TelemetryHub>,
     ) -> Self
@@ -394,16 +403,24 @@ impl<T: Send + 'static> Metronome<T> {
     /// [`DisciplineSpec::Metronome`], one pinned worker per queue for the
     /// BusyPoll / InterruptLike / ConstSleep baselines (which ignore the
     /// trylock layer entirely — classic DPDK and XDP have no queue race).
+    ///
+    /// One `process` closure is shared by every worker. When workers need
+    /// per-thread state (a mempool cache, a flow-table shard), use
+    /// [`Metronome::start_discipline_scoped`] instead.
     pub fn start_discipline<F>(
         cfg: MetronomeConfig,
         spec: DisciplineSpec,
-        queues: Vec<Arc<ArrayQueue<T>>>,
+        queues: Vec<Q>,
         process: F,
     ) -> Self
     where
         F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
     {
-        Self::start_with_sinks(cfg, spec, queues, process, |_worker| NullSink)
+        let process = Arc::new(process);
+        Self::start_discipline_scoped(cfg, spec, queues, move |_worker| {
+            let process = Arc::clone(&process);
+            move |q: usize, burst: &mut Vec<T>| process(q, burst)
+        })
     }
 
     /// [`Metronome::start_discipline`] with telemetry. The hub must have
@@ -412,12 +429,56 @@ impl<T: Send + 'static> Metronome<T> {
     pub fn start_discipline_with_telemetry<F>(
         cfg: MetronomeConfig,
         spec: DisciplineSpec,
-        queues: Vec<Arc<ArrayQueue<T>>>,
+        queues: Vec<Q>,
         process: F,
         hub: &Arc<TelemetryHub>,
     ) -> Self
     where
         F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+    {
+        let process = Arc::new(process);
+        Self::start_discipline_scoped_with_telemetry(
+            cfg,
+            spec,
+            queues,
+            move |_worker| {
+                let process = Arc::clone(&process);
+                move |q: usize, burst: &mut Vec<T>| process(q, burst)
+            },
+            hub,
+        )
+    }
+
+    /// [`Metronome::start_discipline`] with a *per-worker* process
+    /// factory: `make_process(worker)` is called once per spawned worker
+    /// and the returned `FnMut` closure is moved onto that worker's
+    /// thread. This is how per-thread state rides into the hot path with
+    /// no synchronization — e.g. each worker owning its own mempool cache
+    /// for lock-free buffer recycling.
+    pub fn start_discipline_scoped<P>(
+        cfg: MetronomeConfig,
+        spec: DisciplineSpec,
+        queues: Vec<Q>,
+        make_process: impl FnMut(usize) -> P,
+    ) -> Self
+    where
+        P: FnMut(usize, &mut Vec<T>) + Send + 'static,
+    {
+        Self::start_with_sinks(cfg, spec, queues, make_process, |_worker| NullSink)
+    }
+
+    /// [`Metronome::start_discipline_scoped`] with telemetry. The hub
+    /// must have one worker slot per spawned worker (`spec.workers(...)`)
+    /// and `cfg.n_queues` queue slots.
+    pub fn start_discipline_scoped_with_telemetry<P>(
+        cfg: MetronomeConfig,
+        spec: DisciplineSpec,
+        queues: Vec<Q>,
+        make_process: impl FnMut(usize) -> P,
+        hub: &Arc<TelemetryHub>,
+    ) -> Self
+    where
+        P: FnMut(usize, &mut Vec<T>) + Send + 'static,
     {
         assert_eq!(
             hub.n_workers(),
@@ -426,37 +487,42 @@ impl<T: Send + 'static> Metronome<T> {
         );
         assert_eq!(hub.n_queues(), cfg.n_queues, "hub/config queue mismatch");
         let hub = Arc::clone(hub);
-        Self::start_with_sinks(cfg, spec, queues, process, move |worker| {
+        Self::start_with_sinks(cfg, spec, queues, make_process, move |worker| {
             hub.worker_sink(worker)
         })
     }
 
-    /// Shared spawn path: `make_sink` builds the per-worker telemetry
-    /// view ([`NullSink`] when telemetry is off, so the plain-`start`
-    /// worker monomorphizes to the pre-telemetry loop).
-    fn start_with_sinks<F, S>(
+    /// Shared spawn path: `make_process` builds each worker's owned
+    /// process closure, `make_sink` its telemetry view ([`NullSink`] when
+    /// telemetry is off, so the plain-`start` worker monomorphizes to the
+    /// pre-telemetry loop).
+    fn start_with_sinks<P, S>(
         cfg: MetronomeConfig,
         spec: DisciplineSpec,
-        queues: Vec<Arc<ArrayQueue<T>>>,
-        process: F,
+        queues: Vec<Q>,
+        mut make_process: impl FnMut(usize) -> P,
         make_sink: impl Fn(usize) -> S,
     ) -> Self
     where
-        F: Fn(usize, &mut Vec<T>) + Send + Sync + 'static,
+        P: FnMut(usize, &mut Vec<T>) + Send + 'static,
         S: TelemetrySink + Send + 'static,
     {
-        // One construction path for the worker substrate: the harness the
-        // parity test drives is exactly what the threaded runtime runs.
-        let harness = RealtimeHarness::new(cfg.clone(), queues, process);
+        cfg.validate().expect("invalid Metronome configuration");
+        assert_eq!(queues.len(), cfg.n_queues, "queue count mismatch");
+        let shared = SharedState::new(&cfg);
         let stop = Arc::new(AtomicBool::new(false));
         let sleeper = PreciseSleeper::default();
         let label = spec.kind().label();
         let mut handles = Vec::new();
         for worker in 0..spec.workers(cfg.m_threads, cfg.n_queues) {
-            let backend = harness.backend();
+            // The same RealtimeBackend the single-threaded harness hands
+            // out (the parity test drives exactly this substrate), with
+            // this worker's own process closure moved onto its thread.
+            let backend =
+                RealtimeBackend::new(queues.clone(), Arc::clone(&shared), make_process(worker));
             let stop = Arc::clone(&stop);
             let sink = make_sink(worker);
-            let discipline = spec.build(worker, cfg.n_queues, cfg.burst, &harness.shared.doorbells);
+            let discipline = spec.build(worker, cfg.n_queues, cfg.burst, &shared.doorbells);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("{label}-{worker}"))
@@ -465,16 +531,17 @@ impl<T: Send + 'static> Metronome<T> {
             );
         }
         Metronome {
-            queues: harness.queues,
+            queues,
             stop,
             handles,
-            shared: harness.shared,
+            shared,
             cfg,
+            _item: PhantomData,
         }
     }
 
     /// The Rx queues (for producers to push into).
-    pub fn queues(&self) -> &[Arc<ArrayQueue<T>>] {
+    pub fn queues(&self) -> &[Q] {
         &self.queues
     }
 

@@ -22,15 +22,24 @@
 //! * [`random::RteRand`] — the lock-free shared PRNG backup threads use to
 //!   pick their next queue (paper Appendix II).
 //! * [`shared_ring`] — the concurrent Rx side for the real-thread
-//!   pipeline: [`shared_ring::SharedRing`] (bounded MPMC mbuf ring with
+//!   pipeline: [`shared_ring::SharedRing`] (bounded mbuf ring with
 //!   tail-drop accounting and `offer_burst`/`pop_burst` batch APIs that
-//!   hand rejected buffers back for recycling) and
-//!   [`shared_ring::RssPort`] (`N` rings behind one Toeplitz hasher).
+//!   hand rejected buffers back for recycling, lock-free SPSC/MPSC fast
+//!   paths and a locked fallback) and [`shared_ring::RssPort`] (`N`
+//!   rings behind one Toeplitz hasher).
+//! * [`fastring`] — the lock-free bounded rings behind those fast paths
+//!   ([`fastring::SpscRing`], [`fastring::MpscRing`]), `rte_ring`'s
+//!   batched acquire/release head/tail design.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Everything except `fastring` is unsafe-free. That one module holds the
+// `rte_ring`-style lock-free rings, whose slot ownership argument the
+// borrow checker cannot express; its invariants are documented inline and
+// it alone carries `#![allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 
 pub mod ethdev;
+pub mod fastring;
 pub mod mbuf;
 pub mod mempool;
 pub mod nic;
@@ -40,8 +49,8 @@ pub mod shared_ring;
 
 pub use ethdev::TxBuffer;
 pub use mbuf::Mbuf;
-pub use mempool::{Mempool, MempoolStats};
+pub use mempool::{Mempool, MempoolCache, MempoolStats};
 pub use nic::{NicProfile, Port};
 pub use random::RteRand;
 pub use ring::{Ring, RxRingModel};
-pub use shared_ring::{RssPort, SharedRing};
+pub use shared_ring::{RingConsumer, RingPath, RssPort, SharedRing};

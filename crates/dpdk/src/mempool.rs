@@ -1,4 +1,5 @@
-//! Shared packet-buffer pool (`rte_mempool` analogue).
+//! Shared packet-buffer pool (`rte_mempool` analogue) with per-worker
+//! caches.
 //!
 //! DPDK pre-allocates all mbufs from hugepage-backed pools shared by every
 //! lcore; running out of pool buffers is a first-class failure mode (Rx
@@ -11,15 +12,21 @@
 //! method takes `&self`.
 //!
 //! **Burst discipline.** The freelist sits behind one short-critical-
-//! section lock; all counters are atomics read lock-free. The hot paths
-//! are the burst ones — [`Mempool::alloc_burst`] and
-//! [`Mempool::free_burst`] take the freelist lock *once per burst*, the
-//! same amortization DPDK gets from per-lcore mempool caches, so the
-//! per-packet cost on the datapath is a template `memcpy` into an already
-//! allocated buffer and nothing else. (With the vendored `parking_lot`
-//! shim the lock is an OS mutex; the real crate makes it a futex-free
-//! spinlock — either way the burst ops bound it to one acquisition per
-//! burst.)
+//! section lock; all counters are atomics read lock-free. The shared
+//! burst paths — [`Mempool::alloc_burst`] and [`Mempool::free_burst`] —
+//! take the freelist lock *once per burst*.
+//!
+//! **Per-worker caches.** The lock-free tier above that is
+//! [`MempoolCache`] (`rte_mempool`'s per-lcore cache): each thread owns a
+//! private stack of buffers, so its alloc/free is a plain `Vec` push/pop
+//! plus a handful of relaxed counter updates — no lock, no contention.
+//! The cache refills from and spills to the shared freelist in
+//! cache-sized chunks (refill pulls up to `2C`, spill triggers at `1.5C`
+//! and drains back to `C`, DPDK's flush-threshold scheme), so the lock is
+//! touched once per *C buffers*, not once per burst. Accounting stays
+//! exact: in-flight = population − freelist − Σ cached, and
+//! [`Mempool::available`] counts cached buffers as available, exactly
+//! like `rte_mempool_avail_count`.
 
 use crate::mbuf::Mbuf;
 use bytes::BytesMut;
@@ -41,10 +48,30 @@ pub struct MempoolStats {
     pub alloc_failures: u64,
     /// Highest number of buffers simultaneously handed out.
     pub in_use_peak: u64,
+    /// Buffers currently parked in per-worker caches.
+    pub cached: u64,
+}
+
+/// The sampler-visible gauge of one per-worker cache (how many buffers it
+/// currently parks). Written only by the owning cache thread with plain
+/// relaxed stores; read by anyone.
+struct CacheSlot {
+    cached: AtomicU64,
 }
 
 struct PoolShared {
     free: Mutex<Vec<BytesMut>>,
+    /// Lock-free mirror of `free.len()`, updated inside every freelist
+    /// critical section. Readers get a racy-but-bounded snapshot without
+    /// ever touching the lock (telemetry sampling must not contend with
+    /// the hot path).
+    free_count: AtomicU64,
+    /// Σ buffers currently parked in per-worker caches (cached buffers
+    /// are *available*, not in flight — `rte_mempool_avail_count`
+    /// semantics).
+    cached_total: AtomicU64,
+    /// Live per-cache gauges, for telemetry enumeration.
+    caches: Mutex<Vec<Arc<CacheSlot>>>,
     buf_capacity: usize,
     population: usize,
     in_use: AtomicU64,
@@ -73,6 +100,9 @@ impl Mempool {
                         .map(|_| BytesMut::with_capacity(buf_capacity))
                         .collect(),
                 ),
+                free_count: AtomicU64::new(population as u64),
+                cached_total: AtomicU64::new(0),
+                caches: Mutex::new(Vec::new()),
                 buf_capacity,
                 population,
                 in_use: AtomicU64::new(0),
@@ -94,9 +124,30 @@ impl Mempool {
         self.shared.buf_capacity
     }
 
-    /// Buffers currently available.
+    /// Buffers currently available — on the shared freelist or parked in
+    /// per-worker caches (`rte_mempool_avail_count` counts both). A
+    /// lock-free read: two relaxed loads, never the freelist lock, so
+    /// telemetry sampling cannot contend with the hot path. Concurrent
+    /// refill/spill may skew the snapshot by a chunk transiently.
     pub fn available(&self) -> usize {
-        self.shared.free.lock().len()
+        (self.shared.free_count.load(Ordering::Relaxed)
+            + self.shared.cached_total.load(Ordering::Relaxed)) as usize
+    }
+
+    /// Buffers currently parked in per-worker caches (lock-free read).
+    pub fn cached(&self) -> usize {
+        self.shared.cached_total.load(Ordering::Relaxed) as usize
+    }
+
+    /// Per-cache occupancy gauges, one per live [`MempoolCache`], in
+    /// registration order (the telemetry sampler's cache column).
+    pub fn cached_per_cache(&self) -> Vec<u64> {
+        self.shared
+            .caches
+            .lock()
+            .iter()
+            .map(|slot| slot.cached.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Buffers currently handed out.
@@ -130,15 +181,37 @@ impl Mempool {
             frees: self.shared.frees.load(Ordering::Relaxed),
             alloc_failures: self.shared.alloc_failures.load(Ordering::Relaxed),
             in_use_peak: self.shared.in_use_peak.load(Ordering::Relaxed),
+            cached: self.shared.cached_total.load(Ordering::Relaxed),
         }
     }
 
-    /// Record `n` hand-outs. MUST be called while holding the freelist
-    /// lock: `in_use` mutations are serialized with the pops/pushes they
-    /// describe, so `in_use` (and therefore `in_use_peak`) can never
-    /// transiently exceed the population — a free that has re-stocked the
-    /// list has also already decremented.
-    fn account_allocs_locked(&self, n: u64) {
+    /// A per-worker cache of up to ~`2 * size` buffers (DPDK's per-lcore
+    /// cache; `size` is `C` in the refill/spill scheme). Hand one to each
+    /// thread that allocates or frees on the hot path; drop it (or
+    /// [`MempoolCache::flush`]) to return the parked buffers. Sized so
+    /// `size` matches the thread's burst: a warm cache then serves whole
+    /// bursts without touching the freelist lock.
+    pub fn cache(&self, size: usize) -> MempoolCache {
+        assert!(size > 0, "zero-sized mempool cache");
+        let slot = Arc::new(CacheSlot {
+            cached: AtomicU64::new(0),
+        });
+        self.shared.caches.lock().push(Arc::clone(&slot));
+        MempoolCache {
+            pool: self.clone(),
+            slot,
+            stack: Vec::with_capacity(2 * size),
+            size,
+        }
+    }
+
+    /// Record `n` hand-outs. `in_use` RMWs on one atomic serialize in its
+    /// modification order, and every buffer's free (`fetch_sub`) is
+    /// ordered before its next hand-out's `fetch_add` — same thread for a
+    /// cache hit, freelist-lock ordering for a refill — so `in_use` (and
+    /// therefore `in_use_peak`) can never transiently exceed the
+    /// population.
+    fn account_allocs(&self, n: u64) {
         if n > 0 {
             self.shared.allocs.fetch_add(n, Ordering::Relaxed);
             let now = self.shared.in_use.fetch_add(n, Ordering::Relaxed) + n;
@@ -160,7 +233,8 @@ impl Mempool {
             let mut free = self.shared.free.lock();
             let buf = free.pop();
             if buf.is_some() {
-                self.account_allocs_locked(1);
+                self.shared.free_count.fetch_sub(1, Ordering::Relaxed);
+                self.account_allocs(1);
             }
             buf
         };
@@ -205,7 +279,10 @@ impl Mempool {
                     None => break,
                 }
             }
-            self.account_allocs_locked(got as u64);
+            self.shared
+                .free_count
+                .fetch_sub(got as u64, Ordering::Relaxed);
+            self.account_allocs(got as u64);
         }
         self.account_failures((n - got) as u64);
         got
@@ -225,10 +302,10 @@ impl Mempool {
     /// they re-enter the freelist.
     ///
     /// The iterator is consumed *while the freelist lock is held*: it
-    /// must not call back into this pool (alloc, free, or even
-    /// `available`) or it will self-deadlock on the non-reentrant mutex.
-    /// Pass plain ownership transfers — `vec.drain(..)`, `once(mbuf)` —
-    /// as every in-tree caller does.
+    /// must not call back into this pool (alloc, free, or even a cache
+    /// spill) or it will self-deadlock on the non-reentrant mutex. Pass
+    /// plain ownership transfers — `vec.drain(..)`, `once(mbuf)` — as
+    /// every in-tree caller does.
     ///
     /// # Panics
     /// In debug builds, if the freelist would exceed the population
@@ -247,13 +324,63 @@ impl Mempool {
                 free.push(buf);
                 n += 1;
             }
-            // Decrement under the lock (see `account_allocs_locked`): the
-            // re-stocked buffers and the counter move as one transaction.
+            // Decrement in-use before the lock is released: once the
+            // buffers are re-allocatable, their hand-back has already been
+            // counted, so `in_use` never exceeds true in-flight.
             if n > 0 {
+                self.shared.free_count.fetch_add(n, Ordering::Relaxed);
                 self.shared.frees.fetch_add(n, Ordering::Relaxed);
                 self.shared.in_use.fetch_sub(n, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Move up to `want` raw buffers from the freelist into a cache stack
+    /// (one critical section). Returns how many moved.
+    fn refill_cache(&self, stack: &mut Vec<BytesMut>, want: usize) -> usize {
+        let mut moved = 0usize;
+        let mut free = self.shared.free.lock();
+        while moved < want {
+            match free.pop() {
+                Some(buf) => {
+                    stack.push(buf);
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        // Both gauges move inside the critical section so `available()`
+        // readers see at most one chunk of skew.
+        self.shared
+            .cached_total
+            .fetch_add(moved as u64, Ordering::Relaxed);
+        self.shared
+            .free_count
+            .fetch_sub(moved as u64, Ordering::Relaxed);
+        moved
+    }
+
+    /// Return `count` raw buffers from a cache stack to the freelist (one
+    /// critical section).
+    fn spill_cache(&self, stack: &mut Vec<BytesMut>, count: usize) {
+        let count = count.min(stack.len());
+        if count == 0 {
+            return;
+        }
+        let mut free = self.shared.free.lock();
+        for buf in stack.drain(stack.len() - count..) {
+            debug_assert!(
+                free.len() < self.shared.population,
+                "mempool over-free (double free?)"
+            );
+            free.push(buf);
+        }
+        self.shared
+            .free_count
+            .fetch_add(count as u64, Ordering::Relaxed);
+        self.shared
+            .cached_total
+            .fetch_sub(count as u64, Ordering::Relaxed);
     }
 }
 
@@ -267,6 +394,188 @@ impl OccupancyProbe for Mempool {
 
     fn capacity(&self) -> u64 {
         self.shared.population as u64
+    }
+}
+
+/// A per-worker allocation cache (`rte_mempool`'s per-lcore cache): a
+/// thread-private stack of pool buffers. Alloc and free on a warm cache
+/// are a `Vec` pop/push plus relaxed counter updates — no lock. The cache
+/// exchanges buffers with the shared freelist in chunks: an empty cache
+/// refills to `size` beyond the current need; a cache past `1.5 * size`
+/// spills down to `size` (DPDK's flush threshold). Bursts larger than
+/// `2 * size` bypass the cache entirely and hit the shared burst path.
+///
+/// Owned, not clonable: one per thread, like one per lcore. Dropping it
+/// flushes the parked buffers back to the freelist, so a worker that
+/// exits returns everything it held — pool audits (`in_use() == 0` at
+/// quiescence) hold without extra ceremony.
+pub struct MempoolCache {
+    pool: Mempool,
+    slot: Arc<CacheSlot>,
+    stack: Vec<BytesMut>,
+    size: usize,
+}
+
+impl MempoolCache {
+    /// The pool this cache draws from.
+    pub fn pool(&self) -> &Mempool {
+        &self.pool
+    }
+
+    /// Buffers currently parked in this cache.
+    pub fn cached(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The cache's nominal size `C` (refill target and spill floor).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Publish the new stack depth to the sampler-visible gauge (a plain
+    /// relaxed store; this thread is the only writer).
+    fn publish_gauge(&self) {
+        self.slot
+            .cached
+            .store(self.stack.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Top up the stack so it holds at least `need` buffers (plus `size`
+    /// headroom beyond the need, so the next bursts are lock-free).
+    /// Returns the buffers actually on hand, which may fall short when
+    /// the pool is drained.
+    fn ensure(&mut self, need: usize) -> usize {
+        if self.stack.len() < need {
+            let want = need + self.size - self.stack.len();
+            self.pool.refill_cache(&mut self.stack, want);
+            self.publish_gauge();
+        }
+        self.stack.len()
+    }
+
+    /// Spill down to `size` if the stack has grown past the flush
+    /// threshold (`1.5 * size`).
+    fn maybe_spill(&mut self) {
+        if self.stack.len() > self.size + self.size / 2 {
+            let excess = self.stack.len() - self.size;
+            self.pool.spill_cache(&mut self.stack, excess);
+        }
+        self.publish_gauge();
+    }
+
+    /// Allocate an empty mbuf from the cache (lock-free when warm), or
+    /// `None` if cache and pool are both exhausted.
+    pub fn alloc(&mut self) -> Option<Mbuf> {
+        if self.ensure(1) == 0 {
+            self.pool.account_failures(1);
+            return None;
+        }
+        let mut buf = self.stack.pop().expect("ensured non-empty");
+        self.publish_gauge();
+        // Out of the cache = in flight, not available.
+        self.pool
+            .shared
+            .cached_total
+            .fetch_sub(1, Ordering::Relaxed);
+        self.pool.account_allocs(1);
+        buf.clear();
+        Some(Mbuf::from_bytes(buf))
+    }
+
+    /// Allocate and fill with `frame` bytes (see [`Mempool::alloc_with`]).
+    pub fn alloc_with(&mut self, frame: &[u8]) -> Option<Mbuf> {
+        if frame.len() > self.pool.buf_capacity() {
+            return None;
+        }
+        let mut m = self.alloc()?;
+        m.refill(frame);
+        Some(m)
+    }
+
+    /// Allocate up to `n` empty mbufs, appending them to `out`: from the
+    /// cache when `n` is burst-sized (lock-free when warm, one refill
+    /// otherwise), straight from the shared pool when `n > 2 * size`.
+    /// Returns how many were obtained; the shortfall is counted as
+    /// exhaustion failures.
+    pub fn alloc_burst(&mut self, n: usize, out: &mut Vec<Mbuf>) -> usize {
+        if n > 2 * self.size {
+            return self.pool.alloc_burst(n, out);
+        }
+        let have = self.ensure(n);
+        let got = have.min(n);
+        for mut buf in self.stack.drain(have - got..) {
+            buf.clear();
+            out.push(Mbuf::from_bytes(buf));
+        }
+        self.publish_gauge();
+        // Out of the cache = in flight, not available.
+        self.pool
+            .shared
+            .cached_total
+            .fetch_sub(got as u64, Ordering::Relaxed);
+        self.pool.account_allocs(got as u64);
+        self.pool.account_failures((n - got) as u64);
+        got
+    }
+
+    /// Return one mbuf to the cache (lock-free below the flush
+    /// threshold).
+    pub fn free(&mut self, mbuf: Mbuf) {
+        self.free_burst(std::iter::once(mbuf));
+    }
+
+    /// Return any number of mbufs to the cache, spilling past the flush
+    /// threshold in one critical section. Buffers are cleared before they
+    /// re-enter circulation.
+    pub fn free_burst(&mut self, mbufs: impl IntoIterator<Item = Mbuf>) {
+        let mut n = 0u64;
+        for mut mbuf in mbufs {
+            let mut buf = mbuf.take_data();
+            buf.clear();
+            self.stack.push(buf);
+            n += 1;
+        }
+        if n > 0 {
+            // Freed into the cache = no longer in flight: count the
+            // hand-back first (see `Mempool::account_allocs`), then make
+            // the buffers available.
+            self.pool.shared.frees.fetch_add(n, Ordering::Relaxed);
+            self.pool.shared.in_use.fetch_sub(n, Ordering::Relaxed);
+            self.pool
+                .shared
+                .cached_total
+                .fetch_add(n, Ordering::Relaxed);
+        }
+        self.maybe_spill();
+    }
+
+    /// Return every parked buffer to the shared freelist (the cache stays
+    /// usable and will refill on the next alloc).
+    pub fn flush(&mut self) {
+        let all = self.stack.len();
+        self.pool.spill_cache(&mut self.stack, all);
+        self.publish_gauge();
+    }
+}
+
+impl Drop for MempoolCache {
+    fn drop(&mut self) {
+        self.flush();
+        let slot = &self.slot;
+        self.pool
+            .shared
+            .caches
+            .lock()
+            .retain(|s| !Arc::ptr_eq(s, slot));
+    }
+}
+
+impl std::fmt::Debug for MempoolCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MempoolCache")
+            .field("size", &self.size)
+            .field("cached", &self.stack.len())
+            .finish()
     }
 }
 
@@ -368,5 +677,128 @@ mod tests {
         assert_eq!(s.frees, 1);
         assert_eq!(s.alloc_failures, 0);
         assert_eq!(s.in_use_peak, 1);
+        assert_eq!(s.cached, 0);
+    }
+
+    #[test]
+    fn cache_alloc_free_keeps_accounting_exact() {
+        let p = Mempool::new(16, 64);
+        let mut c = p.cache(4);
+        let m = c.alloc().unwrap();
+        // Refill pulled need + size = 5, handed out 1, parked 4.
+        assert_eq!(p.in_use(), 1);
+        assert_eq!(c.cached(), 4);
+        assert_eq!(p.cached(), 4);
+        assert_eq!(p.available(), 15, "cached buffers stay available");
+        c.free(m);
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.counters(), (1, 1));
+        assert_eq!(p.available(), 16);
+        drop(c);
+        assert_eq!(p.cached(), 0, "drop must flush the cache");
+        assert_eq!(p.available(), 16);
+    }
+
+    #[test]
+    fn cache_burst_hits_are_lock_free_and_exact() {
+        let p = Mempool::new(64, 64);
+        let mut c = p.cache(8);
+        let mut burst = Vec::new();
+        assert_eq!(c.alloc_burst(8, &mut burst), 8);
+        assert_eq!(p.in_use(), 8);
+        assert_eq!(p.available(), 56);
+        c.free_burst(burst.drain(..));
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.available(), 64);
+        assert_eq!(p.in_use_peak(), 8);
+        // Warm cache: the next burst is served without touching the
+        // freelist (observable as the freelist count standing still).
+        let freelist_before = p.shared.free_count.load(Ordering::Relaxed);
+        assert_eq!(c.alloc_burst(8, &mut burst), 8);
+        c.free_burst(burst.drain(..));
+        assert_eq!(p.shared.free_count.load(Ordering::Relaxed), freelist_before);
+    }
+
+    #[test]
+    fn cache_spills_past_flush_threshold() {
+        let p = Mempool::new(64, 64);
+        let mut direct = Vec::new();
+        p.alloc_burst(32, &mut direct);
+        let mut c = p.cache(8);
+        // Free 32 into a C=8 cache: threshold 12 forces spills; the cache
+        // must end at or below the flush threshold with the rest back on
+        // the freelist.
+        c.free_burst(direct.drain(..));
+        assert!(c.cached() <= 12, "cache kept {} > threshold", c.cached());
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.available(), 64);
+        assert_eq!(p.cached(), c.cached());
+    }
+
+    #[test]
+    fn cache_bypasses_for_giant_bursts() {
+        let p = Mempool::new(64, 64);
+        let mut c = p.cache(4);
+        let mut burst = Vec::new();
+        // n > 2C goes straight to the shared pool: nothing parked.
+        assert_eq!(c.alloc_burst(32, &mut burst), 32);
+        assert_eq!(c.cached(), 0);
+        assert_eq!(p.in_use(), 32);
+        p.free_burst(burst.drain(..));
+        assert_eq!(p.available(), 64);
+    }
+
+    #[test]
+    fn cache_shortfall_counts_failures() {
+        let p = Mempool::new(4, 64);
+        let mut c = p.cache(4);
+        let mut burst = Vec::new();
+        assert_eq!(c.alloc_burst(4, &mut burst), 4);
+        // Pool and cache both empty now.
+        assert_eq!(c.alloc_burst(3, &mut burst), 0);
+        assert_eq!(p.alloc_failures(), 3);
+        assert!(c.alloc().is_none());
+        assert_eq!(p.alloc_failures(), 4);
+        c.free_burst(burst.drain(..));
+        assert_eq!(p.available(), 4);
+    }
+
+    #[test]
+    fn two_caches_share_exactly() {
+        let p = Mempool::new(32, 64);
+        let mut a = p.cache(4);
+        let mut b = p.cache(4);
+        let ma = a.alloc().unwrap();
+        let mb = b.alloc().unwrap();
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.cached_per_cache().len(), 2);
+        // Cross-cache recycling: a's buffer freed through b.
+        b.free(ma);
+        a.free(mb);
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.available(), 32);
+        drop(a);
+        assert_eq!(p.cached_per_cache().len(), 1);
+        drop(b);
+        assert_eq!(p.cached(), 0);
+        assert_eq!(p.counters(), (2, 2));
+    }
+
+    #[test]
+    fn cache_alloc_with_fills_and_respects_dataroom() {
+        let p = Mempool::new(8, 8);
+        let mut c = p.cache(2);
+        let m = c.alloc_with(b"abc").unwrap();
+        assert_eq!(m.bytes(), b"abc");
+        assert!(c.alloc_with(b"way too long for 8").is_none());
+        c.free(m);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn cache_rejects_zero_size() {
+        let p = Mempool::new(4, 64);
+        let _ = p.cache(0);
     }
 }

@@ -3,21 +3,28 @@
 //! [`crate::ring::Ring`] is the single-threaded descriptor ring; the
 //! realtime pipeline needs the concurrent analogue of `rte_ring` + RSS:
 //!
-//! * [`SharedRing`] — a bounded MPMC mbuf ring (backed by
-//!   `crossbeam::queue::ArrayQueue`) with NIC-style tail-drop accounting:
-//!   a producer that offers into a full ring loses the frame and the drop
-//!   is counted, exactly like descriptors exhausting on an X520/XL710.
+//! * [`SharedRing`] — a bounded mbuf ring with NIC-style tail-drop
+//!   accounting: a producer that offers into a full ring loses the frame
+//!   and the drop is counted, exactly like descriptors exhausting on an
+//!   X520/XL710. The transport under the accounting is chosen by
+//!   [`RingPath`]: a lock-free SPSC ring (the default — one RSS producer,
+//!   one retrieval consumer at a time, `rte_ring`'s batched
+//!   acquire/release head/tail design), a lock-free MPSC ring (several
+//!   generator threads, the elastic-fleet direction), or the locked MPMC
+//!   queue kept as a fallback. Counters, wake hooks, burst semantics and
+//!   the [`OccupancyProbe`] are identical across paths.
 //! * [`RssPort`] — `N` shared rings behind one Toeplitz hasher: the
 //!   receive side of a NIC port with RSS enabled. The load generator
 //!   resolves each flow to a queue once (`queue_for`), then offers frames;
-//!   Metronome workers drain the raw `ArrayQueue`s via
-//!   [`RssPort::worker_queues`].
+//!   Metronome workers drain [`RingConsumer`] handles obtained via
+//!   [`RssPort::consumers`].
 //!
 //! Conservation is the contract tests rely on: for every ring,
 //! `offered = accepted + dropped`, and whatever was accepted is either
 //! still queued or was popped by a consumer — nothing is double-counted
 //! because `offer` is the only producer path.
 
+use crate::fastring::{MpscRing, SpscRing};
 use crate::mbuf::Mbuf;
 use crate::ring::valid_ring_size;
 use bytes::BytesMut;
@@ -32,10 +39,148 @@ use std::sync::Arc;
 /// consumer arms — e.g. ringing a `metronome_core` `Doorbell`).
 pub type WakeHook = Arc<dyn Fn() + Send + Sync>;
 
-/// A bounded multi-producer multi-consumer mbuf ring with tail-drop
-/// accounting.
+/// Which transport a [`SharedRing`] runs on. The accounting, wake hooks
+/// and burst APIs are identical across paths; only the synchronization
+/// underneath changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RingPath {
+    /// Lock-free single-producer single-consumer fast path (the default):
+    /// one RSS generator feeding one retrieval worker per queue, the
+    /// common Metronome topology. "Single" means *at a time* — see
+    /// [`SpscRing`] for the hand-over guarantees.
+    #[default]
+    Spsc,
+    /// Lock-free multi-producer single-consumer path: several generator
+    /// threads feeding one queue (the elastic-fleet direction).
+    Mpsc,
+    /// The mutex-protected MPMC queue, kept as a fallback and as the
+    /// contention baseline the `ring_path` bench measures against.
+    Locked,
+}
+
+impl RingPath {
+    /// Short label for bench output and telemetry.
+    pub fn label(self) -> &'static str {
+        match self {
+            RingPath::Spsc => "spsc",
+            RingPath::Mpsc => "mpsc",
+            RingPath::Locked => "locked",
+        }
+    }
+}
+
+/// The transport under a [`SharedRing`], shared with its consumers.
+#[derive(Clone)]
+enum Backend {
+    Spsc(Arc<SpscRing<Mbuf>>),
+    Mpsc(Arc<MpscRing<Mbuf>>),
+    Locked(Arc<ArrayQueue<Mbuf>>),
+}
+
+impl Backend {
+    fn new(path: RingPath, capacity: usize) -> Self {
+        match path {
+            RingPath::Spsc => Backend::Spsc(Arc::new(SpscRing::new(capacity))),
+            RingPath::Mpsc => Backend::Mpsc(Arc::new(MpscRing::new(capacity))),
+            RingPath::Locked => Backend::Locked(Arc::new(ArrayQueue::new(capacity))),
+        }
+    }
+
+    fn path(&self) -> RingPath {
+        match self {
+            Backend::Spsc(_) => RingPath::Spsc,
+            Backend::Mpsc(_) => RingPath::Mpsc,
+            Backend::Locked(_) => RingPath::Locked,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backend::Spsc(r) => r.len(),
+            Backend::Mpsc(r) => r.len(),
+            Backend::Locked(q) => q.len(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            Backend::Spsc(r) => r.capacity(),
+            Backend::Mpsc(r) => r.capacity(),
+            Backend::Locked(q) => q.capacity(),
+        }
+    }
+
+    fn push(&self, mbuf: Mbuf) -> Result<(), Mbuf> {
+        match self {
+            Backend::Spsc(r) => r.push(mbuf),
+            Backend::Mpsc(r) => r.push(mbuf),
+            Backend::Locked(q) => q.push(mbuf),
+        }
+    }
+
+    /// Move the leading accepted frames of `src` into the ring; the
+    /// rejected remainder stays in `src`. One batched index update on the
+    /// lock-free paths, per-item pushes with in-place compaction on the
+    /// locked path.
+    fn push_burst(&self, src: &mut Vec<Mbuf>) -> usize {
+        match self {
+            Backend::Spsc(r) => r.push_burst(src),
+            Backend::Mpsc(r) => r.push_burst(src),
+            Backend::Locked(q) => {
+                // Rejected frames are compacted in place (swap with an
+                // empty, heap-free placeholder): the drop path allocates
+                // nothing, in keeping with the burst discipline.
+                let total = src.len();
+                let mut rejected = 0usize;
+                for read in 0..total {
+                    let m = std::mem::replace(&mut src[read], Mbuf::from_bytes(BytesMut::new()));
+                    match q.push(m) {
+                        Ok(()) => {}
+                        Err(back) => {
+                            src[rejected] = back;
+                            rejected += 1;
+                        }
+                    }
+                }
+                src.truncate(rejected);
+                total - rejected
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<Mbuf> {
+        match self {
+            Backend::Spsc(r) => r.pop(),
+            Backend::Mpsc(r) => r.pop(),
+            Backend::Locked(q) => q.pop(),
+        }
+    }
+
+    fn pop_burst(&self, out: &mut Vec<Mbuf>, max: usize) -> usize {
+        match self {
+            Backend::Spsc(r) => r.pop_burst(out, max),
+            Backend::Mpsc(r) => r.pop_burst(out, max),
+            Backend::Locked(q) => {
+                let mut taken = 0usize;
+                while taken < max {
+                    match q.pop() {
+                        Some(m) => {
+                            out.push(m);
+                            taken += 1;
+                        }
+                        None => break,
+                    }
+                }
+                taken
+            }
+        }
+    }
+}
+
+/// A bounded mbuf ring with tail-drop accounting and a [`RingPath`]-chosen
+/// transport (lock-free SPSC by default).
 pub struct SharedRing {
-    queue: Arc<ArrayQueue<Mbuf>>,
+    backend: Backend,
     accepted: AtomicU64,
     dropped: AtomicU64,
     /// Rung after every accepting offer; `None` (the default) costs one
@@ -44,24 +189,45 @@ pub struct SharedRing {
 }
 
 impl SharedRing {
-    /// Ring with the given descriptor count.
+    /// Ring with the given descriptor count on the default lock-free SPSC
+    /// path.
     ///
     /// # Panics
     /// If `capacity` is not a valid NIC ring size (power of two in
     /// 32..=4096).
     pub fn new(capacity: usize) -> Self {
+        SharedRing::with_path(capacity, RingPath::default())
+    }
+
+    /// Ring with an explicit transport path (see [`RingPath`]).
+    ///
+    /// # Panics
+    /// If `capacity` is not a valid NIC ring size (power of two in
+    /// 32..=4096).
+    pub fn with_path(capacity: usize, path: RingPath) -> Self {
         assert!(valid_ring_size(capacity), "invalid ring size {capacity}");
         SharedRing {
-            queue: Arc::new(ArrayQueue::new(capacity)),
+            backend: Backend::new(path, capacity),
             accepted: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             wake_hook: None,
         }
     }
 
-    /// The consumer-side queue (what a Metronome worker drains).
-    pub fn queue(&self) -> Arc<ArrayQueue<Mbuf>> {
-        Arc::clone(&self.queue)
+    /// Which transport this ring runs on.
+    pub fn path(&self) -> RingPath {
+        self.backend.path()
+    }
+
+    /// A consumer handle (what a Metronome worker drains). Cheap to
+    /// clone; all clones drain the same ring. On the SPSC/MPSC paths, at
+    /// most one handle may be popping at a time (concurrent pops
+    /// serialize on the consumer guard, they do not corrupt) — which is
+    /// exactly the discipline the per-queue trylock already enforces.
+    pub fn consumer(&self) -> RingConsumer {
+        RingConsumer {
+            backend: self.backend.clone(),
+        }
     }
 
     /// Arm the producer-side doorbell hook: `hook` runs after every offer
@@ -82,7 +248,7 @@ impl SharedRing {
     /// Offer one frame; on a full ring it is tail-dropped and `false` is
     /// returned.
     pub fn offer(&self, mbuf: Mbuf) -> bool {
-        match self.queue.push(mbuf) {
+        match self.backend.push(mbuf) {
             Ok(()) => {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
                 self.wake();
@@ -104,27 +270,13 @@ impl SharedRing {
     ///
     /// Returns how many frames the ring accepted.
     pub fn offer_burst(&self, frames: &mut Vec<Mbuf>) -> usize {
-        // Rejected frames are compacted in place (swap with an empty,
-        // heap-free placeholder): the drop path allocates nothing, in
-        // keeping with the burst discipline.
         let total = frames.len();
-        let mut rejected = 0usize;
-        for read in 0..total {
-            let m = std::mem::replace(&mut frames[read], Mbuf::from_bytes(BytesMut::new()));
-            match self.queue.push(m) {
-                Ok(()) => {}
-                Err(back) => {
-                    frames[rejected] = back;
-                    rejected += 1;
-                }
-            }
-        }
-        frames.truncate(rejected);
-        let accepted = total - rejected;
+        let accepted = self.backend.push_burst(frames);
         if accepted > 0 {
             self.accepted.fetch_add(accepted as u64, Ordering::Relaxed);
             self.wake();
         }
+        let rejected = total - accepted;
         if rejected > 0 {
             self.dropped.fetch_add(rejected as u64, Ordering::Relaxed);
         }
@@ -136,17 +288,7 @@ impl SharedRing {
     /// burst discipline: one call per retrieval burst, reusing the
     /// caller's scratch buffer so the hot path never allocates.
     pub fn pop_burst(&self, out: &mut Vec<Mbuf>, max: usize) -> usize {
-        let mut taken = 0usize;
-        while taken < max {
-            match self.queue.pop() {
-                Some(m) => {
-                    out.push(m);
-                    taken += 1;
-                }
-                None => break,
-            }
-        }
-        taken
+        self.backend.pop_burst(out, max)
     }
 
     /// Frames accepted into the ring so far.
@@ -166,24 +308,72 @@ impl SharedRing {
 
     /// Frames currently queued.
     pub fn occupancy(&self) -> usize {
-        self.queue.len()
+        self.backend.len()
     }
 
     /// Descriptor count.
     pub fn capacity(&self) -> usize {
-        self.queue.capacity()
+        self.backend.capacity()
     }
 }
 
 /// The sampler-facing gauge view of a ring (see
-/// [`metronome_telemetry::OccupancyProbe`]); reads are lock-free.
+/// [`metronome_telemetry::OccupancyProbe`]); reads are lock-free on the
+/// fast paths.
 impl OccupancyProbe for SharedRing {
     fn occupancy(&self) -> u64 {
-        self.queue.len() as u64
+        self.backend.len() as u64
     }
 
     fn capacity(&self) -> u64 {
-        self.queue.capacity() as u64
+        self.backend.capacity() as u64
+    }
+}
+
+/// The consumer end of a [`SharedRing`]: the handle a retrieval worker
+/// drains. Cheap to clone (an `Arc` under the hood); on the lock-free
+/// paths, concurrent pops from clones serialize on the ring's consumer
+/// guard rather than corrupting state.
+#[derive(Clone)]
+pub struct RingConsumer {
+    backend: Backend,
+}
+
+impl RingConsumer {
+    /// Pop the oldest frame, if any.
+    pub fn pop(&self) -> Option<Mbuf> {
+        self.backend.pop()
+    }
+
+    /// Pop up to `max` frames into `out` (appended), returning how many
+    /// were taken — one batched index update on the fast paths.
+    pub fn pop_burst(&self, out: &mut Vec<Mbuf>, max: usize) -> usize {
+        self.backend.pop_burst(out, max)
+    }
+
+    /// Frames currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// True if nothing is queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.backend.len() == 0
+    }
+
+    /// Descriptor count.
+    pub fn capacity(&self) -> usize {
+        self.backend.capacity()
+    }
+}
+
+impl std::fmt::Debug for RingConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingConsumer")
+            .field("path", &self.backend.path())
+            .field("len", &self.backend.len())
+            .field("capacity", &self.backend.capacity())
+            .finish()
     }
 }
 
@@ -196,12 +386,19 @@ pub struct RssPort {
 
 impl RssPort {
     /// Port with `n_queues` rings of `ring_size` descriptors each, hashing
-    /// with the Intel default RSS key.
+    /// with the Intel default RSS key, on the default SPSC fast path.
     pub fn new(n_queues: usize, ring_size: usize) -> Self {
+        RssPort::with_path(n_queues, ring_size, RingPath::default())
+    }
+
+    /// Port with an explicit per-ring transport path (see [`RingPath`]).
+    pub fn with_path(n_queues: usize, ring_size: usize, path: RingPath) -> Self {
         assert!(n_queues > 0, "need at least one queue");
         RssPort {
             toeplitz: Toeplitz::default(),
-            rings: (0..n_queues).map(|_| SharedRing::new(ring_size)).collect(),
+            rings: (0..n_queues)
+                .map(|_| SharedRing::with_path(ring_size, path))
+                .collect(),
         }
     }
 
@@ -247,14 +444,14 @@ impl RssPort {
     }
 
     /// Per-queue ring occupancies in one pass (the telemetry sampler's
-    /// gauge column; each read is lock-free).
+    /// gauge column; each read is lock-free on the fast paths).
     pub fn occupancies(&self) -> Vec<u64> {
         self.rings.iter().map(OccupancyProbe::occupancy).collect()
     }
 
     /// Consumer handles for the workers, one per queue.
-    pub fn worker_queues(&self) -> Vec<Arc<ArrayQueue<Mbuf>>> {
-        self.rings.iter().map(SharedRing::queue).collect()
+    pub fn consumers(&self) -> Vec<RingConsumer> {
+        self.rings.iter().map(SharedRing::consumer).collect()
     }
 
     /// Total frames offered across queues.
@@ -280,30 +477,35 @@ mod tests {
     use metronome_net::FiveTuple;
     use std::net::Ipv4Addr;
 
+    const ALL_PATHS: [RingPath; 3] = [RingPath::Spsc, RingPath::Mpsc, RingPath::Locked];
+
     fn frame() -> Mbuf {
         Mbuf::from_bytes(BytesMut::from(&[0u8; 60][..]))
     }
 
     #[test]
     fn shared_ring_conserves_and_counts_drops() {
-        let r = SharedRing::new(32);
-        for _ in 0..40 {
-            r.offer(frame());
+        for path in ALL_PATHS {
+            let r = SharedRing::with_path(32, path);
+            assert_eq!(r.path(), path);
+            for _ in 0..40 {
+                r.offer(frame());
+            }
+            assert_eq!(r.accepted(), 32, "{path:?}");
+            assert_eq!(r.dropped(), 8, "{path:?}");
+            assert_eq!(r.offered(), 40, "{path:?}");
+            assert_eq!(r.occupancy(), 32, "{path:?}");
+            let q = r.consumer();
+            let mut popped = 0;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            assert_eq!(popped, 32, "{path:?}");
+            assert_eq!(r.occupancy(), 0, "{path:?}");
+            // Space freed: offers succeed again.
+            assert!(r.offer(frame()), "{path:?}");
+            assert_eq!(r.accepted(), 33, "{path:?}");
         }
-        assert_eq!(r.accepted(), 32);
-        assert_eq!(r.dropped(), 8);
-        assert_eq!(r.offered(), 40);
-        assert_eq!(r.occupancy(), 32);
-        let q = r.queue();
-        let mut popped = 0;
-        while q.pop().is_some() {
-            popped += 1;
-        }
-        assert_eq!(popped, 32);
-        assert_eq!(r.occupancy(), 0);
-        // Space freed: offers succeed again.
-        assert!(r.offer(frame()));
-        assert_eq!(r.accepted(), 33);
     }
 
     #[test]
@@ -314,71 +516,102 @@ mod tests {
 
     #[test]
     fn offer_burst_accounts_and_returns_rejects() {
-        let r = SharedRing::new(32);
-        let mut burst: Vec<Mbuf> = (0..40).map(|_| frame()).collect();
-        let accepted = r.offer_burst(&mut burst);
-        assert_eq!(accepted, 32);
-        assert_eq!(burst.len(), 8, "rejected mbufs must be handed back");
-        assert_eq!(r.accepted(), 32);
-        assert_eq!(r.dropped(), 8);
-        assert_eq!(r.offered(), 40);
-        // Rejected buffers are real mbufs the caller can recycle.
-        assert!(burst.iter().all(|m| m.len() == 60));
+        for path in ALL_PATHS {
+            let r = SharedRing::with_path(32, path);
+            let mut burst: Vec<Mbuf> = (0..40).map(|_| frame()).collect();
+            let accepted = r.offer_burst(&mut burst);
+            assert_eq!(accepted, 32, "{path:?}");
+            assert_eq!(
+                burst.len(),
+                8,
+                "rejected mbufs must be handed back ({path:?})"
+            );
+            assert_eq!(r.accepted(), 32, "{path:?}");
+            assert_eq!(r.dropped(), 8, "{path:?}");
+            assert_eq!(r.offered(), 40, "{path:?}");
+            // Rejected buffers are real mbufs the caller can recycle.
+            assert!(burst.iter().all(|m| m.len() == 60), "{path:?}");
+        }
     }
 
     #[test]
     fn pop_burst_drains_into_scratch() {
-        let r = SharedRing::new(32);
-        let mut burst: Vec<Mbuf> = (0..10).map(|_| frame()).collect();
-        r.offer_burst(&mut burst);
-        let mut out = Vec::new();
-        assert_eq!(r.pop_burst(&mut out, 4), 4);
-        assert_eq!(r.pop_burst(&mut out, 32), 6);
-        assert_eq!(out.len(), 10);
-        assert_eq!(r.pop_burst(&mut out, 32), 0, "ring must be empty");
-        assert_eq!(r.occupancy(), 0);
+        for path in ALL_PATHS {
+            let r = SharedRing::with_path(32, path);
+            let mut burst: Vec<Mbuf> = (0..10).map(|_| frame()).collect();
+            r.offer_burst(&mut burst);
+            let mut out = Vec::new();
+            assert_eq!(r.pop_burst(&mut out, 4), 4, "{path:?}");
+            assert_eq!(r.pop_burst(&mut out, 32), 6, "{path:?}");
+            assert_eq!(out.len(), 10, "{path:?}");
+            assert_eq!(
+                r.pop_burst(&mut out, 32),
+                0,
+                "ring must be empty ({path:?})"
+            );
+            assert_eq!(r.occupancy(), 0, "{path:?}");
+        }
     }
 
     #[test]
     fn burst_and_single_offer_agree_on_accounting() {
-        let single = SharedRing::new(32);
-        let burst = SharedRing::new(32);
-        for _ in 0..40 {
-            single.offer(frame());
+        for path in ALL_PATHS {
+            let single = SharedRing::with_path(32, path);
+            let burst = SharedRing::with_path(32, path);
+            for _ in 0..40 {
+                single.offer(frame());
+            }
+            let mut frames: Vec<Mbuf> = (0..40).map(|_| frame()).collect();
+            burst.offer_burst(&mut frames);
+            assert_eq!(single.accepted(), burst.accepted(), "{path:?}");
+            assert_eq!(single.dropped(), burst.dropped(), "{path:?}");
+            assert_eq!(single.occupancy(), burst.occupancy(), "{path:?}");
         }
-        let mut frames: Vec<Mbuf> = (0..40).map(|_| frame()).collect();
-        burst.offer_burst(&mut frames);
-        assert_eq!(single.accepted(), burst.accepted());
-        assert_eq!(single.dropped(), burst.dropped());
-        assert_eq!(single.occupancy(), burst.occupancy());
     }
 
     #[test]
     fn wake_hook_fires_once_per_accepting_offer() {
         use std::sync::atomic::AtomicUsize;
 
-        let rings = AtomicUsize::new(0);
-        let rings = Arc::new(rings);
-        let mut r = SharedRing::new(32);
-        let counter = Arc::clone(&rings);
-        r.set_wake_hook(Arc::new(move || {
-            counter.fetch_add(1, Ordering::Relaxed);
-        }));
-        // Single offers: one ring each.
+        for path in ALL_PATHS {
+            let rings = Arc::new(AtomicUsize::new(0));
+            let mut r = SharedRing::with_path(32, path);
+            let counter = Arc::clone(&rings);
+            r.set_wake_hook(Arc::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+            // Single offers: one ring each.
+            r.offer(frame());
+            r.offer(frame());
+            assert_eq!(rings.load(Ordering::Relaxed), 2, "{path:?}");
+            // A burst rings once, not per packet.
+            let mut burst: Vec<Mbuf> = (0..10).map(|_| frame()).collect();
+            r.offer_burst(&mut burst);
+            assert_eq!(rings.load(Ordering::Relaxed), 3, "{path:?}");
+            // A fully rejected burst (ring full) must not ring.
+            let mut fill: Vec<Mbuf> = (0..32).map(|_| frame()).collect();
+            r.offer_burst(&mut fill);
+            let before = rings.load(Ordering::Relaxed);
+            let mut rejected: Vec<Mbuf> = (0..4).map(|_| frame()).collect();
+            assert_eq!(r.offer_burst(&mut rejected), 0, "{path:?}");
+            assert_eq!(rings.load(Ordering::Relaxed), before, "{path:?}");
+        }
+    }
+
+    #[test]
+    fn consumer_handles_share_the_ring() {
+        let r = SharedRing::new(32);
+        let a = r.consumer();
+        let b = a.clone();
+        assert!(a.is_empty());
         r.offer(frame());
         r.offer(frame());
-        assert_eq!(rings.load(Ordering::Relaxed), 2);
-        // A burst rings once, not per packet.
-        let mut burst: Vec<Mbuf> = (0..10).map(|_| frame()).collect();
-        r.offer_burst(&mut burst);
-        assert_eq!(rings.load(Ordering::Relaxed), 3);
-        // A fully rejected burst (ring full) must not ring.
-        let mut fill: Vec<Mbuf> = (0..32).map(|_| frame()).collect();
-        r.offer_burst(&mut fill);
-        let before = rings.load(Ordering::Relaxed);
-        let mut rejected: Vec<Mbuf> = (0..4).map(|_| frame()).collect();
-        assert_eq!(r.offer_burst(&mut rejected), 0);
-        assert_eq!(rings.load(Ordering::Relaxed), before);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert!(a.pop().is_some());
+        assert!(b.pop().is_some());
+        assert!(a.pop().is_none());
+        assert_eq!(b.capacity(), 32);
     }
 
     #[test]
@@ -402,16 +635,18 @@ mod tests {
 
     #[test]
     fn rss_port_accounts_per_queue_and_total() {
-        let port = RssPort::new(2, 32);
-        for _ in 0..40 {
-            port.offer(0, frame());
+        for path in ALL_PATHS {
+            let port = RssPort::with_path(2, 32, path);
+            for _ in 0..40 {
+                port.offer(0, frame());
+            }
+            port.offer(1, frame());
+            assert_eq!(port.rings()[0].dropped(), 8, "{path:?}");
+            assert_eq!(port.rings()[1].dropped(), 0, "{path:?}");
+            assert_eq!(port.total_accepted(), 33, "{path:?}");
+            assert_eq!(port.total_dropped(), 8, "{path:?}");
+            assert_eq!(port.total_offered(), 41, "{path:?}");
+            assert_eq!(port.consumers().len(), 2, "{path:?}");
         }
-        port.offer(1, frame());
-        assert_eq!(port.rings()[0].dropped(), 8);
-        assert_eq!(port.rings()[1].dropped(), 0);
-        assert_eq!(port.total_accepted(), 33);
-        assert_eq!(port.total_dropped(), 8);
-        assert_eq!(port.total_offered(), 41);
-        assert_eq!(port.worker_queues().len(), 2);
     }
 }

@@ -61,8 +61,9 @@ use metronome_apps::processor::PacketProcessor;
 use metronome_apps::{FloWatcher, IpsecGateway, L3Fwd};
 use metronome_core::discipline::{DisciplineSpec, ModerationConfig};
 use metronome_core::realtime::Metronome;
+use metronome_core::rxqueue::RxQueue;
 use metronome_core::{AdaptiveController, MetronomeConfig};
-use metronome_dpdk::{Mbuf, Mempool, RssPort};
+use metronome_dpdk::{Mbuf, Mempool, RingConsumer, RssPort};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_sim::stats::Histogram;
 use metronome_sim::Nanos;
@@ -154,6 +155,32 @@ pub fn processor_for(app_name: &str) -> Option<Box<dyn PacketProcessor>> {
 pub fn default_processor(app_name: &str) -> Box<dyn PacketProcessor> {
     processor_for(app_name)
         .unwrap_or_else(|| panic!("no functional processor wired for app profile '{app_name}'"))
+}
+
+/// The Rx-queue capability realized by a DPDK-like ring consumer: the
+/// glue between `metronome_core`'s [`RxQueue`] seam and
+/// `metronome_dpdk`'s [`RingConsumer`] (a newtype, since both the trait
+/// and the type live in other crates). On the default SPSC ring path a
+/// worker's burst drain is one batched acquire/release index update.
+#[derive(Clone, Debug)]
+pub struct WorkerRing(pub RingConsumer);
+
+impl RxQueue<Mbuf> for WorkerRing {
+    fn pop(&self) -> Option<Mbuf> {
+        self.0.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    fn pop_burst(&self, out: &mut Vec<Mbuf>, max: usize) -> usize {
+        self.0.pop_burst(out, max)
+    }
 }
 
 /// Per-queue application state: the processor plus its latency histogram,
@@ -257,12 +284,15 @@ pub fn try_run_realtime_with(
         .map_or(0, |(cfg, spec)| spec.workers(cfg.m_threads, cfg.n_queues));
 
     // ---- the shared mbuf pool --------------------------------------------
-    // Default population: every ring full twice over, plus a generation
-    // batch and one in-flight burst per worker — generous enough that a
-    // correctly sized run never sees pool exhaustion, small enough that a
-    // deliberate `with_mbuf_pool` undersizing bites immediately.
+    // Default population: every ring full twice over, plus the producer
+    // cache's high-water mark and each worker cache's (a per-worker cache
+    // of size C holds at most 2C before spilling) — generous enough that
+    // a correctly sized run never sees pool exhaustion, small enough that
+    // a deliberate `with_mbuf_pool` undersizing bites immediately.
     let population = sc.mbuf_pool.unwrap_or_else(|| {
-        2 * sc.n_queues * sc.ring_size + GEN_BATCH + n_workers.max(1) * worker_cfg.burst as usize
+        2 * sc.n_queues * sc.ring_size
+            + 2 * GEN_BATCH
+            + n_workers.max(1) * 2 * worker_cfg.burst as usize
     });
     let pool = Mempool::new(population, MBUF_DATAROOM);
 
@@ -308,30 +338,42 @@ pub fn try_run_realtime_with(
     let measure_latency = sc.latency_stride > 0;
     let run_start = Instant::now();
     let metronome = dispatch.map(|(cfg, spec)| {
-        let worker_set = Metronome::start_discipline_with_telemetry(
+        let worker_burst = cfg.burst as usize;
+        let worker_set = Metronome::start_discipline_scoped_with_telemetry(
             cfg,
             spec.clone(),
-            port.worker_queues(),
+            port.consumers().into_iter().map(WorkerRing).collect(),
             {
-                let apps = Arc::clone(&apps);
-                let clock_cell = Arc::clone(&clock_cell);
-                let pool = pool.clone();
-                move |q, burst: &mut Vec<Mbuf>| {
-                    // One lock, one process_burst, one histogram pass, one
-                    // free_burst — per burst, never per packet.
-                    let mut slot = apps[q].lock();
-                    let _verdicts = slot.proc.process_burst(burst);
-                    if measure_latency {
-                        if let Some(clock) = clock_cell.get() {
-                            let done = clock.now();
-                            for mbuf in burst.iter() {
-                                let lat = done.saturating_sub(mbuf.arrival);
-                                slot.latency_ns.record(lat.as_nanos());
+                let apps = &apps;
+                let clock_cell = &clock_cell;
+                let pool = &pool;
+                move |_worker| {
+                    let apps = Arc::clone(apps);
+                    let clock_cell = Arc::clone(clock_cell);
+                    // Each worker owns a burst-sized mempool cache: a
+                    // recycled burst is a thread-local stack push, not a
+                    // freelist lock. The cache rides into the worker's
+                    // closure and flushes when the thread exits (before
+                    // join returns), so the post-run pool audit still
+                    // balances.
+                    let mut cache = pool.cache(worker_burst);
+                    move |q: usize, burst: &mut Vec<Mbuf>| {
+                        // One lock, one process_burst, one histogram pass,
+                        // one free_burst — per burst, never per packet.
+                        let mut slot = apps[q].lock();
+                        let _verdicts = slot.proc.process_burst(burst);
+                        if measure_latency {
+                            if let Some(clock) = clock_cell.get() {
+                                let done = clock.now();
+                                for mbuf in burst.iter() {
+                                    let lat = done.saturating_sub(mbuf.arrival);
+                                    slot.latency_ns.record(lat.as_nanos());
+                                }
                             }
                         }
+                        drop(slot);
+                        cache.free_burst(burst.drain(..));
                     }
-                    drop(slot);
-                    pool.free_burst(burst.drain(..));
                 }
             },
             &hub,
@@ -384,6 +426,7 @@ pub fn try_run_realtime_with(
                     snap.offered = port.total_offered() + snap.dropped_pool;
                     snap.occupancy = port.occupancies();
                     snap.pool_in_use = pool.in_use() as u64;
+                    snap.pool_cached = pool.cached() as u64;
                     if measure_latency {
                         // Merging the per-queue histograms takes each app
                         // mutex briefly; workers hold it once per burst,
@@ -412,20 +455,23 @@ pub fn try_run_realtime_with(
         .expect("latency clock anchored twice");
 
     // ---- load generation (inline, like the sim's event loop) -------------
-    // Per batch: one pool transaction hands out blank mbufs, each is
-    // refilled from its flow's template (a memcpy into an already
-    // allocated buffer), staged per target queue, and offered ring by
-    // ring in bursts. Frames the pool could not cover are counted as
-    // pool-exhaustion drops against the queue RSS would have picked;
-    // frames a full ring rejects come back from `offer_burst` and their
-    // buffers return to the pool.
+    // Per batch: one cache transaction hands out blank mbufs (the
+    // producer-side mempool cache turns a warm-path batch into a
+    // thread-local stack drain — no freelist lock), each is refilled from
+    // its flow's template (a memcpy into an already allocated buffer),
+    // staged per target queue, and offered ring by ring in bursts. Frames
+    // the pool could not cover are counted as pool-exhaustion drops
+    // against the queue RSS would have picked; frames a full ring rejects
+    // come back from `offer_burst` and their buffers recycle through the
+    // same cache.
+    let mut gen_cache = pool.cache(GEN_BATCH);
     let mut seq = 0usize;
     let mut blanks: Vec<Mbuf> = Vec::with_capacity(GEN_BATCH);
     let mut staged: Vec<Vec<Mbuf>> = (0..sc.n_queues)
         .map(|_| Vec::with_capacity(GEN_BATCH))
         .collect();
     while let Some(batch) = paced.next_batch() {
-        pool.alloc_burst(batch.len(), &mut blanks);
+        gen_cache.alloc_burst(batch.len(), &mut blanks);
         for &t in batch {
             let (frame, q, hash) = &templates[seq % templates.len()];
             seq += 1;
@@ -449,9 +495,9 @@ pub fn try_run_realtime_with(
             port.offer_burst(q, frames);
             // Whatever the ring rejected is tail-dropped (already counted
             // by the ring; mirrored into the telemetry hub): recycle the
-            // buffers in one transaction.
+            // buffers in one cache transaction.
             hub.dropped(q, DropCause::Ring, frames.len() as u64);
-            pool.free_burst(frames.drain(..));
+            gen_cache.free_burst(frames.drain(..));
         }
     }
 
@@ -506,10 +552,16 @@ pub fn try_run_realtime_with(
         })
         .collect();
 
+    // The generator's cache has no further use: flush it so the report's
+    // pool snapshot shows everything home (the worker caches already
+    // flushed when their threads exited, before join returned).
+    drop(gen_cache);
+
     // Every buffer the pool handed out must be home again: the workers
     // recycle after each burst and the generator after each offer, so a
     // leak here is a real datapath bug, not a timing artifact.
     debug_assert_eq!(pool.in_use(), 0, "mbuf leak: pool buffers unaccounted");
+    debug_assert_eq!(pool.cached(), 0, "worker caches not flushed at exit");
 
     // Shutdown accounting is settled: release the sampler for its final
     // snapshot, so the series totals match the report's counters exactly.

@@ -21,6 +21,7 @@ pub const HEADERS: &[&str] = &[
     "rho_q0",
     "occupancy",
     "pool_in_use",
+    "pool_cached",
     "power_w",
     "lat_p50_us",
     "lat_p95_us",
@@ -43,7 +44,7 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             None => (String::new(), String::new(), String::new()),
         };
         out.push_str(&format!(
-            "{},{:.6},{:.6},{},{},{},{},{},{:.3},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{:.3},{},{},{},{}\n",
+            "{},{:.6},{:.6},{},{},{},{},{},{:.3},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{},{:.3},{},{},{},{}\n",
             w.index,
             w.start.as_secs_f64(),
             w.end.as_secs_f64(),
@@ -60,6 +61,7 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             w.rho0(),
             w.total_occupancy(),
             w.pool_in_use,
+            w.pool_cached,
             w.power_watts,
             p50,
             p95,

@@ -199,6 +199,7 @@ pub fn timeseries_json(ts: &TimeSeries) -> Json {
                     Json::Arr(w.occupancy.iter().map(|&o| o.into()).collect()),
                 )
                 .with("pool_in_use", w.pool_in_use)
+                .with("pool_cached", w.pool_cached)
                 .with("power_watts", w.power_watts);
             match &w.latency {
                 Some(l) => o.push(

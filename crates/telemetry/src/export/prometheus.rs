@@ -331,6 +331,12 @@ pub fn snapshot_metrics(snap: &CounterSnapshot) -> Vec<PromMetric> {
             PromKind::Gauge,
             snap.pool_in_use as f64,
         ),
+        PromMetric::scalar(
+            "metronome_mempool_cached",
+            "Mempool buffers parked in per-worker caches",
+            PromKind::Gauge,
+            snap.pool_cached as f64,
+        ),
     ];
     if !snap.discipline.is_empty() {
         for m in &mut metrics {

@@ -57,6 +57,9 @@ pub struct CounterSnapshot {
     pub occupancy: Vec<u64>,
     /// Mempool buffers currently handed out (gauge).
     pub pool_in_use: u64,
+    /// Mempool buffers parked in per-worker caches (gauge; 0 when the
+    /// backend allocates straight from the shared freelist).
+    pub pool_cached: u64,
     /// Cumulative package energy, joules (simulation backend only).
     pub energy_joules: f64,
     /// Cumulative latency histogram (nanoseconds), if latency is measured.
@@ -121,6 +124,8 @@ pub struct Window {
     pub occupancy: Vec<u64>,
     /// Mempool buffers handed out at window end.
     pub pool_in_use: u64,
+    /// Mempool buffers parked in per-worker caches at window end.
+    pub pool_cached: u64,
     /// Package power over the window, watts (0 when unobserved).
     pub power_watts: f64,
     /// Latency percentiles of samples recorded in this window.
@@ -276,6 +281,7 @@ impl Sampler {
             rho: snap.rho.clone(),
             occupancy: snap.occupancy.clone(),
             pool_in_use: snap.pool_in_use,
+            pool_cached: snap.pool_cached,
             power_watts: if span_s > 0.0 {
                 energy_delta / span_s
             } else {

@@ -140,6 +140,91 @@ proptest! {
         prop_assert_eq!(allocs, frees);
     }
 
+    /// Mempool conservation with per-worker caches in the loop: arbitrary
+    /// interleavings of cached and direct alloc/free (single and burst,
+    /// forcing spills and refills with small cache sizes), with buffers
+    /// freed through *any* handle regardless of where they were allocated.
+    /// The exactness contract: `available() + in_use() == population`
+    /// after every op (cached buffers count as available, like
+    /// `rte_mempool_avail_count`), the hand-out counters reconcile, and
+    /// the in-use peak never over-reads the population.
+    #[test]
+    fn mempool_cached_interleavings_conserve(
+        ops in prop::collection::vec((0u8..3, 0u8..5, 1usize..8), 1..200)
+    ) {
+        let pool = Mempool::new(32, 64);
+        // Handle 0 is the bare pool; 1 and 2 are worker caches small
+        // enough (2, 3) that bursts of up to 7 regularly bypass, refill,
+        // and spill.
+        let mut caches = vec![pool.cache(2), pool.cache(3)];
+        let mut held: Vec<metronome_repro::dpdk::Mbuf> = Vec::new();
+        let mut scratch = Vec::new();
+        for (which, op, n) in ops {
+            let cache = which.checked_sub(1).map(|i| &mut caches[i as usize]);
+            match op {
+                0 => {
+                    let got = match cache {
+                        Some(c) => c.alloc(),
+                        None => pool.alloc(),
+                    };
+                    if let Some(m) = got {
+                        prop_assert!(m.is_empty(), "recycled buffer not cleared");
+                        held.push(m);
+                    }
+                }
+                1 => {
+                    let got = match cache {
+                        Some(c) => c.alloc_burst(n, &mut scratch),
+                        None => pool.alloc_burst(n, &mut scratch),
+                    };
+                    prop_assert_eq!(got, scratch.len());
+                    held.append(&mut scratch);
+                }
+                2 => {
+                    if let Some(m) = held.pop() {
+                        match cache {
+                            Some(c) => c.free(m),
+                            None => pool.free(m),
+                        }
+                    }
+                }
+                3 => {
+                    let k = n.min(held.len());
+                    match cache {
+                        Some(c) => c.free_burst(held.drain(..k)),
+                        None => pool.free_burst(held.drain(..k)),
+                    }
+                }
+                _ => {
+                    if let Some(c) = cache {
+                        c.flush();
+                        prop_assert_eq!(c.cached(), 0);
+                    }
+                }
+            }
+            // Exactness after every op, caches included: every buffer is
+            // in the freelist, in a cache, or held — nowhere else.
+            prop_assert_eq!(pool.in_use(), held.len());
+            prop_assert_eq!(pool.available() + pool.in_use(), pool.population());
+            prop_assert_eq!(
+                pool.cached() as u64,
+                caches.iter().map(|c| c.cached() as u64).sum::<u64>()
+            );
+            let (allocs, frees) = pool.counters();
+            prop_assert_eq!(allocs - frees, held.len() as u64);
+            prop_assert!(pool.in_use_peak() >= pool.in_use());
+            prop_assert!(pool.in_use_peak() <= pool.population());
+        }
+        // Quiescence: drop the caches (spilling their stacks), return
+        // everything — the freelist is whole and allocs == frees.
+        drop(caches);
+        prop_assert_eq!(pool.cached(), 0);
+        pool.free_burst(held.drain(..));
+        prop_assert_eq!(pool.available(), pool.population());
+        let (allocs, frees) = pool.counters();
+        prop_assert_eq!(allocs, frees);
+    }
+
     /// LPM agrees with a naive longest-prefix oracle on random tables.
     #[test]
     fn lpm_matches_oracle(

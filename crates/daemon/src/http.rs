@@ -1,0 +1,112 @@
+//! A minimal HTTP/1.1 listener serving the telemetry crate's Prometheus
+//! text exposition on `GET /metrics` — just enough protocol for a real
+//! `prometheus` scrape job or `curl`, hand-rolled because the vendored
+//! build has no HTTP dependency. Every response closes the connection.
+
+use crate::service::ServiceEngine;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accept-loop poll period (shutdown latency bound).
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Most generous request head we read before answering.
+const MAX_HEAD: usize = 4096;
+
+/// The metrics listener: owns the TCP socket and its accept thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    accept: std::thread::JoinHandle<()>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// `engine`'s snapshot on `/metrics` until the engine shuts down.
+    pub fn start(addr: &str, engine: Arc<ServiceEngine>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let accept = std::thread::Builder::new()
+            .name("metronomed-http".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => serve_request(stream, &engine),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        if engine.is_shutdown() {
+                            break;
+                        }
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => break,
+                }
+            })
+            .expect("spawn http accept thread");
+        Ok(MetricsServer {
+            addr: local,
+            accept,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the accept loop exits (i.e. until shutdown).
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Answer one request on `stream` and close. Requests are served inline
+/// on the accept thread — a scrape is rare and the snapshot is cheap, so
+/// one connection at a time is plenty.
+fn serve_request(mut stream: TcpStream, engine: &ServiceEngine) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    // Read until the end of the request head; the request line is all we
+    // route on, but a client that sends headers must have them consumed
+    // before some stacks will read the response.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < MAX_HEAD {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let request_line = request_line.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = match (method, target) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            engine.prometheus_text(),
+        ),
+        ("GET", "/") => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "metronomed\n\nendpoints:\n  GET /metrics  Prometheus text exposition\n".to_string(),
+        ),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is served\n".into(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}

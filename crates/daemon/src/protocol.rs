@@ -1,0 +1,380 @@
+//! The `metronomed` control-socket wire protocol: line-delimited JSON.
+//!
+//! Every request is one JSON object on one line, dispatched on its
+//! `"cmd"` field; every reply is one JSON object on one line carrying
+//! `"ok": true` plus command-specific fields, or `"ok": false` with an
+//! `"error"` string. Parsing goes through the telemetry crate's
+//! hand-rolled [`Json`] reader (the vendored build has no serde), and a
+//! malformed request is a **typed error reply, never a panic** — the
+//! daemon must outlive hostile input on its socket.
+//!
+//! Commands:
+//!
+//! | `cmd`         | fields                                                        | effect |
+//! |---------------|---------------------------------------------------------------|--------|
+//! | `ping`        | —                                                             | liveness probe; replies with the engine state |
+//! | `submit`      | `name`, `rate_pps`, `discipline`, `m?`, `seed?`, `faults?`    | start a scenario on the persistent pipeline |
+//! | `reconfigure` | any of `rate_pps`, `discipline`, `m`                          | live-adjust the running scenario (no restart) |
+//! | `stats`       | —                                                             | cumulative counters (monotone across reconfigures) |
+//! | `drain`       | —                                                             | stop generating, drain rings, audit the pool; stay up |
+//! | `shutdown`    | —                                                             | drain (if running) and exit; idempotent |
+//!
+//! Fault events (in `submit`'s `"faults"` array) mirror
+//! [`metronome_traffic::FaultKind`]:
+//!
+//! ```json
+//! {"kind": "rate-spike",   "at_ms": 100, "duration_ms": 50, "factor": 2.5}
+//! {"kind": "queue-stall",  "at_ms": 200, "duration_ms": 30}
+//! {"kind": "pool-starve",  "at_ms": 300, "duration_ms": 40, "fraction": 0.5}
+//! {"kind": "jitter-burst", "at_ms": 400, "duration_ms": 50, "drop_prob": 0.2}
+//! ```
+
+use metronome_sim::Nanos;
+use metronome_telemetry::Json;
+use metronome_traffic::{FaultKind, FaultPlan};
+
+/// Default offered rate when `submit` does not name one (packets/s).
+pub const DEFAULT_RATE_PPS: f64 = 50_000.0;
+
+/// Retrieval discipline requested over the wire (the daemon-facing face
+/// of [`metronome_core::discipline::DisciplineSpec`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DisciplineChoice {
+    /// `M` trylock-racing Metronome threads (Listing 2).
+    Metronome,
+    /// One busy-polling worker pinned per queue.
+    BusyPoll,
+    /// One doorbell-parked worker per queue.
+    InterruptLike,
+    /// One fixed-period worker per queue.
+    ConstSleep(Nanos),
+}
+
+impl DisciplineChoice {
+    /// Parse a wire label (plus the `period_us` field `const-sleep`
+    /// requires).
+    pub fn parse(label: &str, period_us: Option<u64>) -> Result<DisciplineChoice, String> {
+        match label {
+            "metronome" => Ok(DisciplineChoice::Metronome),
+            "busy-poll" => Ok(DisciplineChoice::BusyPoll),
+            "interrupt" => Ok(DisciplineChoice::InterruptLike),
+            "const-sleep" => {
+                let us = period_us.ok_or("const-sleep needs \"period_us\"")?;
+                if us == 0 {
+                    return Err("const-sleep period must be positive".into());
+                }
+                Ok(DisciplineChoice::ConstSleep(Nanos::from_micros(us)))
+            }
+            other => Err(format!(
+                "unknown discipline {other:?} (expected metronome, busy-poll, interrupt, or const-sleep)"
+            )),
+        }
+    }
+
+    /// The wire label (inverse of [`DisciplineChoice::parse`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DisciplineChoice::Metronome => "metronome",
+            DisciplineChoice::BusyPoll => "busy-poll",
+            DisciplineChoice::InterruptLike => "interrupt",
+            DisciplineChoice::ConstSleep(_) => "const-sleep",
+        }
+    }
+}
+
+/// A parsed `submit` command: everything the engine needs to start a
+/// scenario on its persistent pipeline.
+#[derive(Clone, Debug)]
+pub struct SubmitSpec {
+    /// Scenario label (echoed in stats and reports).
+    pub name: String,
+    /// Offered rate, packets per second.
+    pub rate_pps: f64,
+    /// Retrieval discipline to arm.
+    pub discipline: DisciplineChoice,
+    /// Metronome thread count `M` (ignored by the 1:1 baselines).
+    pub m_threads: usize,
+    /// Seed for the generator's flow population and fault coin flips.
+    pub seed: u64,
+    /// Scheduled fault events (empty plan = clean run).
+    pub faults: FaultPlan,
+}
+
+/// A parsed `reconfigure` command: each `Some` field is applied to the
+/// running scenario, everything else is left as it is.
+#[derive(Clone, Debug, Default)]
+pub struct ReconfigureSpec {
+    /// New offered rate, packets per second.
+    pub rate_pps: Option<f64>,
+    /// New retrieval discipline (re-arms the worker set).
+    pub discipline: Option<DisciplineChoice>,
+    /// New Metronome thread count `M` (re-arms the worker set).
+    pub m_threads: Option<usize>,
+}
+
+/// One parsed control request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Start a scenario.
+    Submit(SubmitSpec),
+    /// Live-adjust the running scenario.
+    Reconfigure(ReconfigureSpec),
+    /// Read cumulative counters.
+    Stats,
+    /// Stop generating, drain, audit; stay up.
+    Drain,
+    /// Drain and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line. Every malformed input — bad JSON, missing
+    /// or mistyped fields, out-of-range fault parameters — comes back as
+    /// `Err(message)` for the server to wrap in an error reply; nothing
+    /// in here panics.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+        if doc.as_obj().is_none() {
+            return Err("request must be a JSON object".into());
+        }
+        let cmd = doc
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing string field \"cmd\"")?;
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "drain" => Ok(Request::Drain),
+            "shutdown" => Ok(Request::Shutdown),
+            "submit" => parse_submit(&doc),
+            "reconfigure" => parse_reconfigure(&doc),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+fn field_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or(format!("missing number field {key:?}"))
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or(format!("missing non-negative integer field {key:?}"))
+}
+
+fn parse_discipline(doc: &Json) -> Result<Option<DisciplineChoice>, String> {
+    match doc.get("discipline").and_then(Json::as_str) {
+        None => Ok(None),
+        Some(label) => {
+            let period = doc.get("period_us").and_then(Json::as_u64);
+            DisciplineChoice::parse(label, period).map(Some)
+        }
+    }
+}
+
+fn parse_submit(doc: &Json) -> Result<Request, String> {
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("unnamed")
+        .to_string();
+    let rate_pps = match doc.get("rate_pps") {
+        None => DEFAULT_RATE_PPS,
+        Some(v) => v.as_f64().ok_or("\"rate_pps\" must be a number")?,
+    };
+    if !rate_pps.is_finite() || rate_pps < 0.0 {
+        return Err("\"rate_pps\" must be finite and non-negative".into());
+    }
+    let discipline = parse_discipline(doc)?.unwrap_or(DisciplineChoice::Metronome);
+    let m_threads = match doc.get("m") {
+        None => 0, // engine default: max(n_queues, 1) for Metronome
+        Some(v) => v.as_u64().ok_or("\"m\" must be a non-negative integer")? as usize,
+    };
+    let seed = match doc.get("seed") {
+        None => 1,
+        Some(v) => v
+            .as_u64()
+            .ok_or("\"seed\" must be a non-negative integer")?,
+    };
+    let faults = parse_faults(doc)?;
+    Ok(Request::Submit(SubmitSpec {
+        name,
+        rate_pps,
+        discipline,
+        m_threads,
+        seed,
+        faults,
+    }))
+}
+
+fn parse_reconfigure(doc: &Json) -> Result<Request, String> {
+    let rate_pps = match doc.get("rate_pps") {
+        None => None,
+        Some(v) => {
+            let r = v.as_f64().ok_or("\"rate_pps\" must be a number")?;
+            if !r.is_finite() || r < 0.0 {
+                return Err("\"rate_pps\" must be finite and non-negative".into());
+            }
+            Some(r)
+        }
+    };
+    let m_threads = match doc.get("m") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or("\"m\" must be a non-negative integer")? as usize),
+    };
+    let spec = ReconfigureSpec {
+        rate_pps,
+        discipline: parse_discipline(doc)?,
+        m_threads,
+    };
+    if spec.rate_pps.is_none() && spec.discipline.is_none() && spec.m_threads.is_none() {
+        return Err("reconfigure needs at least one of \"rate_pps\", \"discipline\", \"m\"".into());
+    }
+    Ok(Request::Reconfigure(spec))
+}
+
+/// Parse the `"faults"` array into a [`FaultPlan`], validating every
+/// parameter *before* it reaches `FaultPlan::push` (which asserts).
+fn parse_faults(doc: &Json) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    let Some(list) = doc.get("faults") else {
+        return Ok(plan);
+    };
+    let arr = list.as_arr().ok_or("\"faults\" must be an array")?;
+    for (i, ev) in arr.iter().enumerate() {
+        let ctx = |msg: String| format!("fault #{i}: {msg}");
+        let label = ev
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing string field \"kind\"".into()))?;
+        let at = Nanos::from_millis(field_u64(ev, "at_ms").map_err(&ctx)?);
+        let duration = Nanos::from_millis(field_u64(ev, "duration_ms").map_err(&ctx)?);
+        if duration.is_zero() {
+            return Err(ctx("\"duration_ms\" must be positive".into()));
+        }
+        let kind = match label {
+            "rate-spike" => {
+                let factor = field_f64(ev, "factor").map_err(&ctx)?;
+                if !factor.is_finite() || factor < 0.0 {
+                    return Err(ctx("\"factor\" must be finite and non-negative".into()));
+                }
+                FaultKind::RateSpike { factor }
+            }
+            "queue-stall" => FaultKind::QueueStall,
+            "pool-starve" => {
+                let fraction = field_f64(ev, "fraction").map_err(&ctx)?;
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err(ctx("\"fraction\" must be in [0, 1]".into()));
+                }
+                FaultKind::PoolStarve { fraction }
+            }
+            "jitter-burst" => {
+                let drop_prob = field_f64(ev, "drop_prob").map_err(&ctx)?;
+                if !(0.0..=1.0).contains(&drop_prob) {
+                    return Err(ctx("\"drop_prob\" must be in [0, 1]".into()));
+                }
+                let jitter = ev.get("jitter_us").and_then(Json::as_u64).unwrap_or(0);
+                FaultKind::JitterBurst {
+                    jitter: Nanos::from_micros(jitter),
+                    drop_prob,
+                }
+            }
+            other => return Err(ctx(format!("unknown fault kind {other:?}"))),
+        };
+        plan.push(at, duration, kind);
+    }
+    Ok(plan)
+}
+
+/// A success reply skeleton; append command fields with `.with(...)`.
+pub fn ok() -> Json {
+    Json::obj().with("ok", true)
+}
+
+/// A typed error reply.
+pub fn err(message: impl Into<String>) -> Json {
+    Json::obj().with("ok", false).with("error", message.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_commands() {
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"drain"}"#),
+            Ok(Request::Drain)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn parses_submit_with_faults() {
+        let line = r#"{"cmd":"submit","name":"soak","rate_pps":200000,"discipline":"metronome","m":3,"seed":7,
+            "faults":[{"kind":"rate-spike","at_ms":100,"duration_ms":50,"factor":2.0},
+                      {"kind":"queue-stall","at_ms":200,"duration_ms":30},
+                      {"kind":"pool-starve","at_ms":300,"duration_ms":40,"fraction":0.5},
+                      {"kind":"jitter-burst","at_ms":400,"duration_ms":50,"drop_prob":0.2,"jitter_us":20}]}"#
+            .replace('\n', " ");
+        let Ok(Request::Submit(spec)) = Request::parse(&line) else {
+            panic!("submit did not parse");
+        };
+        assert_eq!(spec.name, "soak");
+        assert_eq!(spec.rate_pps, 200_000.0);
+        assert_eq!(spec.discipline, DisciplineChoice::Metronome);
+        assert_eq!(spec.m_threads, 3);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.faults.len(), 4);
+        assert_eq!(spec.faults.distinct_kinds(), 4);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors_not_panics() {
+        for bad in [
+            "",
+            "not json",
+            "[1,2,3]",
+            r#"{"cmd":42}"#,
+            r#"{"cmd":"warp"}"#,
+            r#"{"cmd":"submit","rate_pps":"fast"}"#,
+            r#"{"cmd":"submit","rate_pps":-1}"#,
+            r#"{"cmd":"submit","discipline":"psychic"}"#,
+            r#"{"cmd":"submit","discipline":"const-sleep"}"#,
+            r#"{"cmd":"submit","faults":{}}"#,
+            r#"{"cmd":"submit","faults":[{"kind":"rate-spike","at_ms":1,"duration_ms":1}]}"#,
+            r#"{"cmd":"submit","faults":[{"kind":"rate-spike","at_ms":1,"duration_ms":1,"factor":-2}]}"#,
+            r#"{"cmd":"submit","faults":[{"kind":"pool-starve","at_ms":1,"duration_ms":1,"fraction":1.5}]}"#,
+            r#"{"cmd":"submit","faults":[{"kind":"jitter-burst","at_ms":1,"duration_ms":1,"drop_prob":2}]}"#,
+            r#"{"cmd":"submit","faults":[{"kind":"gamma-ray","at_ms":1,"duration_ms":1}]}"#,
+            r#"{"cmd":"reconfigure"}"#,
+            r#"{"cmd":"reconfigure","m":-3}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn error_reply_renders_ok_false() {
+        let reply = err("boom").render();
+        let doc = Json::parse(&reply).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("error").and_then(Json::as_str), Some("boom"));
+    }
+}

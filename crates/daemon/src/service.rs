@@ -1,0 +1,846 @@
+//! The service engine behind `metronomed`: a persistent realtime
+//! pipeline (mempool → RSS port → retrieval workers) that outlives any
+//! single scenario, with live reconfiguration and scheduled fault
+//! injection.
+//!
+//! Where [`metronome_runtime::realtime_runner`] executes one scenario
+//! start-to-finish and tears everything down, the engine keeps the
+//! infrastructure up between scenarios:
+//!
+//! * **Submit** builds a fresh [`RssPort`] and worker set over the shared
+//!   [`Mempool`] and spawns a rate-driven generator thread.
+//! * **Reconfigure** adjusts the offered rate through one atomic store
+//!   (the generator reads it every tick), or re-arms the worker set for a
+//!   new discipline / `M` without stopping the generator — counters stay
+//!   monotone because the retiring hub's totals fold into a cumulative
+//!   base before the fresh hub takes over.
+//! * **Drain** runs the shutdown state machine: stop the generator (it
+//!   releases any fault state it holds on exit), wait for the workers to
+//!   catch up with everything the rings accepted, join them (their
+//!   mempool caches flush on exit), sweep anything stranded, and audit
+//!   the pool — `in_use == 0`, `cached == 0`, `allocs == frees` — before
+//!   reporting exact conservation: `offered == processed + dropped`.
+//!
+//! Fault realization in service mode (the arrival-side realization lives
+//! in [`metronome_traffic::PlannedFaults`]; the daemon realizes the same
+//! [`FaultPlan`] against real infrastructure):
+//!
+//! | kind           | realization                                         | shows up as |
+//! |----------------|-----------------------------------------------------|-------------|
+//! | `rate-spike`   | generator multiplies the offered rate               | ring drops under overload |
+//! | `queue-stall`  | workers pause in the process closure; rings back up | ring drops |
+//! | `pool-starve`  | generator confiscates pool buffers for the window   | pool drops |
+//! | `jitter-burst` | generator coin-flips packet suppression             | fault drops |
+
+use crate::protocol::{self, DisciplineChoice, ReconfigureSpec, Request, SubmitSpec};
+use bytes::BytesMut;
+use metronome_apps::processor::PacketProcessor;
+use metronome_core::discipline::{DisciplineSpec, Doorbell, ModerationConfig};
+use metronome_core::realtime::Metronome;
+use metronome_core::MetronomeConfig;
+use metronome_dpdk::{Mbuf, Mempool, RssPort};
+use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
+use metronome_runtime::realtime_runner::{processor_for, WorkerRing};
+use metronome_sim::{Nanos, Rng};
+use metronome_telemetry::export::prometheus::{render, snapshot_metrics};
+use metronome_telemetry::{CounterSnapshot, DropCause, Json, TelemetryHub, TelemetrySink};
+use metronome_traffic::{FaultPlan, FlowSet, WallClock};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Generator wake-up period: batch sizes follow from rate × tick.
+const GEN_TICK: Duration = Duration::from_micros(500);
+
+/// Hard cap on one tick's batch (bounds pool demand during catch-up; the
+/// clipped remainder is shed, not owed — a daemon must not build debt).
+const GEN_MAX_BATCH: usize = 2048;
+
+/// How long the process closure naps between stall-flag polls.
+const STALL_POLL: Duration = Duration::from_micros(100);
+
+/// How long `drain` waits for the workers to catch up with everything
+/// the rings accepted before sweeping leftovers as stranded.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Flows in the generated population (matches the realtime runner).
+const FLOWS_PER_RUN: usize = 256;
+
+/// Destination subnets, matching `L3Fwd::with_sample_routes(4)`.
+const L3FWD_SUBNETS: usize = 4;
+
+/// Mbuf dataroom of the daemon's pool.
+const MBUF_DATAROOM: usize = 2048;
+
+/// Fixed infrastructure the daemon owns for its whole lifetime.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Rx queues of every scenario the daemon runs.
+    pub n_queues: usize,
+    /// Descriptors per Rx ring.
+    pub ring_size: usize,
+    /// Mbuf pool population (`None`: sized for rings + generator bursts).
+    pub pool_population: Option<usize>,
+    /// App profile every queue processes with (must have a functional
+    /// processor — see `processor_for`).
+    pub app: &'static str,
+    /// Seed for flow population and fault coin flips.
+    pub seed: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            n_queues: 2,
+            ring_size: 512,
+            pool_population: None,
+            app: "l3fwd-lpm",
+            seed: 1,
+        }
+    }
+}
+
+/// Counter totals folded out of retired telemetry hubs and finished
+/// ports, so exported counters stay monotone across reconfigures and
+/// scenarios. All fields are lifetime-cumulative.
+#[derive(Clone, Copy, Debug, Default)]
+struct Totals {
+    retrieved: u64,
+    wakeups: u64,
+    busy_nanos: u64,
+    sleep_nanos: u64,
+    oversleep_nanos: u64,
+    dropped_ring: u64,
+    dropped_pool: u64,
+    dropped_fault: u64,
+    /// Frames offered to retired ports (a port lives for one scenario).
+    port_offered: u64,
+}
+
+impl Totals {
+    /// Fold a hub's counters in (call only after its writers stopped).
+    fn fold_hub(&mut self, hub: &TelemetryHub) {
+        let mut snap = CounterSnapshot::new(Nanos::ZERO);
+        hub.fill_snapshot(&mut snap);
+        self.retrieved += snap.retrieved;
+        self.wakeups += snap.wakeups;
+        self.busy_nanos += snap.busy_nanos;
+        self.sleep_nanos += snap.sleep_nanos;
+        self.oversleep_nanos += snap.oversleep_nanos;
+        self.dropped_ring += snap.dropped_ring;
+        self.dropped_pool += snap.dropped_pool;
+        self.dropped_fault += snap.dropped_fault;
+    }
+}
+
+/// What the generator thread shares with the engine: its stop flag, the
+/// live-reconfigurable rate, and the consumer-pause flag it drives from
+/// the plan's stall windows (the same atomic the process closures poll).
+struct GenShared {
+    stop: AtomicBool,
+    /// Offered rate as `f64` bits — reconfiguring the rate is one store.
+    rate_bits: AtomicU64,
+    stall: Arc<AtomicBool>,
+}
+
+/// One armed worker set (discipline + hub + halt flag), replaced
+/// wholesale on a discipline/M reconfigure.
+struct Arm {
+    workers: Metronome<Mbuf, WorkerRing>,
+    hub: Arc<TelemetryHub>,
+    /// Overrides the stall pause so a re-arm can join workers that are
+    /// mid-stall without waiting out the fault window.
+    halt: Arc<AtomicBool>,
+    discipline: DisciplineChoice,
+    m_threads: usize,
+}
+
+/// A running scenario on the persistent pipeline.
+struct RunState {
+    name: String,
+    port: Arc<RssPort>,
+    arm: Option<Arm>,
+    gen: Option<(Arc<GenShared>, std::thread::JoinHandle<()>)>,
+    /// The generator's view of the current hub (swapped on re-arm so no
+    /// drop is ever counted against a retired hub after it was folded).
+    gen_hub: Arc<Mutex<Arc<TelemetryHub>>>,
+    /// Per-queue doorbell slots the port's wake hooks ring through
+    /// (re-pointed at the new worker set on re-arm).
+    bells: Vec<Arc<Mutex<Option<Arc<Doorbell>>>>>,
+    apps: Arc<Vec<Mutex<Box<dyn PacketProcessor>>>>,
+    stall: Arc<AtomicBool>,
+}
+
+struct EngineState {
+    run: Option<RunState>,
+    base: Totals,
+    /// Scenarios drained to completion since startup.
+    completed: u64,
+}
+
+/// The daemon's command engine: one per process, shared by the control
+/// socket and the metrics listener.
+pub struct ServiceEngine {
+    cfg: DaemonConfig,
+    pool: Mempool,
+    started: Instant,
+    state: Mutex<EngineState>,
+    shutdown: AtomicBool,
+}
+
+impl ServiceEngine {
+    /// Build the engine and its persistent mempool. Panics if `cfg.app`
+    /// has no functional processor — that is a deployment error, not
+    /// request input.
+    pub fn new(cfg: DaemonConfig) -> ServiceEngine {
+        assert!(cfg.n_queues > 0, "need at least one queue");
+        assert!(
+            processor_for(cfg.app).is_some(),
+            "no functional processor wired for app profile '{}'",
+            cfg.app
+        );
+        let population = cfg
+            .pool_population
+            .unwrap_or(2 * cfg.n_queues * cfg.ring_size + 4 * GEN_MAX_BATCH);
+        let pool = Mempool::new(population, MBUF_DATAROOM);
+        ServiceEngine {
+            cfg,
+            pool,
+            started: Instant::now(),
+            state: Mutex::new(EngineState {
+                run: None,
+                base: Totals::default(),
+                completed: 0,
+            }),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The daemon's fixed configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.cfg
+    }
+
+    /// Whether `shutdown` has been requested (servers drain their accept
+    /// loops once this reads true).
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Parse one request line and execute it: the single entry point for
+    /// control connections. Malformed input becomes an error reply.
+    pub fn dispatch(&self, line: &str) -> Json {
+        match Request::parse(line) {
+            Ok(req) => self.handle(req),
+            Err(e) => protocol::err(e),
+        }
+    }
+
+    /// Execute one parsed request.
+    pub fn handle(&self, req: Request) -> Json {
+        match req {
+            Request::Ping => protocol::ok()
+                .with("reply", "pong")
+                .with("state", self.state_label()),
+            Request::Stats => self.stats_reply(),
+            Request::Submit(spec) => self.submit(spec),
+            Request::Reconfigure(spec) => self.reconfigure(spec),
+            Request::Drain => {
+                let mut st = self.state.lock();
+                self.drain_locked(&mut st)
+            }
+            // Shutdown is drain + flag, and idempotent: a second call
+            // finds no run, drains trivially, and still replies ok.
+            Request::Shutdown => {
+                let mut st = self.state.lock();
+                let reply = self.drain_locked(&mut st);
+                self.shutdown.store(true, Ordering::Release);
+                reply.with("shutdown", true)
+            }
+        }
+    }
+
+    fn state_label(&self) -> &'static str {
+        if self.is_shutdown() {
+            "shutdown"
+        } else if self.state.lock().run.is_some() {
+            "running"
+        } else {
+            "idle"
+        }
+    }
+
+    // ---- worker arming ---------------------------------------------------
+
+    fn worker_shape(
+        &self,
+        choice: DisciplineChoice,
+        m_threads: usize,
+    ) -> Result<(MetronomeConfig, DisciplineSpec), String> {
+        let cfg = MetronomeConfig {
+            m_threads,
+            n_queues: self.cfg.n_queues,
+            ..MetronomeConfig::default()
+        };
+        let spec = match choice {
+            DisciplineChoice::Metronome => DisciplineSpec::Metronome,
+            DisciplineChoice::BusyPoll => DisciplineSpec::BusyPoll,
+            DisciplineChoice::InterruptLike => {
+                DisciplineSpec::InterruptLike(ModerationConfig::default())
+            }
+            DisciplineChoice::ConstSleep(p) => DisciplineSpec::ConstSleep(p),
+        };
+        cfg.validate()?;
+        Ok((cfg, spec))
+    }
+
+    /// The telemetry hub a worker set of this shape writes into. Created
+    /// by the caller (not by [`ServiceEngine::arm_workers`]) so a re-arm
+    /// can hand the generator the new hub *before* the old one is folded
+    /// — no drop is ever mirrored into an already-folded hub.
+    fn hub_for(
+        &self,
+        choice: DisciplineChoice,
+        cfg: &MetronomeConfig,
+        spec: &DisciplineSpec,
+    ) -> Arc<TelemetryHub> {
+        let n_workers = spec.workers(cfg.m_threads, cfg.n_queues);
+        TelemetryHub::labeled(n_workers, cfg.n_queues, choice.label())
+    }
+
+    /// Spawn a worker set over `port`'s consumers and point the per-queue
+    /// doorbell slots at it. The process closure pauses while the stall
+    /// flag is up (unless this arm's halt flag overrides it — see
+    /// [`Arm::halt`]) and recycles every burst through a worker-local
+    /// mempool cache.
+    #[allow(clippy::too_many_arguments)]
+    fn arm_workers(
+        &self,
+        port: &Arc<RssPort>,
+        apps: &Arc<Vec<Mutex<Box<dyn PacketProcessor>>>>,
+        stall: &Arc<AtomicBool>,
+        bells: &[Arc<Mutex<Option<Arc<Doorbell>>>>],
+        choice: DisciplineChoice,
+        cfg: MetronomeConfig,
+        spec: DisciplineSpec,
+        hub: Arc<TelemetryHub>,
+    ) -> Arm {
+        let halt = Arc::new(AtomicBool::new(false));
+        let worker_burst = cfg.burst as usize;
+        let m_threads = cfg.m_threads;
+        let workers = Metronome::start_discipline_scoped_with_telemetry(
+            cfg,
+            spec.clone(),
+            port.consumers().into_iter().map(WorkerRing).collect(),
+            {
+                let pool = &self.pool;
+                let halt = &halt;
+                move |_worker| {
+                    let apps = Arc::clone(apps);
+                    let stall = Arc::clone(stall);
+                    let halt = Arc::clone(halt);
+                    let mut cache = pool.cache(worker_burst);
+                    move |q: usize, burst: &mut Vec<Mbuf>| {
+                        // A stall window pauses retrieval mid-pipeline:
+                        // the rings back up behind this nap and tail-drop,
+                        // which is exactly the fault being modeled.
+                        while stall.load(Ordering::Relaxed) && !halt.load(Ordering::Relaxed) {
+                            std::thread::sleep(STALL_POLL);
+                        }
+                        let mut slot = apps[q].lock();
+                        let _verdicts = slot.process_burst(burst);
+                        drop(slot);
+                        cache.free_burst(burst.drain(..));
+                    }
+                }
+            },
+            &hub,
+        );
+        for (q, slot) in bells.iter().enumerate() {
+            *slot.lock() = match spec {
+                DisciplineSpec::InterruptLike(_) => Some(Arc::clone(workers.doorbell(q))),
+                _ => None,
+            };
+        }
+        Arm {
+            workers,
+            hub,
+            halt,
+            discipline: choice,
+            m_threads,
+        }
+    }
+
+    // ---- submit ----------------------------------------------------------
+
+    fn submit(&self, spec: SubmitSpec) -> Json {
+        if self.is_shutdown() {
+            return protocol::err("daemon is shutting down");
+        }
+        let mut st = self.state.lock();
+        if st.run.is_some() {
+            return protocol::err("a scenario is already running; reconfigure it or drain first");
+        }
+        let m_threads = if spec.m_threads == 0 {
+            self.cfg.n_queues
+        } else {
+            spec.m_threads
+        };
+        let (cfg, disc_spec) = match self.worker_shape(spec.discipline, m_threads) {
+            Ok(pair) => pair,
+            Err(e) => return protocol::err(e),
+        };
+
+        // Port + doorbell slots. Hooks are installed before the port is
+        // shared and ring through a slot, so a re-arm can re-point them
+        // without `&mut` access to the port.
+        let mut port = RssPort::new(self.cfg.n_queues, self.cfg.ring_size);
+        let bells: Vec<Arc<Mutex<Option<Arc<Doorbell>>>>> = (0..self.cfg.n_queues)
+            .map(|_| Arc::new(Mutex::new(None)))
+            .collect();
+        for (q, slot) in bells.iter().enumerate() {
+            let slot = Arc::clone(slot);
+            port.set_wake_hook(
+                q,
+                Arc::new(move || {
+                    if let Some(bell) = slot.lock().as_ref() {
+                        bell.ring();
+                    }
+                }),
+            );
+        }
+        let port = Arc::new(port);
+
+        let apps: Arc<Vec<Mutex<Box<dyn PacketProcessor>>>> = Arc::new(
+            (0..self.cfg.n_queues)
+                .map(|_| Mutex::new(processor_for(self.cfg.app).expect("app checked at startup")))
+                .collect(),
+        );
+        let stall = Arc::new(AtomicBool::new(false));
+        let hub = self.hub_for(spec.discipline, &cfg, &disc_spec);
+        let arm = self.arm_workers(
+            &port,
+            &apps,
+            &stall,
+            &bells,
+            spec.discipline,
+            cfg,
+            disc_spec,
+            hub,
+        );
+        let gen_hub = Arc::new(Mutex::new(Arc::clone(&arm.hub)));
+
+        // Frame templates: routable flows, RSS resolved once per flow.
+        let flows = FlowSet::routable(FLOWS_PER_RUN, L3FWD_SUBNETS, spec.seed);
+        let templates: Vec<(BytesMut, usize, u32)> = flows
+            .flows()
+            .iter()
+            .map(|t| {
+                let frame = build_udp_frame(Mac::local(1), Mac::local(2), t, &[], MIN_FRAME_NO_FCS);
+                let input = t.rss_input();
+                (frame, port.queue_for(&input), port.rss_hash(&input))
+            })
+            .collect();
+
+        let shared = Arc::new(GenShared {
+            stop: AtomicBool::new(false),
+            rate_bits: AtomicU64::new(spec.rate_pps.to_bits()),
+            stall: Arc::clone(&stall),
+        });
+        let handle = {
+            let shared = Arc::clone(&shared);
+            let port = Arc::clone(&port);
+            let pool = self.pool.clone();
+            let plan = spec.faults.clone();
+            let gen_hub = Arc::clone(&gen_hub);
+            let rng = Rng::new(spec.seed ^ 0x0D4E_3019).stream(7);
+            std::thread::Builder::new()
+                .name("metronomed-gen".into())
+                .spawn(move || generator(shared, port, pool, plan, gen_hub, templates, rng))
+                .expect("spawn generator thread")
+        };
+
+        let name = spec.name.clone();
+        let reply = protocol::ok()
+            .with("submitted", name.as_str())
+            .with("discipline", spec.discipline.label())
+            .with("workers", arm.workers_len() as u64)
+            .with("rate_pps", spec.rate_pps)
+            .with("fault_events", spec.faults.len() as u64)
+            .with("fault_kinds", spec.faults.distinct_kinds() as u64);
+        st.run = Some(RunState {
+            name,
+            port,
+            arm: Some(arm),
+            gen: Some((shared, handle)),
+            gen_hub,
+            bells,
+            apps,
+            stall,
+        });
+        reply
+    }
+
+    // ---- reconfigure -----------------------------------------------------
+
+    fn reconfigure(&self, spec: ReconfigureSpec) -> Json {
+        let mut st = self.state.lock();
+        let Some(run) = st.run.as_mut() else {
+            return protocol::err("no scenario is running; submit one first");
+        };
+        let mut changed: Vec<&'static str> = Vec::new();
+
+        if let Some(rate) = spec.rate_pps {
+            if let Some((shared, _)) = &run.gen {
+                shared.rate_bits.store(rate.to_bits(), Ordering::Relaxed);
+                changed.push("rate_pps");
+            }
+        }
+
+        let rearm = spec.discipline.is_some() || spec.m_threads.is_some();
+        if rearm {
+            let old = run.arm.take().expect("running scenario always has an arm");
+            let choice = spec.discipline.unwrap_or(old.discipline);
+            let m_threads = spec.m_threads.unwrap_or(old.m_threads);
+            let (cfg, disc_spec) = match self.worker_shape(choice, m_threads) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    // Invalid request: keep the old arm running untouched.
+                    run.arm = Some(old);
+                    return protocol::err(e);
+                }
+            };
+            // Re-arm sequence, ordered so no count is ever lost:
+            // 1. swap the generator onto the fresh hub (its next mirrored
+            // drop lands there), 2. let mid-stall workers fall through,
+            // 3. join them — only now is the retired hub quiescent —
+            // 4. fold it, 5. spawn the new set over fresh consumer
+            // handles, writing into the hub the generator already holds.
+            let new_hub = self.hub_for(choice, &cfg, &disc_spec);
+            *run.gen_hub.lock() = Arc::clone(&new_hub);
+            old.halt.store(true, Ordering::Release);
+            let old_hub = Arc::clone(&old.hub);
+            let _stats = old.workers.stop();
+            st.base.fold_hub(&old_hub);
+            let run = st.run.as_mut().expect("checked above");
+            let arm = self.arm_workers(
+                &run.port, &run.apps, &run.stall, &run.bells, choice, cfg, disc_spec, new_hub,
+            );
+            run.arm = Some(arm);
+            if spec.discipline.is_some() {
+                changed.push("discipline");
+            }
+            if spec.m_threads.is_some() {
+                changed.push("m");
+            }
+        }
+
+        let run = st.run.as_ref().expect("checked above");
+        let arm = run.arm.as_ref().expect("re-armed above");
+        protocol::ok()
+            .with(
+                "changed",
+                Json::Arr(changed.into_iter().map(Json::from).collect()),
+            )
+            .with("discipline", arm.discipline.label())
+            .with("m", arm.m_threads as u64)
+            .with(
+                "rate_pps",
+                run.gen.as_ref().map_or(0.0, |(s, _)| {
+                    f64::from_bits(s.rate_bits.load(Ordering::Relaxed))
+                }),
+            )
+    }
+
+    // ---- drain -----------------------------------------------------------
+
+    /// The drain state machine. Idempotent: with nothing running it
+    /// reports the (clean) pool audit and `"state": "idle"`.
+    fn drain_locked(&self, st: &mut EngineState) -> Json {
+        let Some(mut run) = st.run.take() else {
+            let (allocs, frees) = self.pool.counters();
+            return protocol::ok()
+                .with("state", "idle")
+                .with("already_drained", true)
+                .with("pool_in_use", self.pool.in_use() as u64)
+                .with("pool_cached", self.pool.cached() as u64)
+                .with("allocs", allocs)
+                .with("frees", frees)
+                .with(
+                    "pool_balanced",
+                    self.pool.in_use() == 0 && self.pool.cached() == 0,
+                );
+        };
+
+        // 1. Stop the generator; on exit it frees confiscated buffers,
+        //    clears the stall flag, and flushes its cache.
+        if let Some((shared, handle)) = run.gen.take() {
+            shared.stop.store(true, Ordering::Release);
+            let _ = handle.join();
+        }
+
+        // 2. Generation is over, so `accepted` is final; wait for the
+        //    workers to catch up, bounded by a grace period.
+        let accepted = run.port.total_accepted();
+        if let Some(arm) = &run.arm {
+            let deadline = Instant::now() + DRAIN_GRACE;
+            while arm.hub.total_retrieved() < accepted && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        // 3. Join the workers: counters settle, caches flush.
+        let mut stranded = 0u64;
+        if let Some(arm) = run.arm.take() {
+            arm.halt.store(true, Ordering::Release);
+            let hub = Arc::clone(&arm.hub);
+            let _stats = arm.workers.stop();
+            st.base.fold_hub(&hub);
+        }
+
+        // 4. Sweep anything still queued (only possible if the grace
+        //    period expired): accepted but never retrieved, counted as
+        //    ring drops so conservation stays exact.
+        let mut scratch: Vec<Mbuf> = Vec::new();
+        for ring in run.port.rings() {
+            while ring.pop_burst(&mut scratch, GEN_MAX_BATCH) > 0 {
+                stranded += scratch.len() as u64;
+                self.pool.free_burst(scratch.drain(..));
+            }
+        }
+        st.base.dropped_ring += stranded;
+        st.base.port_offered += run.port.total_offered();
+        st.completed += 1;
+
+        // 5. Audit: every buffer home, every packet accounted.
+        let (allocs, frees) = self.pool.counters();
+        let offered = st.base.port_offered + st.base.dropped_pool + st.base.dropped_fault;
+        let dropped = st.base.dropped_ring + st.base.dropped_pool + st.base.dropped_fault;
+        let conserved = offered == st.base.retrieved + dropped;
+        let pool_balanced = self.pool.in_use() == 0 && self.pool.cached() == 0 && allocs == frees;
+        protocol::ok()
+            .with("state", "drained")
+            .with("scenario", run.name.as_str())
+            .with("offered", offered)
+            .with("processed", st.base.retrieved)
+            .with("dropped", dropped)
+            .with("dropped_ring", st.base.dropped_ring)
+            .with("dropped_pool", st.base.dropped_pool)
+            .with("dropped_fault", st.base.dropped_fault)
+            .with("stranded", stranded)
+            .with("conserved", conserved)
+            .with("pool_in_use", self.pool.in_use() as u64)
+            .with("pool_cached", self.pool.cached() as u64)
+            .with("allocs", allocs)
+            .with("frees", frees)
+            .with("pool_balanced", pool_balanced)
+    }
+
+    // ---- observability ---------------------------------------------------
+
+    /// One coherent counter snapshot: the live hub plus the cumulative
+    /// base, gauges from the live port and pool. This is what both the
+    /// `stats` command and the Prometheus endpoint export.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let st = self.state.lock();
+        let uptime = Nanos(self.started.elapsed().as_nanos() as u64);
+        let mut snap = CounterSnapshot::new(uptime);
+        let mut port_offered = st.base.port_offered;
+        if let Some(run) = &st.run {
+            if let Some(arm) = &run.arm {
+                arm.hub.fill_snapshot(&mut snap);
+                snap.rho = (0..self.cfg.n_queues).map(|q| arm.workers.rho(q)).collect();
+            }
+            snap.occupancy = run.port.occupancies();
+            port_offered += run.port.total_offered();
+        }
+        snap.retrieved += st.base.retrieved;
+        snap.wakeups += st.base.wakeups;
+        snap.busy_nanos += st.base.busy_nanos;
+        snap.sleep_nanos += st.base.sleep_nanos;
+        snap.oversleep_nanos += st.base.oversleep_nanos;
+        snap.dropped_ring += st.base.dropped_ring;
+        snap.dropped_pool += st.base.dropped_pool;
+        snap.dropped_fault += st.base.dropped_fault;
+        snap.offered = port_offered + snap.dropped_pool + snap.dropped_fault;
+        snap.pool_in_use = self.pool.in_use() as u64;
+        snap.pool_cached = self.pool.cached() as u64;
+        snap
+    }
+
+    /// The Prometheus text exposition of [`ServiceEngine::snapshot`]
+    /// (what the HTTP listener serves on `/metrics`).
+    pub fn prometheus_text(&self) -> String {
+        render(&snapshot_metrics(&self.snapshot()))
+    }
+
+    fn stats_reply(&self) -> Json {
+        let snap = self.snapshot();
+        let st = self.state.lock();
+        let mut reply = protocol::ok()
+            .with("state", self.state_label_locked(&st))
+            .with("uptime_s", snap.at.as_secs_f64())
+            .with("completed_runs", st.completed)
+            .with("offered", snap.offered)
+            .with("processed", snap.retrieved)
+            .with(
+                "dropped",
+                snap.dropped_ring + snap.dropped_pool + snap.dropped_fault,
+            )
+            .with("dropped_ring", snap.dropped_ring)
+            .with("dropped_pool", snap.dropped_pool)
+            .with("dropped_fault", snap.dropped_fault)
+            .with("wakeups", snap.wakeups)
+            .with("busy_nanos", snap.busy_nanos)
+            .with("pool_in_use", snap.pool_in_use)
+            .with("pool_cached", snap.pool_cached)
+            .with(
+                "occupancy",
+                Json::Arr(snap.occupancy.iter().map(|&o| o.into()).collect()),
+            );
+        if let Some(run) = &st.run {
+            reply.push("scenario", run.name.as_str());
+            if let Some(arm) = &run.arm {
+                reply.push("discipline", arm.discipline.label());
+                reply.push("m", arm.m_threads as u64);
+            }
+            if let Some((shared, _)) = &run.gen {
+                reply.push(
+                    "rate_pps",
+                    f64::from_bits(shared.rate_bits.load(Ordering::Relaxed)),
+                );
+                reply.push("stalled", shared.stall.load(Ordering::Relaxed));
+            }
+        }
+        reply
+    }
+
+    fn state_label_locked(&self, st: &EngineState) -> &'static str {
+        if self.is_shutdown() {
+            "shutdown"
+        } else if st.run.is_some() {
+            "running"
+        } else {
+            "idle"
+        }
+    }
+}
+
+impl Arm {
+    fn workers_len(&self) -> usize {
+        match self.discipline {
+            DisciplineChoice::Metronome => self.m_threads,
+            _ => self.hub.n_queues(),
+        }
+    }
+}
+
+/// The generator thread: MoonGen's role as a long-running service. Every
+/// tick it realizes the fault plan's current state (stall flag, pool
+/// confiscation), derives this tick's batch from the live rate × the
+/// plan's spike factor, suppresses jitter-burst losses, and offers the
+/// rest through RSS — mirroring every drop into the current hub by
+/// cause. On exit (drain) it releases everything it holds so the pool
+/// audit balances.
+#[allow(clippy::too_many_arguments)]
+fn generator(
+    shared: Arc<GenShared>,
+    port: Arc<RssPort>,
+    pool: Mempool,
+    plan: FaultPlan,
+    gen_hub: Arc<Mutex<Arc<TelemetryHub>>>,
+    templates: Vec<(BytesMut, usize, u32)>,
+    mut rng: Rng,
+) {
+    let clock = WallClock::start();
+    let population = pool.population();
+    let mut cache = pool.cache(256);
+    let mut confiscated: Vec<Mbuf> = Vec::new();
+    let mut carry = 0.0f64;
+    let mut last = clock.now();
+    let mut seq = 0usize;
+    let mut blanks: Vec<Mbuf> = Vec::with_capacity(GEN_MAX_BATCH);
+    let n_queues = port.n_queues();
+    let mut staged: Vec<Vec<Mbuf>> = (0..n_queues).map(|_| Vec::with_capacity(256)).collect();
+
+    while !shared.stop.load(Ordering::Acquire) {
+        std::thread::sleep(GEN_TICK);
+        let now = clock.now();
+
+        // Fault state first, so this tick's packets see this tick's world.
+        shared.stall.store(plan.stalled(now), Ordering::Release);
+        let want = (plan.starve_fraction(now) * population as f64) as usize;
+        match want.cmp(&confiscated.len()) {
+            std::cmp::Ordering::Greater => {
+                // Starvation window (deepening): confiscate straight from
+                // the shared freelist, bypassing the cache, so the count
+                // is exact.
+                let _ = pool.alloc_burst(want - confiscated.len(), &mut confiscated);
+            }
+            std::cmp::Ordering::Less => {
+                pool.free_burst(confiscated.drain(want..));
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+
+        let rate = f64::from_bits(shared.rate_bits.load(Ordering::Relaxed)).max(0.0)
+            * plan.rate_factor(now);
+        let dt = now.saturating_sub(last).as_secs_f64();
+        last = now;
+        let exact = rate * dt + carry;
+        let mut n = exact.floor().max(0.0) as usize;
+        carry = exact - n as f64;
+        if n > GEN_MAX_BATCH {
+            n = GEN_MAX_BATCH;
+            carry = 0.0;
+        }
+        if n == 0 {
+            continue;
+        }
+
+        let jitter_drop = plan.jitter_at(now).map_or(0.0, |(_, p)| p);
+        let hub = Arc::clone(&gen_hub.lock());
+        cache.alloc_burst(n, &mut blanks);
+        for _ in 0..n {
+            let (frame, q, hash) = &templates[seq % templates.len()];
+            seq += 1;
+            // Jitter-burst suppression: offered load that never reaches
+            // the NIC, counted under its own cause so fault windows
+            // reconcile exactly.
+            if jitter_drop > 0.0 && rng.chance(jitter_drop) {
+                hub.dropped(*q, DropCause::Fault, 1);
+                continue;
+            }
+            match blanks.pop() {
+                Some(mut mbuf) => {
+                    mbuf.refill(frame);
+                    mbuf.queue = *q as u16;
+                    mbuf.rss_hash = *hash;
+                    mbuf.arrival = now;
+                    staged[*q].push(mbuf);
+                }
+                // Pool exhausted (possibly by a starvation window): a
+                // drop cause of its own.
+                None => hub.dropped(*q, DropCause::Pool, 1),
+            }
+        }
+        // Blanks not consumed (jitter suppressions) go straight back.
+        cache.free_burst(blanks.drain(..));
+        for (q, frames) in staged.iter_mut().enumerate() {
+            if frames.is_empty() {
+                continue;
+            }
+            port.offer_burst(q, frames);
+            // Whatever the ring rejected is tail-dropped; recycle.
+            hub.dropped(q, DropCause::Ring, frames.len() as u64);
+            cache.free_burst(frames.drain(..));
+        }
+    }
+
+    // Drain handshake: release everything this thread holds so the
+    // post-drain audit sees the pool whole and the workers unstalled.
+    shared.stall.store(false, Ordering::Release);
+    pool.free_burst(confiscated.drain(..));
+    // `cache` flushes on drop.
+}

@@ -1,0 +1,258 @@
+//! Control-socket protocol tests against a live in-process daemon: a
+//! real `UnixListener`, real connections, real worker threads behind
+//! every reply.
+
+use metronome_daemon::{ControlServer, DaemonConfig, MetricsServer, ServiceEngine};
+use metronome_telemetry::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct TestDaemon {
+    engine: Arc<ServiceEngine>,
+    control: Option<ControlServer>,
+    metrics: Option<MetricsServer>,
+    socket: PathBuf,
+}
+
+impl TestDaemon {
+    fn start(name: &str) -> TestDaemon {
+        let socket = std::env::temp_dir().join(format!(
+            "metronomed-test-{}-{name}.sock",
+            std::process::id()
+        ));
+        let engine = Arc::new(ServiceEngine::new(DaemonConfig {
+            n_queues: 2,
+            ring_size: 256,
+            ..DaemonConfig::default()
+        }));
+        let control = ControlServer::start(&socket, Arc::clone(&engine)).expect("bind socket");
+        let metrics =
+            MetricsServer::start("127.0.0.1:0", Arc::clone(&engine)).expect("bind metrics");
+        TestDaemon {
+            engine,
+            control: Some(control),
+            metrics: Some(metrics),
+            socket,
+        }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = UnixStream::connect(&self.socket).expect("connect control socket");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    /// Shut the daemon down (via a fresh connection) and join both
+    /// listeners so no threads outlive the test.
+    fn finish(mut self) {
+        if !self.engine.is_shutdown() {
+            let mut c = self.connect();
+            let reply = c.send(r#"{"cmd":"shutdown"}"#);
+            assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        self.control.take().unwrap().join();
+        self.metrics.take().unwrap().join();
+    }
+}
+
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    fn send(&mut self, line: &str) -> Json {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        loop {
+            match self.reader.read_line(&mut reply) {
+                Ok(0) => panic!("daemon hung up mid-reply"),
+                Ok(_) => break,
+                // Partial-line timeout: keep reading, bytes are retained.
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+        Json::parse(reply.trim()).unwrap_or_else(|e| panic!("unparseable reply {reply:?}: {e}"))
+    }
+}
+
+fn assert_ok(reply: &Json) {
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "expected ok reply, got {}",
+        reply.render()
+    );
+}
+
+fn assert_err(reply: &Json) {
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "expected error reply, got {}",
+        reply.render()
+    );
+    assert!(
+        reply.get("error").and_then(Json::as_str).is_some(),
+        "error reply must carry a message: {}",
+        reply.render()
+    );
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_daemon_stays_up() {
+    let daemon = TestDaemon::start("malformed");
+    let mut c = daemon.connect();
+    for bad in [
+        "not json at all",
+        r#"{"cmd":"warp-core"}"#,
+        r#"{"no_cmd_field":1}"#,
+        r#"{"cmd":"submit","rate_pps":"fast"}"#,
+        r#"{"cmd":"submit","faults":[{"kind":"gamma-ray","at_ms":1,"duration_ms":1}]}"#,
+        r#"{"cmd":"reconfigure"}"#,
+        r#"[1,2,3]"#,
+    ] {
+        let reply = c.send(bad);
+        assert_err(&reply);
+    }
+    // The daemon survived all of it — on the same connection and a new one.
+    assert_eq!(
+        c.send(r#"{"cmd":"ping"}"#)
+            .get("reply")
+            .and_then(Json::as_str),
+        Some("pong")
+    );
+    let mut fresh = daemon.connect();
+    assert_ok(&fresh.send(r#"{"cmd":"ping"}"#));
+    daemon.finish();
+}
+
+#[test]
+fn commands_needing_a_run_fail_cleanly_when_idle() {
+    let daemon = TestDaemon::start("idle");
+    let mut c = daemon.connect();
+    assert_err(&c.send(r#"{"cmd":"reconfigure","rate_pps":1000}"#));
+    // Drain with nothing running is an ok no-op (idempotent lifecycle).
+    let drain = c.send(r#"{"cmd":"drain"}"#);
+    assert_ok(&drain);
+    assert_eq!(drain.get("state").and_then(Json::as_str), Some("idle"));
+    daemon.finish();
+}
+
+#[test]
+fn reconfigure_under_load_keeps_counters_monotone() {
+    let daemon = TestDaemon::start("reconf");
+    let mut c = daemon.connect();
+    assert_ok(&c.send(
+        r#"{"cmd":"submit","name":"reconf-under-load","rate_pps":30000,"discipline":"metronome","m":2,"seed":11}"#,
+    ));
+
+    let stats = |c: &mut Client| {
+        let s = c.send(r#"{"cmd":"stats"}"#);
+        assert_ok(&s);
+        (
+            s.get("offered").and_then(Json::as_u64).unwrap(),
+            s.get("processed").and_then(Json::as_u64).unwrap(),
+            s.get("dropped").and_then(Json::as_u64).unwrap(),
+        )
+    };
+
+    // Let traffic flow, then hammer reconfigures while sampling counters.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stats(&mut c).1 == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut prev = stats(&mut c);
+    assert!(prev.1 > 0, "no packets processed before reconfigure");
+
+    for (i, cmd) in [
+        r#"{"cmd":"reconfigure","rate_pps":60000}"#,
+        r#"{"cmd":"reconfigure","discipline":"busy-poll"}"#,
+        r#"{"cmd":"reconfigure","discipline":"metronome","m":3}"#,
+        r#"{"cmd":"reconfigure","m":2}"#,
+    ]
+    .iter()
+    .enumerate()
+    {
+        assert_ok(&c.send(cmd));
+        std::thread::sleep(Duration::from_millis(120));
+        let now = stats(&mut c);
+        assert!(
+            now.0 >= prev.0 && now.1 >= prev.1 && now.2 >= prev.2,
+            "counters regressed after reconfigure #{i}: {prev:?} -> {now:?}"
+        );
+        prev = now;
+    }
+    // An invalid reconfigure is rejected and the pipeline keeps running.
+    assert_err(&c.send(r#"{"cmd":"reconfigure","discipline":"metronome","m":1}"#)); // M < N
+    let now = stats(&mut c);
+    assert!(
+        now.1 >= prev.1,
+        "counters regressed after rejected reconfigure"
+    );
+
+    let drain = c.send(r#"{"cmd":"drain"}"#);
+    assert_ok(&drain);
+    assert_eq!(drain.get("conserved").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        drain.get("pool_balanced").and_then(Json::as_bool),
+        Some(true)
+    );
+    daemon.finish();
+}
+
+#[test]
+fn double_shutdown_is_idempotent() {
+    let daemon = TestDaemon::start("double-shutdown");
+    let mut c = daemon.connect();
+    assert_ok(&c.send(r#"{"cmd":"submit","name":"brief","rate_pps":5000}"#));
+    std::thread::sleep(Duration::from_millis(50));
+
+    let first = c.send(r#"{"cmd":"shutdown"}"#);
+    assert_ok(&first);
+    assert_eq!(first.get("shutdown").and_then(Json::as_bool), Some(true));
+    assert_eq!(first.get("conserved").and_then(Json::as_bool), Some(true));
+
+    // Same connection, second shutdown: still a clean ok, not a panic,
+    // not a hang, nothing double-freed (the drain is a no-op now).
+    let second = c.send(r#"{"cmd":"shutdown"}"#);
+    assert_ok(&second);
+    assert_eq!(
+        second.get("already_drained").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        second.get("pool_balanced").and_then(Json::as_bool),
+        Some(true)
+    );
+    daemon.finish();
+}
+
+#[test]
+fn submit_while_running_is_rejected() {
+    let daemon = TestDaemon::start("double-submit");
+    let mut c = daemon.connect();
+    assert_ok(&c.send(r#"{"cmd":"submit","name":"first","rate_pps":5000}"#));
+    assert_err(&c.send(r#"{"cmd":"submit","name":"second","rate_pps":5000}"#));
+    assert_ok(&c.send(r#"{"cmd":"drain"}"#));
+    // After a drain the pipeline is free again.
+    assert_ok(&c.send(r#"{"cmd":"submit","name":"third","rate_pps":5000}"#));
+    daemon.finish();
+}

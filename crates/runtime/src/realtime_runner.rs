@@ -67,8 +67,11 @@ use metronome_dpdk::{Mbuf, Mempool, RingConsumer, RssPort};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_sim::stats::Histogram;
 use metronome_sim::Nanos;
+use metronome_sim::Rng;
 use metronome_telemetry::{CounterSnapshot, DropCause, Sampler, TelemetryHub, TelemetrySink};
-use metronome_traffic::{FlowSet, PacedArrivals, WallClock};
+use metronome_traffic::{
+    ArrivalProcess, FlowSet, InjectionStats, PacedArrivals, PlannedFaults, WallClock,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -423,7 +426,7 @@ pub fn try_run_realtime_with(
                     let mut snap =
                         CounterSnapshot::new(Nanos(run_start.elapsed().as_nanos() as u64));
                     hub.fill_snapshot(&mut snap);
-                    snap.offered = port.total_offered() + snap.dropped_pool;
+                    snap.offered = port.total_offered() + snap.dropped_pool + snap.dropped_fault;
                     snap.occupancy = port.occupancies();
                     snap.pool_in_use = pool.in_use() as u64;
                     snap.pool_cached = pool.cached() as u64;
@@ -448,8 +451,21 @@ pub fn try_run_realtime_with(
     });
 
     // ---- traffic: one aggregate arrival process, wall-clock paced --------
+    // Under a fault plan the aggregate source passes through a seeded
+    // injector before pacing (spikes duplicate, stalls hold, starvation
+    // and jitter suppress). Suppressed packets never reach the pool or
+    // the rings, so their counts are mirrored into the hub as
+    // `DropCause::Fault` (attributed to queue 0 — injection happens
+    // before RSS picks a queue) after every generated batch.
     let mut arrivals = sc.traffic.build(1, &sc.nic, sc.seed);
-    let mut paced = PacedArrivals::new(arrivals.remove(0), sc.duration).with_max_batch(GEN_BATCH);
+    let mut source: Box<dyn ArrivalProcess> = arrivals.remove(0);
+    let mut fault_stats: Option<InjectionStats> = None;
+    if let Some(plan) = &sc.faults {
+        let pf = PlannedFaults::new(source, plan.clone(), Rng::new(sc.seed).stream(0xFA));
+        fault_stats = Some(pf.stats());
+        source = Box::new(pf);
+    }
+    let mut paced = PacedArrivals::new(source, sc.duration).with_max_batch(GEN_BATCH);
     clock_cell
         .set(paced.clock())
         .expect("latency clock anchored twice");
@@ -466,11 +482,22 @@ pub fn try_run_realtime_with(
     // same cache.
     let mut gen_cache = pool.cache(GEN_BATCH);
     let mut seq = 0usize;
+    let mut mirrored_fault = 0u64;
     let mut blanks: Vec<Mbuf> = Vec::with_capacity(GEN_BATCH);
     let mut staged: Vec<Vec<Mbuf>> = (0..sc.n_queues)
         .map(|_| Vec::with_capacity(GEN_BATCH))
         .collect();
     while let Some(batch) = paced.next_batch() {
+        // Mirror the injector's suppressions into the hub incrementally,
+        // so a live sampler sees fault drops as they happen rather than
+        // in one end-of-run burst.
+        if let Some(stats) = &fault_stats {
+            let total = stats.drops();
+            if total > mirrored_fault {
+                hub.dropped(0, DropCause::Fault, total - mirrored_fault);
+                mirrored_fault = total;
+            }
+        }
         gen_cache.alloc_burst(batch.len(), &mut blanks);
         for &t in batch {
             let (frame, q, hash) = &templates[seq % templates.len()];
@@ -498,6 +525,16 @@ pub fn try_run_realtime_with(
             // buffers in one cache transaction.
             hub.dropped(q, DropCause::Ring, frames.len() as u64);
             gen_cache.free_burst(frames.drain(..));
+        }
+    }
+    // Generation is over: sweep up the injector's remaining suppressions,
+    // plus any packets a queue stall still holds past the horizon — those
+    // are stranded upstream of the NIC and will never be offered, so they
+    // close the conservation identity as fault drops.
+    if let Some(stats) = &fault_stats {
+        let total = stats.drops() + stats.held();
+        if total > mirrored_fault {
+            hub.dropped(0, DropCause::Fault, total - mirrored_fault);
         }
     }
 
@@ -583,8 +620,11 @@ pub fn try_run_realtime_with(
     let forwarded = stats.total_processed();
     let dropped_pool: u64 = pool_drops.iter().sum();
     let dropped_ring = port.total_dropped() + stranded.iter().sum::<u64>();
-    let dropped = dropped_ring + dropped_pool;
-    let offered = port.total_offered() + dropped_pool;
+    let dropped_fault: u64 = (0..sc.n_queues)
+        .map(|q| hub.queue(q).dropped_fault.load(Ordering::Relaxed))
+        .sum();
+    let dropped = dropped_ring + dropped_pool + dropped_fault;
+    let offered = port.total_offered() + dropped_pool + dropped_fault;
     assert_eq!(
         offered,
         forwarded + dropped,
@@ -596,6 +636,7 @@ pub fn try_run_realtime_with(
         RunReport::from_counts(sc.name.clone(), sc.duration, offered, forwarded, dropped);
     report.dropped_ring = dropped_ring;
     report.dropped_pool = dropped_pool;
+    report.dropped_fault = dropped_fault;
     report.mempool = Some(pool.stats());
     report.timeseries = timeseries;
     report.queues = (0..sc.n_queues)

@@ -72,6 +72,10 @@ pub struct RunReport {
     /// free descriptor but no buffer to DMA into. Always 0 on the
     /// simulation backend, which does not model the pool.
     pub dropped_pool: u64,
+    /// Of `dropped`, packets suppressed by injected faults (`FaultPlan` /
+    /// `FaultyArrivals`) before they reached the rings. Always 0 when the
+    /// scenario injects no faults.
+    pub dropped_fault: u64,
     /// Mempool counters of the realtime backend's shared buffer pool
     /// (`None` on the simulation backend): pool-sizing visibility —
     /// population, peak occupancy, alloc failures.
@@ -133,6 +137,7 @@ impl RunReport {
             // (the simulation has no pool to exhaust).
             dropped_ring: dropped,
             dropped_pool: 0,
+            dropped_fault: 0,
             mempool: None,
             throughput_mpps: if wall > 0.0 {
                 forwarded as f64 / wall / 1e6
@@ -273,6 +278,7 @@ impl RunReport {
             .with("dropped", self.dropped)
             .with("dropped_ring", self.dropped_ring)
             .with("dropped_pool", self.dropped_pool)
+            .with("dropped_fault", self.dropped_fault)
             .with("throughput_mpps", self.throughput_mpps)
             .with("loss", self.loss)
             .with("cpu_total_pct", self.cpu_total_pct)

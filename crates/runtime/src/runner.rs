@@ -10,13 +10,30 @@ use metronome_core::controller::AdaptiveController;
 use metronome_core::MetronomeConfig;
 use metronome_os::executor::OsSim;
 use metronome_os::ThreadId;
-use metronome_sim::Nanos;
+use metronome_sim::{Nanos, Rng};
 use metronome_telemetry::{CounterSnapshot, Sampler};
+use metronome_traffic::{ArrivalProcess, InjectionStats, PlannedFaults};
 
 /// Execute a scenario and produce its report.
 pub fn run(sc: &Scenario) -> RunReport {
     // ---- build the world ---------------------------------------------------
-    let arrivals = sc.traffic.build(sc.n_queues, &sc.nic, sc.seed);
+    let mut arrivals = sc.traffic.build(sc.n_queues, &sc.nic, sc.seed);
+    // Under a fault plan, each queue's arrivals pass through a seeded
+    // injector; the shared stats handles stay readable after boxing so
+    // suppressed packets are mirrored into the fault-drop accounting.
+    let mut fault_stats: Vec<InjectionStats> = Vec::new();
+    if let Some(plan) = &sc.faults {
+        arrivals = arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let pf =
+                    PlannedFaults::new(a, plan.clone(), Rng::new(sc.seed).stream(0xFA + i as u64));
+                fault_stats.push(pf.stats());
+                Box::new(pf) as Box<dyn ArrivalProcess>
+            })
+            .collect();
+    }
     let metro_cfg = match &sc.system {
         SystemKind::Metronome(cfg) => cfg.clone(),
         // Baselines still need a controller object for the world's queue
@@ -144,7 +161,18 @@ pub fn run(sc: &Scenario) -> RunReport {
             let mut snap = CounterSnapshot::new(t);
             snap.discipline = sc.system.label();
             snap.retrieved = world.total_drained();
-            snap.offered = world.total_offered();
+            // Fault-suppressed packets never reached the rings but were
+            // offered load; packets still held by a stall at the end of
+            // the run are stranded upstream and count as fault drops in
+            // the closing window (mid-run they may yet be released).
+            let fault_drops: u64 = fault_stats.iter().map(InjectionStats::drops).sum();
+            let stranded: u64 = if t >= sc.duration {
+                fault_stats.iter().map(InjectionStats::held).sum()
+            } else {
+                0
+            };
+            snap.dropped_fault = fault_drops + stranded;
+            snap.offered = world.total_offered() + snap.dropped_fault;
             snap.dropped_ring = world.total_dropped();
             snap.wakeups = net_tids.iter().map(|&tid| os.thread_wakeups(tid)).sum();
             snap.busy_nanos = cpu_now.as_nanos();
@@ -202,13 +230,19 @@ pub fn run(sc: &Scenario) -> RunReport {
             .then(|| world.ferret_done.iter().map(|c| c.at).max().unwrap())
     });
 
+    // Fault-suppressed packets (plus any still stalled upstream at the
+    // horizon) are offered load that never reached the rings: they join
+    // both sides of the conservation identity as fault drops.
+    let fault_total: u64 = fault_stats.iter().map(|s| s.drops() + s.held()).sum();
     let mut report = RunReport::from_counts(
         sc.name.clone(),
         sc.duration,
-        world.total_offered(),
+        world.total_offered() + fault_total,
         world.total_drained(),
-        world.total_dropped(),
+        world.total_dropped() + fault_total,
     );
+    report.dropped_ring = world.total_dropped();
+    report.dropped_fault = fault_total;
     report.cpu_total_pct = cpu_per_thread.iter().sum();
     report.cpu_per_thread_pct = cpu_per_thread;
     report.power_watts = os.package_watts(sc.duration);

@@ -9,7 +9,7 @@ use metronome_os::config::{DaemonConfig, Governor, OsConfig};
 use metronome_os::sleep::SleepService;
 use metronome_sim::{Nanos, Rng};
 use metronome_traffic::{
-    ArrivalProcess, BurstyCbr, Cbr, OnOff, Poisson, Silent, Staircase, UnbalancedTrace,
+    ArrivalProcess, BurstyCbr, Cbr, FaultPlan, OnOff, Poisson, Silent, Staircase, UnbalancedTrace,
 };
 
 /// Which packet-retrieval system runs.
@@ -259,6 +259,10 @@ pub struct Scenario {
     pub latency_stride: u64,
     /// Record a time series every this often (Fig. 9).
     pub series_every: Option<Nanos>,
+    /// Scheduled fault injection (soak/chaos runs). Both backends realize
+    /// the plan and count suppressed packets as `DropCause::Fault`, so
+    /// fault runs still reconcile exactly.
+    pub faults: Option<FaultPlan>,
     /// Master seed.
     pub seed: u64,
 }
@@ -282,6 +286,7 @@ impl Scenario {
             equal_timeouts: false,
             latency_stride: 0,
             series_every: None,
+            faults: None,
             seed: 0xC0FFEE,
         }
     }
@@ -382,6 +387,12 @@ impl Scenario {
     /// Record the Fig. 9-style time series.
     pub fn with_series(mut self, every: Nanos) -> Self {
         self.series_every = Some(every);
+        self
+    }
+
+    /// Inject scheduled faults (see [`FaultPlan`]).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 

@@ -48,6 +48,8 @@ pub struct QueueCounters {
     pub dropped_ring: AtomicU64,
     /// Packets lost to mempool exhaustion.
     pub dropped_pool: AtomicU64,
+    /// Packets suppressed by injected faults before reaching the ring.
+    pub dropped_fault: AtomicU64,
     /// Current adaptive `TS` in nanoseconds (gauge, last-writer-wins).
     pub ts_ns: AtomicU64,
 }
@@ -161,6 +163,11 @@ impl TelemetryHub {
             .iter()
             .map(|q| q.dropped_pool.load(Ordering::Relaxed))
             .sum();
+        snap.dropped_fault = self
+            .queues
+            .iter()
+            .map(|q| q.dropped_fault.load(Ordering::Relaxed))
+            .sum();
         snap.ts_ns = self
             .queues
             .iter()
@@ -186,6 +193,7 @@ impl TelemetrySink for TelemetryHub {
         match cause {
             DropCause::Ring => qc.dropped_ring.fetch_add(n, Ordering::Relaxed),
             DropCause::Pool => qc.dropped_pool.fetch_add(n, Ordering::Relaxed),
+            DropCause::Fault => qc.dropped_fault.fetch_add(n, Ordering::Relaxed),
         };
     }
 

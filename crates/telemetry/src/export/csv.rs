@@ -12,6 +12,7 @@ pub const HEADERS: &[&str] = &[
     "offered",
     "dropped_ring",
     "dropped_pool",
+    "dropped_fault",
     "wakeups",
     "oversleep_us",
     "duty_cycle",
@@ -44,7 +45,7 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             None => (String::new(), String::new(), String::new()),
         };
         out.push_str(&format!(
-            "{},{:.6},{:.6},{},{},{},{},{},{:.3},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{},{:.3},{},{},{},{}\n",
+            "{},{:.6},{:.6},{},{},{},{},{},{},{:.3},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{},{:.3},{},{},{},{}\n",
             w.index,
             w.start.as_secs_f64(),
             w.end.as_secs_f64(),
@@ -52,6 +53,7 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             w.offered,
             w.dropped_ring,
             w.dropped_pool,
+            w.dropped_fault,
             w.wakeups,
             w.oversleep_nanos as f64 / 1e3,
             w.duty_cycle(),

@@ -1,11 +1,15 @@
-//! Hand-rolled JSON writer (the vendored-shim build has no serde).
+//! Hand-rolled JSON reader/writer (the vendored-shim build has no serde).
 //!
 //! A tiny document model ([`Json`]) plus a renderer that emits valid,
 //! deterministic JSON: object keys keep insertion order, `u64` counters
 //! are written as integers (no f64 round-trip), and non-finite floats
 //! become `null` so a report can never smuggle `NaN` into a file a parser
-//! will choke on. This writer is the one serializer in the workspace —
-//! `RunReport --json` output and the telemetry series both go through it.
+//! will choke on. This is the one serializer in the workspace —
+//! `RunReport --json` output, the telemetry series, and the `metronomed`
+//! control protocol all go through it. [`Json::parse`] is the matching
+//! recursive-descent reader: strict enough for the control socket
+//! (trailing garbage rejected, recursion depth bounded so a hostile
+//! request cannot blow the daemon's stack), with positioned errors.
 
 use crate::sampler::TimeSeries;
 
@@ -49,6 +53,86 @@ impl Json {
     pub fn with(mut self, key: &str, value: impl Into<Json>) -> Json {
         self.push(key, value);
         self
+    }
+
+    /// Parse a complete JSON document. Trailing non-whitespace is an
+    /// error (one value per input — the control protocol is one request
+    /// per line). Nesting deeper than [`MAX_PARSE_DEPTH`] is rejected.
+    pub fn parse(input: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer (floats
+    /// with integral values count).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(u) => Some(u),
+            Json::Int(i) if i >= 0 => Some(i as u64),
+            Json::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(u) => Some(u as f64),
+            Json::Int(i) => Some(i as f64),
+            Json::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
     }
 
     /// Render to a compact JSON string.
@@ -162,6 +246,257 @@ impl<T: Into<Json>> From<Option<T>> for Json {
     }
 }
 
+/// Deepest nesting [`Json::parse`] accepts. A control-socket request is a
+/// couple of levels deep; 64 leaves headroom without letting a hostile
+/// `[[[[…]]]]` line recurse the daemon off its stack.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
+/// A positioned [`Json::parse`] failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Combine a surrogate pair when one follows;
+                            // lone surrogates become the replacement char.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let combined =
+                                            0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(combined).unwrap_or('\u{fffd}')
+                                    } else {
+                                        '\u{fffd}'
+                                    }
+                                } else {
+                                    '\u{fffd}'
+                                }
+                            } else {
+                                char::from_u32(cp).unwrap_or('\u{fffd}')
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Take the full UTF-8 scalar starting here (input is a
+                    // &str, so the boundary math cannot fail).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty char"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !fractional {
+            // Integer literal: keep counter exactness where it fits.
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Json::Float(f)),
+            _ => Err(self.err("bad number")),
+        }
+    }
+}
+
 /// The whole series as a JSON document: interval, totals, and one object
 /// per window with both raw deltas and the derived per-window columns.
 pub fn timeseries_json(ts: &TimeSeries) -> Json {
@@ -177,6 +512,7 @@ pub fn timeseries_json(ts: &TimeSeries) -> Json {
                 .with("offered", w.offered)
                 .with("dropped_ring", w.dropped_ring)
                 .with("dropped_pool", w.dropped_pool)
+                .with("dropped_fault", w.dropped_fault)
                 .with("wakeups", w.wakeups)
                 .with("busy_nanos", w.busy_nanos)
                 .with("sleep_nanos", w.sleep_nanos)
@@ -225,6 +561,7 @@ pub fn timeseries_json(ts: &TimeSeries) -> Json {
                 .with("offered", ts.totals.offered)
                 .with("dropped_ring", ts.totals.dropped_ring)
                 .with("dropped_pool", ts.totals.dropped_pool)
+                .with("dropped_fault", ts.totals.dropped_fault)
                 .with("wakeups", ts.totals.wakeups)
                 .with("busy_nanos", ts.totals.busy_nanos)
                 .with("sleep_nanos", ts.totals.sleep_nanos)
@@ -265,6 +602,61 @@ mod tests {
             .with("b", 1u64)
             .with("a", Json::Arr(vec![Json::Null, 2.5.into()]));
         assert_eq!(j.render(), r#"{"b":1,"a":[null,2.5]}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let doc = Json::obj()
+            .with("cmd", "submit")
+            .with("rate_pps", 250_000.0)
+            .with("m", 2u64)
+            .with("neg", -4i64)
+            .with("flag", true)
+            .with("none", Json::Null)
+            .with(
+                "faults",
+                Json::Arr(vec![Json::obj().with("kind", "spike").with("factor", 2.5)]),
+            );
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.get("cmd").and_then(Json::as_str), Some("submit"));
+        assert_eq!(parsed.get("m").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("neg").and_then(Json::as_f64), Some(-4.0));
+        assert_eq!(parsed.get("flag").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("faults").and_then(Json::as_arr).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_whitespace() {
+        let j = Json::parse(" { \"a\\n\\u0041\" : [ 1 , 2.5e1 , \"\\ud83d\\ude00\" ] } ").unwrap();
+        let arr = j.get("a\nA").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0], Json::UInt(1));
+        assert_eq!(arr[1], Json::Float(25.0));
+        assert_eq!(arr[2], Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1} extra",
+            "nul",
+            "\"unterminated",
+            "01x",
+            "- 1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Hostile nesting is rejected, not a stack overflow.
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"), "{err}");
     }
 
     #[test]

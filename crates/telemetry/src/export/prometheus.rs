@@ -280,6 +280,12 @@ pub fn snapshot_metrics(snap: &CounterSnapshot) -> Vec<PromMetric> {
             snap.dropped_pool as f64,
         ),
         PromMetric::scalar(
+            "metronome_dropped_fault_packets_total",
+            "Packets suppressed by injected faults",
+            PromKind::Counter,
+            snap.dropped_fault as f64,
+        ),
+        PromMetric::scalar(
             "metronome_wakeups_total",
             "Worker timer wake-ups",
             PromKind::Counter,

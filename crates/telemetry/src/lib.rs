@@ -54,6 +54,7 @@ pub mod sampler;
 pub mod sink;
 
 pub use counters::{QueueCounters, TelemetryHub, WorkerCounters, WorkerTelemetry};
+pub use export::json::Json;
 pub use export::{CsvExporter, Exporter, JsonExporter, PrometheusExporter};
 pub use probe::OccupancyProbe;
 pub use sampler::{CounterSnapshot, LatencyWindow, Sampler, TimeSeries, Window};

@@ -40,6 +40,9 @@ pub struct CounterSnapshot {
     pub dropped_ring: u64,
     /// Mempool-exhaustion drops since start.
     pub dropped_pool: u64,
+    /// Injected-fault drops since start (packets a fault plan suppressed
+    /// before they reached the ring).
+    pub dropped_fault: u64,
     /// Worker wake-ups since start.
     pub wakeups: u64,
     /// Total worker awake time since start, nanoseconds.
@@ -107,6 +110,8 @@ pub struct Window {
     pub dropped_ring: u64,
     /// Mempool-exhaustion drops in this window.
     pub dropped_pool: u64,
+    /// Injected-fault drops in this window.
+    pub dropped_fault: u64,
     /// Worker wake-ups in this window.
     pub wakeups: u64,
     /// Worker awake time in this window, nanoseconds (summed over
@@ -161,7 +166,7 @@ impl Window {
 
     /// Total drops in the window, all causes.
     pub fn dropped(&self) -> u64 {
-        self.dropped_ring + self.dropped_pool
+        self.dropped_ring + self.dropped_pool + self.dropped_fault
     }
 
     /// Loss fraction over the window (0 when nothing was offered).
@@ -271,6 +276,7 @@ impl Sampler {
             offered: snap.offered.saturating_sub(self.prev.offered),
             dropped_ring: snap.dropped_ring.saturating_sub(self.prev.dropped_ring),
             dropped_pool: snap.dropped_pool.saturating_sub(self.prev.dropped_pool),
+            dropped_fault: snap.dropped_fault.saturating_sub(self.prev.dropped_fault),
             wakeups: snap.wakeups.saturating_sub(self.prev.wakeups),
             busy_nanos: snap.busy_nanos.saturating_sub(self.prev.busy_nanos),
             sleep_nanos: snap.sleep_nanos.saturating_sub(self.prev.sleep_nanos),

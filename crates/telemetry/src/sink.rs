@@ -53,6 +53,11 @@ pub enum DropCause {
     Ring,
     /// Mempool exhaustion: a descriptor was free but no buffer was.
     Pool,
+    /// Injected by the fault layer (`traffic::faults`): packets a
+    /// `FaultPlan` or `FaultyArrivals` wrapper suppressed before they
+    /// reached the ring. Counted separately so fault runs reconcile
+    /// exactly against the offered load.
+    Fault,
 }
 
 /// Telemetry event sink. All methods default to no-ops so implementations

@@ -33,6 +33,22 @@ pub trait ArrivalProcess {
     fn rate_pps(&self, t: Nanos) -> f64;
 }
 
+/// A boxed process is still a process (lets wrappers like
+/// `faults::PlannedFaults` compose over `Box<dyn ArrivalProcess>`).
+impl<A: ArrivalProcess + ?Sized> ArrivalProcess for Box<A> {
+    fn drain(&mut self, until: Nanos, timestamps: Option<&mut Vec<Nanos>>) -> u64 {
+        (**self).drain(until, timestamps)
+    }
+
+    fn peek_next(&mut self) -> Option<Nanos> {
+        (**self).peek_next()
+    }
+
+    fn rate_pps(&self, t: Nanos) -> f64 {
+        (**self).rate_pps(t)
+    }
+}
+
 /// Constant-rate arrivals: packet `k` arrives at `start + k/rate`.
 ///
 /// Uses exact index arithmetic (no accumulating float drift): over a

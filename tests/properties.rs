@@ -3,6 +3,7 @@
 //! the paper's operating points.
 
 use metronome_repro::core::model;
+use metronome_repro::core::MetronomeConfig;
 use metronome_repro::dpdk::{Mempool, Ring, RxRingModel};
 use metronome_repro::net::aes::Aes128;
 use metronome_repro::net::checksum::{internet_checksum, verify};
@@ -10,9 +11,10 @@ use metronome_repro::net::headers::{build_udp_frame, l3fwd_rewrite, parse_frame,
 use metronome_repro::net::lpm::Lpm;
 use metronome_repro::net::toeplitz::Toeplitz;
 use metronome_repro::net::{ExactMatch, FiveTuple};
+use metronome_repro::runtime::{run, Scenario, TrafficSpec};
 use metronome_repro::sim::stats::{Histogram, MeanVar};
 use metronome_repro::sim::{EventQueue, Nanos};
-use metronome_repro::traffic::{ArrivalProcess, Cbr};
+use metronome_repro::traffic::{ArrivalProcess, Cbr, FaultKind, FaultPlan};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
@@ -401,6 +403,74 @@ proptest! {
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
         prop_assert!((mv.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
         prop_assert!((mv.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+    }
+
+    /// Chaos: *any* interleaving of fault events — overlapping spikes,
+    /// stalls, starvation windows, and jitter bursts at arbitrary offsets
+    /// — leaves the sim backend's conservation identity exactly intact
+    /// (`offered == processed + dropped`, per-window columns telescoping
+    /// to the aggregates) and lets nothing non-finite into the report.
+    #[test]
+    fn chaos_fault_interleavings_conserve(
+        events in prop::collection::vec(
+            (0u8..4, 0.0f64..0.9, 0.01f64..0.5, 0.0f64..1.0),
+            1..8,
+        ),
+        kpps in 100u64..4_000,
+        seed in any::<u64>(),
+    ) {
+        let dur = Nanos::from_millis(40);
+        let mut plan = FaultPlan::new();
+        for (kind, at_frac, dur_frac, param) in events {
+            let at = dur.scaled_f64(at_frac);
+            let window = dur.scaled_f64(dur_frac);
+            let kind = match kind {
+                0 => FaultKind::RateSpike { factor: param * 4.0 },
+                1 => FaultKind::QueueStall,
+                2 => FaultKind::PoolStarve { fraction: param },
+                _ => FaultKind::JitterBurst {
+                    jitter: Nanos::from_micros(1 + (param * 50.0) as u64),
+                    drop_prob: param,
+                },
+            };
+            plan.push(at, window, kind);
+        }
+        let sc = Scenario::metronome(
+            "chaos-plan",
+            MetronomeConfig::default(),
+            TrafficSpec::CbrPps(kpps as f64 * 1e3),
+        )
+        .with_duration(dur)
+        .with_series(dur / 8)
+        .with_faults(plan)
+        .with_seed(seed);
+        let r = run(&sc);
+
+        // Exact conservation for every generated plan: whatever the
+        // faults did, every offered packet is processed, dropped (by
+        // cause), or still sitting in a ring at the horizon — the final
+        // window's occupancy gauge, sampled at the same sim instant.
+        let ts = r.timeseries.as_ref().expect("series requested");
+        let in_flight: u64 = ts
+            .windows
+            .last()
+            .map_or(0, |w| w.occupancy.iter().sum());
+        prop_assert_eq!(r.offered, r.forwarded + r.dropped + in_flight);
+        prop_assert_eq!(
+            r.dropped,
+            r.dropped_ring + r.dropped_pool + r.dropped_fault
+        );
+        prop_assert_eq!(ts.column_sum(|w| w.retrieved), r.forwarded);
+        prop_assert_eq!(ts.column_sum(|w| w.dropped_ring), r.dropped_ring);
+        prop_assert_eq!(ts.column_sum(|w| w.dropped_pool), r.dropped_pool);
+        prop_assert_eq!(ts.column_sum(|w| w.dropped_fault), r.dropped_fault);
+
+        // No NaN/inf anywhere a consumer can see it.
+        prop_assert!(r.loss.is_finite());
+        prop_assert!(r.throughput_mpps.is_finite());
+        prop_assert!(ts.windows.iter().all(|w| w.loss().is_finite()));
+        let json = r.to_json();
+        prop_assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 
     /// Histogram quantiles stay within the recorded min/max and the count

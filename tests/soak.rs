@@ -1,0 +1,366 @@
+//! Soak tests: bounded fault-injection runs that must conserve every
+//! packet, leak no buffer, and recover within a stated bound.
+//!
+//! Two layers:
+//!
+//! * **Simulation soak** — a seeded [`FaultPlan`] over the sim backend
+//!   with windowed telemetry: per-window counters must telescope exactly
+//!   to the aggregate report (conservation across *every* fault window),
+//!   and once the last fault window has passed, drops must cease within
+//!   one full telemetry window (the recovery bound).
+//! * **Daemon soak** — the ISSUE's scripted demo: an in-process
+//!   `metronomed` (real Unix socket, real HTTP listener, real worker
+//!   threads) runs a scenario under a fault plan injecting four distinct
+//!   fault kinds, is scraped live over HTTP (nonzero windowed
+//!   throughput), reconfigured mid-run without restart, then drained with
+//!   the pool audited: `in_use == 0`, `cached() == 0`, `allocs == frees`.
+//!
+//! CI keeps this to ~10 s; set `METRONOME_SOAK_SECS` (e.g. `120`) for a
+//! multi-minute local soak. Prometheus and CSV snapshots land in
+//! `target/soak-artifacts/` for CI to upload on failure.
+
+mod common;
+
+use common::serial;
+use metronome_daemon::{ControlServer, DaemonConfig, MetricsServer, ServiceEngine};
+use metronome_repro::core::MetronomeConfig;
+use metronome_repro::runtime::{run, Scenario, TrafficSpec};
+use metronome_repro::sim::Nanos;
+use metronome_repro::telemetry::export::{csv, prometheus};
+use metronome_repro::telemetry::Json;
+use metronome_repro::traffic::FaultPlan;
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Soak length: ~10 s under CI defaults, minutes when asked for.
+fn soak_secs() -> u64 {
+    std::env::var("METRONOME_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .max(4)
+}
+
+fn artifacts_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("soak-artifacts");
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    dir
+}
+
+// ---- simulation soak -----------------------------------------------------
+
+/// Seeded chaos on the sim backend: exact conservation through every
+/// fault window, and recovery ≤ one telemetry window after the last
+/// fault ends.
+#[test]
+fn sim_soak_conserves_and_recovers() {
+    // Sim time is decoupled from wall time; scale it with the soak knob
+    // so the local multi-minute soak also deepens this run.
+    let dur = Nanos::from_millis(100 * soak_secs().min(60));
+    let window = dur / 20;
+    let plan = FaultPlan::seeded(0x50AC, dur, 8);
+    assert!(plan.distinct_kinds() >= 3, "seeded plan must mix kinds");
+    let horizon = plan.horizon();
+    assert!(horizon <= dur, "faults must end inside the run");
+
+    let sc = Scenario::metronome(
+        "sim-soak",
+        MetronomeConfig::default(),
+        TrafficSpec::CbrPps(2e6),
+    )
+    .with_duration(dur)
+    .with_series(window)
+    .with_faults(plan)
+    .with_seed(0x50AC);
+    let r = run(&sc);
+    let ts = r.timeseries.as_ref().expect("series requested");
+
+    // Snapshot for CI before any assertion can fail.
+    let dir = artifacts_dir();
+    std::fs::write(dir.join("sim-soak.csv"), csv::timeseries_csv(ts)).unwrap();
+    std::fs::write(
+        dir.join("sim-soak.prom"),
+        prometheus::render(&prometheus::snapshot_metrics(&ts.totals)),
+    )
+    .unwrap();
+
+    // Exact conservation, fault drops included, across the whole run.
+    // `in_flight` is the final window's occupancy gauge: packets accepted
+    // by a ring but not yet retrieved when the horizon cut the run.
+    let in_flight: u64 = ts.windows.last().map_or(0, |w| w.occupancy.iter().sum());
+    assert_eq!(
+        r.offered,
+        r.forwarded + r.dropped + in_flight,
+        "offered == processed + dropped must hold under chaos"
+    );
+    assert_eq!(r.dropped, r.dropped_ring + r.dropped_pool + r.dropped_fault);
+    assert!(r.dropped_fault > 0, "the plan must have actually injected");
+    // ...and window-by-window: every column telescopes to the aggregate.
+    assert_eq!(ts.column_sum(|w| w.retrieved), r.forwarded);
+    assert_eq!(ts.column_sum(|w| w.dropped_ring), r.dropped_ring);
+    assert_eq!(ts.column_sum(|w| w.dropped_pool), r.dropped_pool);
+    assert_eq!(ts.column_sum(|w| w.dropped_fault), r.dropped_fault);
+    assert_eq!(
+        ts.column_sum(|w| w.offered),
+        ts.column_sum(|w| w.retrieved)
+            + ts.column_sum(|w| w.dropped_ring)
+            + ts.column_sum(|w| w.dropped_pool)
+            + ts.column_sum(|w| w.dropped_fault),
+        "per-window conservation must telescope"
+    );
+
+    // Recovery bound: one full window after the last fault ends, all drop
+    // columns must be back to zero (a stall's release burst may still
+    // tail-drop in the window containing the release, never later).
+    let recovered_after = horizon + window;
+    let tail: Vec<_> = ts
+        .windows
+        .iter()
+        .filter(|w| w.start >= recovered_after)
+        .collect();
+    assert!(
+        !tail.is_empty(),
+        "run must extend past the recovery deadline"
+    );
+    for w in tail {
+        assert_eq!(
+            w.dropped_ring + w.dropped_pool + w.dropped_fault,
+            0,
+            "window [{}, {}) still dropping after recovery deadline {}",
+            w.start,
+            w.end,
+            recovered_after
+        );
+    }
+}
+
+// ---- daemon soak ---------------------------------------------------------
+
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    fn connect(path: &PathBuf) -> Client {
+        let stream = UnixStream::connect(path).expect("connect control socket");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Json {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        loop {
+            match self.reader.read_line(&mut reply) {
+                Ok(0) => panic!("daemon hung up mid-reply"),
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+        let reply = Json::parse(reply.trim()).expect("daemon replies are valid JSON");
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "daemon refused: {}",
+            reply.render()
+        );
+        reply
+    }
+}
+
+/// One real HTTP scrape of the daemon's metrics endpoint.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: soak\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read scrape");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("well-formed response");
+    assert!(head.starts_with("HTTP/1.1 200"), "scrape failed: {head}");
+    body.to_string()
+}
+
+/// Value of one counter in a scraped Prometheus exposition.
+fn counter(text: &str, name: &str) -> u64 {
+    let metrics = prometheus::parse(text).expect("scrape must parse");
+    let m = metrics
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("{name} missing from scrape"));
+    m.samples.iter().map(|s| s.value as u64).sum()
+}
+
+fn u(reply: &Json, key: &str) -> u64 {
+    reply
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("{key} missing from {}", reply.render()))
+}
+
+/// The ISSUE's scripted demo, end to end: submit over the socket under a
+/// four-kind fault plan, scrape live Prometheus mid-run, reconfigure the
+/// rate without restart, drain with the pool audited.
+#[test]
+fn daemon_soak_full_lifecycle() {
+    let _guard = serial();
+    let secs = soak_secs();
+    let socket = std::env::temp_dir().join(format!("metronomed-soak-{}.sock", std::process::id()));
+    let engine = Arc::new(ServiceEngine::new(DaemonConfig {
+        n_queues: 2,
+        ring_size: 256,
+        ..DaemonConfig::default()
+    }));
+    let control = ControlServer::start(&socket, Arc::clone(&engine)).expect("bind socket");
+    let metrics = MetricsServer::start("127.0.0.1:0", Arc::clone(&engine)).expect("bind metrics");
+    let mut c = Client::connect(&socket);
+
+    // Fault schedule across the run: all four kinds, each window sized
+    // relative to the soak length, all ending before the final quarter so
+    // the drain happens on a recovered pipeline.
+    let ms = secs * 1000;
+    let submit = format!(
+        concat!(
+            r#"{{"cmd":"submit","name":"soak","rate_pps":40000,"discipline":"metronome","m":2,"seed":7,"#,
+            r#""faults":["#,
+            r#"{{"kind":"rate-spike","at_ms":{},"duration_ms":{},"factor":3.0}},"#,
+            r#"{{"kind":"queue-stall","at_ms":{},"duration_ms":{}}},"#,
+            r#"{{"kind":"pool-starve","at_ms":{},"duration_ms":{},"fraction":1.0}},"#,
+            r#"{{"kind":"jitter-burst","at_ms":{},"duration_ms":{},"drop_prob":0.3}}"#,
+            r#"]}}"#
+        ),
+        ms / 8,
+        ms / 8,
+        ms * 3 / 8,
+        ms / 16,
+        ms / 2,
+        ms / 8,
+        ms * 5 / 8,
+        ms / 8,
+    );
+    let accepted = c.send(&submit);
+    assert!(
+        u(&accepted, "fault_kinds") >= 3,
+        "demo must inject at least three distinct fault kinds"
+    );
+    assert_eq!(u(&accepted, "fault_events"), 4);
+
+    // Poll stats over the socket for the whole soak window: counters must
+    // be monotone through every fault, and the identity
+    // processed + dropped <= offered must hold at every instant (the
+    // difference is in-flight packets queued in the rings).
+    let started = Instant::now();
+    let soak = Duration::from_secs(secs);
+    let mut polls: Vec<(f64, u64, u64, u64)> = Vec::new();
+    let mut prev = (0u64, 0u64, 0u64);
+    let mut scrape_mid: Option<(Instant, u64)> = None;
+    let mut reconfigured = false;
+    while started.elapsed() < soak {
+        std::thread::sleep(Duration::from_millis(200));
+        let s = c.send(r#"{"cmd":"stats"}"#);
+        let now = (u(&s, "offered"), u(&s, "processed"), u(&s, "dropped"));
+        assert!(
+            now.0 >= prev.0 && now.1 >= prev.1 && now.2 >= prev.2,
+            "counters must be monotone under faults: {prev:?} -> {now:?}"
+        );
+        assert!(
+            now.1 + now.2 <= now.0,
+            "processed + dropped exceeded offered: {now:?}"
+        );
+        prev = now;
+        polls.push((started.elapsed().as_secs_f64(), now.0, now.1, now.2));
+
+        // Mid-run: scrape Prometheus twice ≥ 1 s apart — the live
+        // windowed throughput must be nonzero — and raise the rate once
+        // through the socket (no restart).
+        if started.elapsed() > soak / 4 {
+            match scrape_mid {
+                None => {
+                    scrape_mid = Some((
+                        Instant::now(),
+                        counter(&scrape(metrics.addr()), "metronome_retrieved_packets_total"),
+                    ));
+                }
+                Some((at, first)) if at.elapsed() >= Duration::from_secs(1) && !reconfigured => {
+                    let second =
+                        counter(&scrape(metrics.addr()), "metronome_retrieved_packets_total");
+                    assert!(
+                        second > first,
+                        "mid-run scrape shows no windowed throughput ({first} -> {second})"
+                    );
+                    let r = c.send(r#"{"cmd":"reconfigure","rate_pps":80000}"#);
+                    assert_eq!(r.get("rate_pps").and_then(Json::as_f64), Some(80000.0));
+                    reconfigured = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(reconfigured, "soak too short to exercise reconfigure");
+    let processed_at_reconf = prev.1;
+
+    // The re-rated pipeline kept processing after the live reconfigure.
+    std::thread::sleep(Duration::from_millis(300));
+    let s = c.send(r#"{"cmd":"stats"}"#);
+    assert!(u(&s, "processed") > processed_at_reconf);
+
+    // Snapshot artifacts before the final assertions.
+    let dir = artifacts_dir();
+    let final_scrape = scrape(metrics.addr());
+    std::fs::write(dir.join("daemon-soak.prom"), &final_scrape).unwrap();
+    let mut csv_out = String::from("t_s,offered,processed,dropped\n");
+    for (t, o, p, d) in &polls {
+        csv_out.push_str(&format!("{t:.3},{o},{p},{d}\n"));
+    }
+    std::fs::write(dir.join("daemon-soak-polls.csv"), csv_out).unwrap();
+
+    // Drain: exact conservation and a balanced pool, audited by the
+    // daemon itself and re-checked here against the engine's own pool.
+    let drain = c.send(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(drain.get("state").and_then(Json::as_str), Some("drained"));
+    assert_eq!(
+        u(&drain, "offered"),
+        u(&drain, "processed") + u(&drain, "dropped"),
+        "drain audit must conserve exactly: {}",
+        drain.render()
+    );
+    assert_eq!(drain.get("conserved").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        drain.get("pool_balanced").and_then(Json::as_bool),
+        Some(true),
+        "pool must drain whole: {}",
+        drain.render()
+    );
+    assert_eq!(u(&drain, "allocs"), u(&drain, "frees"));
+    assert_eq!(u(&drain, "pool_cached"), 0);
+    assert!(
+        u(&drain, "dropped_fault") > 0,
+        "the jitter burst must have suppressed packets"
+    );
+    assert!(u(&drain, "processed") > 0);
+
+    control.join();
+    metrics.join();
+}

@@ -19,12 +19,15 @@
 //!   burst round-trips and a real producer/consumer thread pair.
 //!
 //! The multi-thread measurement harnesses live in [`hotpath`];
-//! `examples/bench6.rs` snapshots them into `BENCH_6.json`.
+//! `examples/bench6.rs` snapshots them into `BENCH_6.json`. The
+//! queue-count scaling harness (thread vs async executor backend) lives
+//! in [`scale`]; `examples/bench8.rs` snapshots it into `BENCH_8.json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod hotpath;
+pub mod scale;
 
 use metronome_core::MetronomeConfig;
 use metronome_runtime::{run, RunReport, Scenario, TrafficSpec};

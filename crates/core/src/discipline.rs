@@ -31,7 +31,18 @@ use crate::policy::ThreadPolicy;
 use metronome_sim::Nanos;
 use metronome_telemetry::{PhaseKind, SleepKind, TelemetrySink};
 use std::sync::{Arc, Condvar, Mutex};
+use std::task::Waker;
 use std::time::Duration;
+
+/// The state behind a [`Doorbell`]'s mutex: the monotone ring sequence
+/// plus the wakers of async tasks parked on the bell. Keeping both under
+/// one lock is what makes waker registration race-free: `register`
+/// re-checks the sequence under the same lock `ring` bumps it under.
+#[derive(Debug, Default)]
+struct BellState {
+    seq: u64,
+    wakers: Vec<Waker>,
+}
 
 /// A per-queue wake-up doorbell: the producer rings it after enqueuing,
 /// parked [`InterruptLike`] workers wait on it (the IRQ line of the
@@ -40,10 +51,16 @@ use std::time::Duration;
 /// The bell is a monotone sequence number behind a mutex/condvar pair.
 /// Waiters sample the counter *before* their final empty poll and then
 /// wait for it to move past that sample — so a ring that races the poll
-/// is never lost, only delivered immediately.
+/// is never lost, only delivered immediately. Two kinds of waiter share
+/// the same protocol: OS threads block on the condvar ([`wait_past`]),
+/// and async executor tasks leave a [`Waker`] behind ([`register`])
+/// that the next ring fires.
+///
+/// [`wait_past`]: Doorbell::wait_past
+/// [`register`]: Doorbell::register
 #[derive(Debug, Default)]
 pub struct Doorbell {
-    seq: Mutex<u64>,
+    state: Mutex<BellState>,
     cv: Condvar,
 }
 
@@ -53,35 +70,57 @@ impl Doorbell {
         Arc::new(Doorbell::default())
     }
 
-    /// Ring the bell (producer side): bump the sequence and wake every
-    /// parked waiter. One short uncontended critical section per call —
-    /// ring once per *burst*, not per packet.
+    /// Ring the bell (producer side): bump the sequence, wake every
+    /// condvar waiter and fire every registered waker. One short
+    /// uncontended critical section per call — ring once per *burst*,
+    /// not per packet. Wakers fire outside the lock.
     pub fn ring(&self) {
-        let mut seq = self.seq.lock().unwrap_or_else(|e| e.into_inner());
-        *seq = seq.wrapping_add(1);
-        drop(seq);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.seq = st.seq.wrapping_add(1);
+        let wakers = std::mem::take(&mut st.wakers);
+        drop(st);
         self.cv.notify_all();
+        for waker in wakers {
+            waker.wake();
+        }
     }
 
     /// The current sequence number. Sample it **before** the final empty
     /// poll that precedes a park.
     pub fn counter(&self) -> u64 {
-        *self.seq.lock().unwrap_or_else(|e| e.into_inner())
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).seq
     }
 
     /// Park until the bell has been rung past `seen` or `timeout`
     /// elapses; returns whether it was rung. Spurious wake-ups are
     /// absorbed by the sequence check.
     pub fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
-        let guard = self.seq.lock().unwrap_or_else(|e| e.into_inner());
-        if *guard != seen {
+        let guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.seq != seen {
             return true;
         }
         let (guard, _timed_out) = self
             .cv
             .wait_timeout(guard, timeout)
             .unwrap_or_else(|e| e.into_inner());
-        *guard != seen
+        guard.seq != seen
+    }
+
+    /// Register `waker` to fire on the next ring, **iff** the bell still
+    /// sits at `seen` — the async analogue of [`Doorbell::wait_past`].
+    /// Returns `false` when the bell has already moved past the sample,
+    /// in which case the caller must *not* park but re-poll instead (the
+    /// ring it would have missed already happened). Registering the same
+    /// waker twice is idempotent ([`Waker::will_wake`]).
+    pub fn register(&self, seen: u64, waker: &Waker) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.seq != seen {
+            return false;
+        }
+        if !st.wakers.iter().any(|w| w.will_wake(waker)) {
+            st.wakers.push(waker.clone());
+        }
+        true
     }
 }
 
@@ -94,10 +133,44 @@ pub struct ParkToken {
 }
 
 impl ParkToken {
+    /// The lost-wakeup-safe arming protocol, shared by every driver that
+    /// parks on a [`Doorbell`]: sample the sequence, run the caller's
+    /// **final** poll, and hand back a token pinned to the *pre-poll*
+    /// sample only when the poll found nothing. A producer that slips in
+    /// between the poll and the park must ring *after* the sample, so a
+    /// subsequent [`wait`](ParkToken::wait) returns immediately and a
+    /// [`subscribe`](ParkToken::subscribe) refuses to arm.
+    ///
+    /// `final_poll_found_work` performs the empty-check poll and returns
+    /// whether anything turned up; when it does, no token is produced and
+    /// the caller keeps draining.
+    pub fn arm(
+        doorbell: &Arc<Doorbell>,
+        final_poll_found_work: impl FnOnce() -> bool,
+    ) -> Option<ParkToken> {
+        let seen = doorbell.counter();
+        if final_poll_found_work() {
+            None
+        } else {
+            Some(ParkToken {
+                doorbell: Arc::clone(doorbell),
+                seen,
+            })
+        }
+    }
+
     /// Block for up to `timeout`, returning whether the bell rang. The
     /// driver calls this in a loop so it can interleave stop-flag checks.
     pub fn wait(&self, timeout: Duration) -> bool {
         self.doorbell.wait_past(self.seen, timeout)
+    }
+
+    /// Async-executor parking: register `waker` to fire on the next ring.
+    /// Returns `false` when the bell already moved past the token's
+    /// sample — the task must be re-queued for an immediate re-poll
+    /// instead of parking (see [`Doorbell::register`]).
+    pub fn subscribe(&self, waker: &Waker) -> bool {
+        self.doorbell.register(self.seen, waker)
     }
 }
 
@@ -466,25 +539,29 @@ impl RetrievalDiscipline for InterruptLike {
                 Verdict::Continue
             }
             IrqPhase::Arm => {
-                // Lost-wakeup-safe arming order: sample the bell, then
-                // verify the queue is still empty, then park past the
-                // sample. A producer that slips between the poll and the
-                // park must ring after our sample, so the park returns
-                // immediately.
-                let seen = self.doorbell.counter();
-                let taken = backend.rx_burst(self.q, self.burst);
-                if taken > 0 {
-                    sink.retrieved(self.q, taken);
-                    self.phase = IrqPhase::Drain;
-                    return Verdict::Continue;
+                // Lost-wakeup-safe arming order (ParkToken::arm): sample
+                // the bell, then verify the queue is still empty, then
+                // park past the sample. A producer that slips between the
+                // poll and the park must ring after our sample, so the
+                // park returns immediately.
+                let mut taken = 0;
+                let token = ParkToken::arm(&self.doorbell, || {
+                    taken = backend.rx_burst(self.q, self.burst);
+                    taken > 0
+                });
+                match token {
+                    None => {
+                        sink.retrieved(self.q, taken);
+                        self.phase = IrqPhase::Drain;
+                        Verdict::Continue
+                    }
+                    Some(token) => {
+                        self.policy.on_empty_poll();
+                        sink.phase(PhaseKind::Sleep);
+                        self.phase = IrqPhase::Wake;
+                        Verdict::Park(token)
+                    }
                 }
-                self.policy.on_empty_poll();
-                sink.phase(PhaseKind::Sleep);
-                self.phase = IrqPhase::Wake;
-                Verdict::Park(ParkToken {
-                    doorbell: Arc::clone(&self.doorbell),
-                    seen,
-                })
             }
         }
     }
@@ -805,6 +882,100 @@ mod tests {
         }
         assert_eq!(b.processed, 10);
         assert_eq!(d.policy().races_won, 1);
+    }
+
+    /// Counting test waker: each `wake`/`wake_by_ref` bumps the counter.
+    struct CountingWaker(std::sync::atomic::AtomicU64);
+
+    impl std::task::Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (Arc<CountingWaker>, std::task::Waker) {
+        let counter = Arc::new(CountingWaker(std::sync::atomic::AtomicU64::new(0)));
+        let waker = std::task::Waker::from(Arc::clone(&counter));
+        (counter, waker)
+    }
+
+    #[test]
+    fn arm_skips_the_park_when_the_final_poll_finds_work() {
+        let bell = Doorbell::new();
+        assert!(ParkToken::arm(&bell, || true).is_none());
+        assert!(ParkToken::arm(&bell, || false).is_some());
+    }
+
+    #[test]
+    fn ring_between_sample_and_subscribe_refuses_registration() {
+        // The async half of the racy window the condvar test covers: a
+        // producer rings after the token was armed but before the task's
+        // waker lands on the bell. subscribe must refuse, forcing a
+        // re-poll, and the waker must never be held (a later ring fires
+        // nothing).
+        let bell = Doorbell::new();
+        let token = ParkToken::arm(&bell, || false).expect("empty poll arms");
+        bell.ring();
+        let (count, waker) = counting_waker();
+        assert!(!token.subscribe(&waker), "stale sample must refuse to arm");
+        bell.ring();
+        assert_eq!(
+            count.0.load(std::sync::atomic::Ordering::SeqCst),
+            0,
+            "a refused registration must not leave a waker behind"
+        );
+    }
+
+    #[test]
+    fn subscribed_waker_fires_on_ring_exactly_once() {
+        let bell = Doorbell::new();
+        let token = ParkToken::arm(&bell, || false).expect("empty poll arms");
+        let (count, waker) = counting_waker();
+        // Double registration is idempotent (Waker::will_wake dedupe).
+        assert!(token.subscribe(&waker));
+        assert!(token.subscribe(&waker));
+        bell.ring();
+        assert_eq!(count.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // The ring drained the registration: another ring fires nothing.
+        bell.ring();
+        assert_eq!(count.0.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_rings_never_lose_a_subscribed_waker() {
+        // Hammer the arm → subscribe → ring protocol from a real producer
+        // thread: every armed registration must either be refused (bell
+        // moved first — caller re-polls) or fire. A round that neither
+        // fires nor refuses is a lost wakeup.
+        let bell = Doorbell::new();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let producer = {
+            let bell = Arc::clone(&bell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    bell.ring();
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        for _ in 0..2_000 {
+            let token = ParkToken::arm(&bell, || false).expect("empty poll arms");
+            let (count, waker) = counting_waker();
+            if token.subscribe(&waker) {
+                let deadline = std::time::Instant::now() + Duration::from_secs(5);
+                while count.0.load(std::sync::atomic::Ordering::SeqCst) == 0 {
+                    assert!(std::time::Instant::now() < deadline, "lost wakeup");
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        producer.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Hierarchical timer wheel: thousands of concurrent `r_sleep` deadlines
+//! amortized into one structure per executor shard.
+//!
+//! The thread backend pays one [`crate::realtime::PreciseSleeper`] call
+//! per sleeping worker; at 1000+ queues that is 1000+ blocked OS threads.
+//! The wheel replaces them with a single deadline store the shard polls:
+//! 4 levels × 64 slots of hashed buckets, one tick ≈ 16 µs, so level 0
+//! spans ≈ 1 ms, level 1 ≈ 67 ms, level 2 ≈ 4.3 s and level 3 ≈ 4.6 min
+//! (longer deadlines clamp into the top level and re-cascade by their
+//! true deadline until they fit). Insert and cancel are O(1); advancing
+//! one tick touches one level-0 slot plus the occasional cascade.
+//!
+//! Coalescing falls out of the layout: every deadline inside one 16 µs
+//! tick lands in the same slot and fires in the same `advance` call —
+//! the shard wakes once per tick with work, not once per timer.
+//!
+//! Cancellation is by *generation*: entries carry the arming generation
+//! of their task, and the executor bumps the task's generation when a
+//! doorbell wake (or a new sleep) obsoletes a pending timer. Stale
+//! entries still fire here but are discarded by the caller's generation
+//! check — O(1) cancel with no search.
+//!
+//! The wheel is deliberately clock-free: callers pass `now` explicitly
+//! (nanoseconds since an epoch they own), which keeps the whole suite
+//! below unit-testable without real time.
+
+/// Slots per level (64: one `u64`-friendly power of two).
+const SLOTS: usize = 64;
+/// log2(SLOTS).
+const SLOT_BITS: u32 = 6;
+/// Number of levels.
+const LEVELS: usize = 4;
+
+/// An armed timer: which task to wake and the generation it was armed
+/// under. A fired entry whose generation no longer matches the task's
+/// current one is a cancelled timer and must be ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerEntry {
+    /// Shard-local index of the task to wake.
+    pub task: usize,
+    /// The task's arming generation when this timer was inserted.
+    pub gen: u64,
+}
+
+/// The hierarchical wheel. See the module docs for the layout.
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick_ns: u64,
+    /// The last tick `advance` fully processed.
+    current: u64,
+    /// `LEVELS × SLOTS` buckets of `(deadline_tick, entry)`, flattened.
+    slots: Vec<Vec<(u64, TimerEntry)>>,
+    pending: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel with the given tick length in nanoseconds.
+    pub fn new(tick_ns: u64) -> Self {
+        TimerWheel {
+            tick_ns: tick_ns.max(1),
+            current: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            pending: 0,
+        }
+    }
+
+    /// The tick length in nanoseconds.
+    pub fn tick_ns(&self) -> u64 {
+        self.tick_ns
+    }
+
+    /// Armed timers currently in the wheel (including cancelled ones not
+    /// yet fired-and-discarded).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Arm a timer for `deadline_ns` (nanoseconds on the caller's clock).
+    /// The deadline is rounded **up** to the next tick boundary — the
+    /// sleep-at-least contract of `r_sleep` — and never earlier than the
+    /// next unprocessed tick.
+    pub fn insert(&mut self, deadline_ns: u64, entry: TimerEntry) {
+        let deadline_tick = deadline_ns
+            .div_ceil(self.tick_ns)
+            .max(self.current.wrapping_add(1));
+        self.place(deadline_tick, entry);
+        self.pending += 1;
+    }
+
+    fn place(&mut self, deadline_tick: u64, entry: TimerEntry) {
+        let delta = deadline_tick.saturating_sub(self.current);
+        let level = (0..LEVELS)
+            .find(|&l| delta < 1u64 << (SLOT_BITS * (l as u32 + 1)))
+            .unwrap_or(LEVELS - 1);
+        // Deadlines beyond the wheel's span clamp into the top level by
+        // slot position only; the true deadline rides along and the entry
+        // re-cascades until it fits.
+        let span = 1u64 << (SLOT_BITS * LEVELS as u32);
+        let slot_tick = if delta >= span {
+            self.current + span - 1
+        } else {
+            deadline_tick
+        };
+        let idx = ((slot_tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[level * SLOTS + idx].push((deadline_tick, entry));
+    }
+
+    /// Process every tick up to `now_ns`, calling `fire` for each entry
+    /// whose deadline has passed. Entries fire in tick order (entries of
+    /// one tick in arbitrary order); an empty wheel fast-forwards.
+    pub fn advance(&mut self, now_ns: u64, fire: &mut impl FnMut(TimerEntry)) {
+        let target = now_ns / self.tick_ns;
+        if self.pending == 0 {
+            self.current = self.current.max(target);
+            return;
+        }
+        while self.current < target {
+            self.current += 1;
+            let t = self.current;
+            // Cascade: each time a level's window wraps, re-place the
+            // next higher slot's entries by their true deadlines.
+            for level in 1..LEVELS {
+                if t & ((1u64 << (SLOT_BITS * level as u32)) - 1) != 0 {
+                    break;
+                }
+                let idx = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+                let entries = std::mem::take(&mut self.slots[level * SLOTS + idx]);
+                for (deadline_tick, entry) in entries {
+                    self.place(deadline_tick, entry);
+                }
+            }
+            let bucket = (t & (SLOTS as u64 - 1)) as usize;
+            if self.slots[bucket].is_empty() {
+                continue;
+            }
+            let entries = std::mem::take(&mut self.slots[bucket]);
+            for (deadline_tick, entry) in entries {
+                debug_assert!(deadline_tick == t, "level-0 entry fires at its own tick");
+                self.pending -= 1;
+                fire(entry);
+            }
+        }
+    }
+
+    /// The earliest armed deadline in nanoseconds, if any — what the
+    /// shard's idle wait sleeps toward. O(pending) scan; called only
+    /// when the run queue is empty.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        self.slots
+            .iter()
+            .flatten()
+            .map(|&(deadline_tick, _)| deadline_tick)
+            .min()
+            .map(|tick| tick.saturating_mul(self.tick_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(task: usize, gen: u64) -> TimerEntry {
+        TimerEntry { task, gen }
+    }
+
+    #[test]
+    fn coalesces_deadlines_of_one_tick_into_one_advance() {
+        let mut w = TimerWheel::new(1_000);
+        // Three deadlines inside tick 1, one in tick 2.
+        w.insert(100, entry(0, 0));
+        w.insert(400, entry(1, 0));
+        w.insert(900, entry(2, 0));
+        w.insert(1_500, entry(3, 0));
+        let mut fired = Vec::new();
+        w.advance(1_000, &mut |e| fired.push(e.task));
+        fired.sort_unstable();
+        assert_eq!(fired, vec![0, 1, 2], "one tick fires its whole bucket");
+        assert_eq!(w.pending(), 1);
+        w.advance(2_000, &mut |e| fired.push(e.task));
+        assert_eq!(fired.len(), 4);
+    }
+
+    #[test]
+    fn deadlines_round_up_never_early() {
+        let mut w = TimerWheel::new(1_000);
+        w.insert(1_001, entry(0, 0)); // rounds up to tick 2
+        let mut fired = 0;
+        w.advance(1_000, &mut |_| fired += 1);
+        assert_eq!(fired, 0, "must not fire before the deadline");
+        w.advance(2_000, &mut |_| fired += 1);
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn cascade_fires_long_deadlines_at_the_right_tick() {
+        // 100_000 ticks out: lives in level 2, must cascade down through
+        // level 1 and fire exactly on time.
+        let mut w = TimerWheel::new(1_000);
+        let deadline = 100_000 * 1_000u64;
+        w.insert(deadline, entry(7, 3));
+        let mut fired = Vec::new();
+        // Walk up in uneven chunks to cross several cascade boundaries.
+        let mut now = 0u64;
+        while now < deadline - 1_000 {
+            now += 37_777;
+            w.advance(now.min(deadline - 1_000), &mut |e| fired.push(e));
+        }
+        assert!(fired.is_empty(), "fired {fired:?} before the deadline");
+        w.advance(deadline, &mut |e| fired.push(e));
+        assert_eq!(fired, vec![entry(7, 3)], "exactly one fire, on time");
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn deadlines_beyond_the_span_clamp_and_still_fire() {
+        let mut w = TimerWheel::new(1);
+        let span = 1u64 << 24; // 64^4 ticks at tick_ns = 1
+        let deadline = span * 3 + 12_345;
+        w.insert(deadline, entry(1, 0));
+        let mut fired = Vec::new();
+        let mut now = 0u64;
+        while now < deadline {
+            now = (now + span / 2).min(deadline);
+            w.advance(now, &mut |e| fired.push(e));
+            if now < deadline {
+                assert!(fired.is_empty(), "fired early at now={now}");
+            }
+        }
+        assert_eq!(fired.len(), 1, "clamped entry must re-cascade and fire");
+    }
+
+    #[test]
+    fn cancel_on_wake_discards_stale_generations() {
+        // The executor's cancellation protocol: a doorbell wake bumps the
+        // task's generation, orphaning the armed fallback timer. The stale
+        // entry still pops out of the wheel, but the generation check
+        // identifies it as cancelled.
+        let mut w = TimerWheel::new(1_000);
+        w.insert(5_000, entry(4, 1));
+        let current_gen = 2u64; // the task woke; its generation moved on
+        let mut live = Vec::new();
+        w.advance(10_000, &mut |e| {
+            if e.gen == current_gen {
+                live.push(e);
+            }
+        });
+        assert!(live.is_empty(), "stale-generation timer must be a no-op");
+        assert_eq!(w.pending(), 0, "the stale entry left the wheel");
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_minimum() {
+        let mut w = TimerWheel::new(1_000);
+        assert_eq!(w.next_deadline_ns(), None);
+        w.insert(90_000, entry(0, 0));
+        w.insert(7_000, entry(1, 0));
+        w.insert(2_000_000, entry(2, 0));
+        assert_eq!(w.next_deadline_ns(), Some(7_000));
+        let mut fired = 0;
+        w.advance(10_000, &mut |_| fired += 1);
+        assert_eq!(fired, 1);
+        assert_eq!(w.next_deadline_ns(), Some(90_000));
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_tick() {
+        let mut w = TimerWheel::new(1_000);
+        w.advance(50_000, &mut |_| {});
+        w.insert(10_000, entry(0, 0)); // already in the past
+        let mut fired = 0;
+        w.advance(51_000, &mut |_| fired += 1);
+        assert_eq!(fired, 1, "past deadline fires on the very next tick");
+    }
+}

@@ -31,6 +31,13 @@
 //! * [`realtime`] — the protocol on real `std::thread`s with a
 //!   spin-assisted [`realtime::PreciseSleeper`] standing in for the
 //!   paper's `hr_sleep()` kernel service;
+//! * [`executor`] — the async backend: the same disciplines as
+//!   cooperative tasks on a vruntime-weighted sharded executor
+//!   ([`executor::AsyncMetronome`]) with a hierarchical
+//!   [`executor::TimerWheel`] and waker-wired doorbells, so 1000+
+//!   queues run on a handful of OS threads
+//!   ([`executor::ExecBackend`] / [`executor::WorkerSet`] select the
+//!   backend at runtime);
 //! * [`config`] — tunables with the paper's evaluation defaults
 //!   (`M = 3`, `V̄ = 10 µs`, `TL = 500 µs`, burst 32).
 //!
@@ -62,6 +69,7 @@ pub mod config;
 pub mod controller;
 pub mod discipline;
 pub mod engine;
+pub mod executor;
 pub mod model;
 pub mod policy;
 pub mod predictor;
@@ -76,6 +84,7 @@ pub use discipline::{
     MetronomeDiscipline, ModerationConfig, ParkToken, RetrievalDiscipline, Verdict,
 };
 pub use engine::{Backend, EngineOp, MetronomeEngine, StepCosts};
+pub use executor::{AsyncMetronome, ExecBackend, TimerWheel, WorkerSet};
 pub use policy::{Role, ThreadPolicy};
 pub use realtime::{Metronome, PreciseSleeper, RealtimeBackend, RealtimeHarness, RealtimeStats};
 pub use rxqueue::RxQueue;

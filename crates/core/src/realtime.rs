@@ -136,13 +136,46 @@ impl RealtimeStats {
     }
 }
 
-/// State shared by every worker of one [`Metronome`] instance.
-struct SharedState {
-    controller: Mutex<AdaptiveController>,
+/// Assemble a [`RealtimeStats`] from joined per-worker policies (in
+/// worker order) and the shared state's final counters. Shared by the
+/// thread backend's [`Metronome::stop`] and the async executor's stop so
+/// the two backends report through one code path.
+pub(crate) fn collect_stats(
+    shared: &SharedState,
+    n_queues: usize,
+    policies: Vec<ThreadPolicy>,
+) -> RealtimeStats {
+    let mut stats = RealtimeStats::default();
+    for policy in policies {
+        stats.wakes.push(policy.wakes);
+        stats.races_won.push(policy.races_won);
+        stats.races_lost.push(policy.races_lost);
+    }
+    // Counters are read only after every worker joined: a worker that
+    // was mid-turn when the flag rose finishes its drain first, and
+    // those packets must be on the books (the realtime runner asserts
+    // offered = processed + dropped against these).
+    stats.processed = (0..n_queues)
+        .map(|q| shared.processed[q].load(Ordering::Relaxed))
+        .collect();
+    let ctrl = shared.controller.lock();
+    for q in 0..n_queues {
+        stats.rho.push(ctrl.rho(q));
+        stats.ts.push(ctrl.ts(q));
+    }
+    stats.controller = Some(ctrl.clone());
+    stats
+}
+
+/// State shared by every worker of one [`Metronome`] instance (or one
+/// async-executor worker set — `crate::executor` builds the same state,
+/// which is what keeps the two backends' accounting identical).
+pub(crate) struct SharedState {
+    pub(crate) controller: Mutex<AdaptiveController>,
     locks: Vec<TryLock>,
     /// Instant each queue's lock was last released (vacation measurement).
     last_release: Vec<Mutex<Option<Instant>>>,
-    processed: Vec<AtomicU64>,
+    pub(crate) processed: Vec<AtomicU64>,
     rand_state: AtomicU64,
     /// `TL` is fixed (§IV-E), so workers read it without the controller
     /// lock.
@@ -150,11 +183,11 @@ struct SharedState {
     /// One wake-up doorbell per queue. Only the InterruptLike discipline
     /// parks on them; producers may ring unconditionally (a ring with no
     /// waiter is one uncontended mutex bump).
-    doorbells: Vec<Arc<Doorbell>>,
+    pub(crate) doorbells: Vec<Arc<Doorbell>>,
 }
 
 impl SharedState {
-    fn new(cfg: &MetronomeConfig) -> Arc<Self> {
+    pub(crate) fn new(cfg: &MetronomeConfig) -> Arc<Self> {
         Arc::new(SharedState {
             controller: Mutex::new(AdaptiveController::new(cfg.clone())),
             locks: (0..cfg.n_queues).map(|_| TryLock::new()).collect(),
@@ -209,7 +242,7 @@ where
     P: FnMut(usize, &mut Vec<T>),
     Q: RxQueue<T>,
 {
-    fn new(queues: Vec<Q>, shared: Arc<SharedState>, process: P) -> Self {
+    pub(crate) fn new(queues: Vec<Q>, shared: Arc<SharedState>, process: P) -> Self {
         RealtimeBackend {
             queues,
             shared,
@@ -570,27 +603,12 @@ impl<T: Send + 'static, Q: RxQueue<T>> Metronome<T, Q> {
     /// Stop all workers and collect final statistics.
     pub fn stop(self) -> RealtimeStats {
         self.stop.store(true, Ordering::Relaxed);
-        let mut stats = RealtimeStats::default();
-        for h in self.handles {
-            let policy = h.join().expect("worker panicked");
-            stats.wakes.push(policy.wakes);
-            stats.races_won.push(policy.races_won);
-            stats.races_lost.push(policy.races_lost);
-        }
-        // Counters are read only after every worker joined: a worker that
-        // was mid-turn when the flag rose finishes its drain first, and
-        // those packets must be on the books (the realtime runner asserts
-        // offered = processed + dropped against these).
-        stats.processed = (0..self.cfg.n_queues)
-            .map(|q| self.shared.processed[q].load(Ordering::Relaxed))
+        let policies = self
+            .handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
             .collect();
-        let ctrl = self.shared.controller.lock();
-        for q in 0..self.cfg.n_queues {
-            stats.rho.push(ctrl.rho(q));
-            stats.ts.push(ctrl.ts(q));
-        }
-        stats.controller = Some(ctrl.clone());
-        stats
+        collect_stats(&self.shared, self.cfg.n_queues, policies)
     }
 }
 

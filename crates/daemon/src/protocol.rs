@@ -13,11 +13,19 @@
 //! | `cmd`         | fields                                                        | effect |
 //! |---------------|---------------------------------------------------------------|--------|
 //! | `ping`        | —                                                             | liveness probe; replies with the engine state |
-//! | `submit`      | `name`, `rate_pps`, `discipline`, `m?`, `seed?`, `faults?`    | start a scenario on the persistent pipeline |
-//! | `reconfigure` | any of `rate_pps`, `discipline`, `m`                          | live-adjust the running scenario (no restart) |
+//! | `submit`      | `name`, `rate_pps`, `discipline`, `m?`, `seed?`, `faults?`, `exec?`, `shards?`, `ring_path?` | start a scenario on the persistent pipeline |
+//! | `reconfigure` | any of `rate_pps`, `discipline`, `m`, `exec` (+ `shards`)     | live-adjust the running scenario (no restart) |
 //! | `stats`       | —                                                             | cumulative counters (monotone across reconfigures) |
 //! | `drain`       | —                                                             | stop generating, drain rings, audit the pool; stay up |
 //! | `shutdown`    | —                                                             | drain (if running) and exit; idempotent |
+//!
+//! `exec` selects the worker backend: `"threads"` (one OS thread per
+//! worker, the default) or `"async"` (cooperative tasks on `shards`
+//! executor threads, default 1). `ring_path` selects the Rx ring
+//! synchronization (`"spsc"` default, `"mpsc"`, `"locked"`) and is
+//! **submit-only**: the port persists across re-arms, so a
+//! `reconfigure` naming `ring_path` is a typed error — drain and submit
+//! a new scenario instead.
 //!
 //! Fault events (in `submit`'s `"faults"` array) mirror
 //! [`metronome_traffic::FaultKind`]:
@@ -29,6 +37,8 @@
 //! {"kind": "jitter-burst", "at_ms": 400, "duration_ms": 50, "drop_prob": 0.2}
 //! ```
 
+use metronome_core::ExecBackend;
+use metronome_dpdk::shared_ring::RingPath;
 use metronome_sim::Nanos;
 use metronome_telemetry::Json;
 use metronome_traffic::{FaultKind, FaultPlan};
@@ -98,6 +108,11 @@ pub struct SubmitSpec {
     pub seed: u64,
     /// Scheduled fault events (empty plan = clean run).
     pub faults: FaultPlan,
+    /// Worker execution backend (OS threads or the sharded async
+    /// executor).
+    pub exec: ExecBackend,
+    /// Rx ring synchronization path for the scenario's port.
+    pub ring_path: RingPath,
 }
 
 /// A parsed `reconfigure` command: each `Some` field is applied to the
@@ -110,6 +125,9 @@ pub struct ReconfigureSpec {
     pub discipline: Option<DisciplineChoice>,
     /// New Metronome thread count `M` (re-arms the worker set).
     pub m_threads: Option<usize>,
+    /// New execution backend (re-arms the worker set). `ring_path` has
+    /// no such field on purpose: the port outlives re-arms.
+    pub exec: Option<ExecBackend>,
 }
 
 /// One parsed control request.
@@ -177,6 +195,52 @@ fn parse_discipline(doc: &Json) -> Result<Option<DisciplineChoice>, String> {
     }
 }
 
+/// Parse the `exec` / `shards` pair into a backend choice. `shards`
+/// without `"exec": "async"` is an error — it would silently do nothing.
+fn parse_exec(doc: &Json) -> Result<Option<ExecBackend>, String> {
+    let shards = match doc.get("shards") {
+        None => None,
+        Some(v) => {
+            let s = v.as_u64().ok_or("\"shards\" must be a positive integer")? as usize;
+            if s == 0 {
+                return Err("\"shards\" must be positive".into());
+            }
+            Some(s)
+        }
+    };
+    match doc.get("exec").and_then(Json::as_str) {
+        None => match shards {
+            None => Ok(None),
+            Some(_) => Err("\"shards\" requires \"exec\": \"async\"".into()),
+        },
+        Some("threads") => match shards {
+            None => Ok(Some(ExecBackend::Threads)),
+            Some(_) => Err("\"shards\" requires \"exec\": \"async\"".into()),
+        },
+        Some("async") => Ok(Some(ExecBackend::Async {
+            shards: shards.unwrap_or(1),
+        })),
+        Some(other) => Err(format!(
+            "unknown exec backend {other:?} (expected threads or async)"
+        )),
+    }
+}
+
+fn parse_ring_path(doc: &Json) -> Result<Option<RingPath>, String> {
+    match doc.get("ring_path").and_then(Json::as_str) {
+        None => match doc.get("ring_path") {
+            None => Ok(None),
+            Some(_) => Err("\"ring_path\" must be a string".into()),
+        },
+        Some("spsc") => Ok(Some(RingPath::Spsc)),
+        Some("mpsc") => Ok(Some(RingPath::Mpsc)),
+        Some("locked") => Ok(Some(RingPath::Locked)),
+        Some(other) => Err(format!(
+            "unknown ring path {other:?} (expected spsc, mpsc, or locked)"
+        )),
+    }
+}
+
 fn parse_submit(doc: &Json) -> Result<Request, String> {
     let name = doc
         .get("name")
@@ -202,6 +266,8 @@ fn parse_submit(doc: &Json) -> Result<Request, String> {
             .ok_or("\"seed\" must be a non-negative integer")?,
     };
     let faults = parse_faults(doc)?;
+    let exec = parse_exec(doc)?.unwrap_or_default();
+    let ring_path = parse_ring_path(doc)?.unwrap_or_default();
     Ok(Request::Submit(SubmitSpec {
         name,
         rate_pps,
@@ -209,6 +275,8 @@ fn parse_submit(doc: &Json) -> Result<Request, String> {
         m_threads,
         seed,
         faults,
+        exec,
+        ring_path,
     }))
 }
 
@@ -227,13 +295,28 @@ fn parse_reconfigure(doc: &Json) -> Result<Request, String> {
         None => None,
         Some(v) => Some(v.as_u64().ok_or("\"m\" must be a non-negative integer")? as usize),
     };
+    if doc.get("ring_path").is_some() {
+        return Err(
+            "\"ring_path\" cannot change on reconfigure (the port persists across re-arms); \
+             drain and submit a new scenario"
+                .into(),
+        );
+    }
     let spec = ReconfigureSpec {
         rate_pps,
         discipline: parse_discipline(doc)?,
         m_threads,
+        exec: parse_exec(doc)?,
     };
-    if spec.rate_pps.is_none() && spec.discipline.is_none() && spec.m_threads.is_none() {
-        return Err("reconfigure needs at least one of \"rate_pps\", \"discipline\", \"m\"".into());
+    if spec.rate_pps.is_none()
+        && spec.discipline.is_none()
+        && spec.m_threads.is_none()
+        && spec.exec.is_none()
+    {
+        return Err(
+            "reconfigure needs at least one of \"rate_pps\", \"discipline\", \"m\", \"exec\""
+                .into(),
+        );
     }
     Ok(Request::Reconfigure(spec))
 }
@@ -343,6 +426,44 @@ mod tests {
         assert_eq!(spec.seed, 7);
         assert_eq!(spec.faults.len(), 4);
         assert_eq!(spec.faults.distinct_kinds(), 4);
+        assert_eq!(spec.exec, ExecBackend::Threads, "threads is the default");
+        assert_eq!(spec.ring_path, RingPath::Spsc, "spsc is the default");
+    }
+
+    #[test]
+    fn parses_exec_and_ring_path_on_submit() {
+        let Ok(Request::Submit(spec)) =
+            Request::parse(r#"{"cmd":"submit","exec":"async","shards":2,"ring_path":"mpsc"}"#)
+        else {
+            panic!("submit did not parse");
+        };
+        assert_eq!(spec.exec, ExecBackend::Async { shards: 2 });
+        assert_eq!(spec.ring_path, RingPath::Mpsc);
+
+        let Ok(Request::Submit(spec)) =
+            Request::parse(r#"{"cmd":"submit","exec":"async","ring_path":"locked"}"#)
+        else {
+            panic!("submit did not parse");
+        };
+        assert_eq!(
+            spec.exec,
+            ExecBackend::Async { shards: 1 },
+            "shards default 1"
+        );
+        assert_eq!(spec.ring_path, RingPath::Locked);
+
+        let Ok(Request::Reconfigure(spec)) =
+            Request::parse(r#"{"cmd":"reconfigure","exec":"threads"}"#)
+        else {
+            panic!("reconfigure did not parse");
+        };
+        assert_eq!(spec.exec, Some(ExecBackend::Threads));
+    }
+
+    #[test]
+    fn ring_path_on_reconfigure_is_a_typed_error() {
+        let err = Request::parse(r#"{"cmd":"reconfigure","ring_path":"mpsc"}"#).unwrap_err();
+        assert!(err.contains("drain and submit"), "unexpected error: {err}");
     }
 
     #[test]
@@ -365,6 +486,13 @@ mod tests {
             r#"{"cmd":"submit","faults":[{"kind":"gamma-ray","at_ms":1,"duration_ms":1}]}"#,
             r#"{"cmd":"reconfigure"}"#,
             r#"{"cmd":"reconfigure","m":-3}"#,
+            r#"{"cmd":"submit","exec":"fibers"}"#,
+            r#"{"cmd":"submit","exec":"async","shards":0}"#,
+            r#"{"cmd":"submit","shards":2}"#,
+            r#"{"cmd":"submit","exec":"threads","shards":2}"#,
+            r#"{"cmd":"submit","ring_path":"quantum"}"#,
+            r#"{"cmd":"submit","ring_path":7}"#,
+            r#"{"cmd":"reconfigure","ring_path":"mpsc"}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted: {bad}");
         }

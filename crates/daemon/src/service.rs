@@ -36,8 +36,8 @@ use crate::protocol::{self, DisciplineChoice, ReconfigureSpec, Request, SubmitSp
 use bytes::BytesMut;
 use metronome_apps::processor::PacketProcessor;
 use metronome_core::discipline::{DisciplineSpec, Doorbell, ModerationConfig};
-use metronome_core::realtime::Metronome;
-use metronome_core::MetronomeConfig;
+use metronome_core::executor::WorkerSet;
+use metronome_core::{ExecBackend, MetronomeConfig};
 use metronome_dpdk::{Mbuf, Mempool, RssPort};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_runtime::realtime_runner::{processor_for, WorkerRing};
@@ -147,13 +147,14 @@ struct GenShared {
 /// One armed worker set (discipline + hub + halt flag), replaced
 /// wholesale on a discipline/M reconfigure.
 struct Arm {
-    workers: Metronome<Mbuf, WorkerRing>,
+    workers: WorkerSet<Mbuf, WorkerRing>,
     hub: Arc<TelemetryHub>,
     /// Overrides the stall pause so a re-arm can join workers that are
     /// mid-stall without waiting out the fault window.
     halt: Arc<AtomicBool>,
     discipline: DisciplineChoice,
     m_threads: usize,
+    exec: ExecBackend,
 }
 
 /// A running scenario on the persistent pipeline.
@@ -325,11 +326,13 @@ impl ServiceEngine {
         cfg: MetronomeConfig,
         spec: DisciplineSpec,
         hub: Arc<TelemetryHub>,
+        exec: ExecBackend,
     ) -> Arm {
         let halt = Arc::new(AtomicBool::new(false));
         let worker_burst = cfg.burst as usize;
         let m_threads = cfg.m_threads;
-        let workers = Metronome::start_discipline_scoped_with_telemetry(
+        let workers = WorkerSet::start_discipline_scoped_with_telemetry(
+            exec,
             cfg,
             spec.clone(),
             port.consumers().into_iter().map(WorkerRing).collect(),
@@ -369,6 +372,7 @@ impl ServiceEngine {
             halt,
             discipline: choice,
             m_threads,
+            exec,
         }
     }
 
@@ -395,7 +399,7 @@ impl ServiceEngine {
         // Port + doorbell slots. Hooks are installed before the port is
         // shared and ring through a slot, so a re-arm can re-point them
         // without `&mut` access to the port.
-        let mut port = RssPort::new(self.cfg.n_queues, self.cfg.ring_size);
+        let mut port = RssPort::with_path(self.cfg.n_queues, self.cfg.ring_size, spec.ring_path);
         let bells: Vec<Arc<Mutex<Option<Arc<Doorbell>>>>> = (0..self.cfg.n_queues)
             .map(|_| Arc::new(Mutex::new(None)))
             .collect();
@@ -428,6 +432,7 @@ impl ServiceEngine {
             cfg,
             disc_spec,
             hub,
+            spec.exec,
         );
         let gen_hub = Arc::new(Mutex::new(Arc::clone(&arm.hub)));
 
@@ -465,6 +470,8 @@ impl ServiceEngine {
         let reply = protocol::ok()
             .with("submitted", name.as_str())
             .with("discipline", spec.discipline.label())
+            .with("exec", spec.exec.label())
+            .with("ring_path", spec.ring_path.label())
             .with("workers", arm.workers_len() as u64)
             .with("rate_pps", spec.rate_pps)
             .with("fault_events", spec.faults.len() as u64)
@@ -498,11 +505,12 @@ impl ServiceEngine {
             }
         }
 
-        let rearm = spec.discipline.is_some() || spec.m_threads.is_some();
+        let rearm = spec.discipline.is_some() || spec.m_threads.is_some() || spec.exec.is_some();
         if rearm {
             let old = run.arm.take().expect("running scenario always has an arm");
             let choice = spec.discipline.unwrap_or(old.discipline);
             let m_threads = spec.m_threads.unwrap_or(old.m_threads);
+            let exec = spec.exec.unwrap_or(old.exec);
             let (cfg, disc_spec) = match self.worker_shape(choice, m_threads) {
                 Ok(pair) => pair,
                 Err(e) => {
@@ -525,7 +533,7 @@ impl ServiceEngine {
             st.base.fold_hub(&old_hub);
             let run = st.run.as_mut().expect("checked above");
             let arm = self.arm_workers(
-                &run.port, &run.apps, &run.stall, &run.bells, choice, cfg, disc_spec, new_hub,
+                &run.port, &run.apps, &run.stall, &run.bells, choice, cfg, disc_spec, new_hub, exec,
             );
             run.arm = Some(arm);
             if spec.discipline.is_some() {
@@ -533,6 +541,9 @@ impl ServiceEngine {
             }
             if spec.m_threads.is_some() {
                 changed.push("m");
+            }
+            if spec.exec.is_some() {
+                changed.push("exec");
             }
         }
 
@@ -545,6 +556,7 @@ impl ServiceEngine {
             )
             .with("discipline", arm.discipline.label())
             .with("m", arm.m_threads as u64)
+            .with("exec", arm.exec.label())
             .with(
                 "rate_pps",
                 run.gen.as_ref().map_or(0.0, |(s, _)| {
@@ -704,6 +716,7 @@ impl ServiceEngine {
             if let Some(arm) = &run.arm {
                 reply.push("discipline", arm.discipline.label());
                 reply.push("m", arm.m_threads as u64);
+                reply.push("exec", arm.exec.label());
             }
             if let Some((shared, _)) = &run.gen {
                 reply.push(

@@ -25,7 +25,9 @@
 //!   per-queue accounting, and the dropped frames' buffers recycle
 //!   straight back to the pool.
 //! * **Retrieval** — every [`SystemKind`] maps onto a
-//!   `metronome_core::discipline` worker set ([`Metronome`] spawns it):
+//!   `metronome_core::discipline` worker set ([`WorkerSet`] spawns it on
+//!   the scenario's [`metronome_core::ExecBackend`] — one OS thread per
+//!   worker, or cooperative tasks on a sharded async executor):
 //!   Metronome threads race trylocks and sleep adaptive timeouts
 //!   (Listing 2); `StaticDpdk` pins one spinning `BusyPoll` worker per
 //!   queue; `Xdp` parks one `InterruptLike` worker per queue on a
@@ -60,7 +62,7 @@ use crate::scenario::{Scenario, SystemKind};
 use metronome_apps::processor::PacketProcessor;
 use metronome_apps::{FloWatcher, IpsecGateway, L3Fwd};
 use metronome_core::discipline::{DisciplineSpec, ModerationConfig};
-use metronome_core::realtime::Metronome;
+use metronome_core::executor::WorkerSet;
 use metronome_core::rxqueue::RxQueue;
 use metronome_core::{AdaptiveController, MetronomeConfig};
 use metronome_dpdk::{Mbuf, Mempool, RingConsumer, RssPort};
@@ -268,7 +270,7 @@ pub fn try_run_realtime_with(
     let dispatch = discipline_for(sc)?;
 
     // ---- receive side: RSS port over bounded mbuf rings ------------------
-    let mut port = RssPort::new(sc.n_queues, sc.ring_size);
+    let mut port = RssPort::with_path(sc.n_queues, sc.ring_size, sc.ring_path);
 
     // ---- worker shape ----------------------------------------------------
     // The worker config sizes the shared state (controller, locks,
@@ -342,7 +344,8 @@ pub fn try_run_realtime_with(
     let run_start = Instant::now();
     let metronome = dispatch.map(|(cfg, spec)| {
         let worker_burst = cfg.burst as usize;
-        let worker_set = Metronome::start_discipline_scoped_with_telemetry(
+        let worker_set = WorkerSet::start_discipline_scoped_with_telemetry(
+            sc.exec,
             cfg,
             spec.clone(),
             port.consumers().into_iter().map(WorkerRing).collect(),
@@ -564,7 +567,7 @@ pub fn try_run_realtime_with(
             std::thread::sleep(Duration::from_millis(1));
         }
     }
-    let stats = metronome.map(Metronome::stop).unwrap_or_default();
+    let stats = metronome.map(WorkerSet::stop).unwrap_or_default();
     // Busy time accrues from worker start to join — including the drain
     // tail past the traffic horizon — so CPU% must be normalized by the
     // same span, not by the scenario duration.

@@ -3,8 +3,9 @@
 use crate::apps_profile::AppProfile;
 use crate::calib;
 use metronome_core::discipline::DisciplineKind;
-use metronome_core::MetronomeConfig;
+use metronome_core::{ExecBackend, MetronomeConfig};
 use metronome_dpdk::nic::{gbps_to_pps, NicProfile};
+use metronome_dpdk::shared_ring::RingPath;
 use metronome_os::config::{DaemonConfig, Governor, OsConfig};
 use metronome_os::sleep::SleepService;
 use metronome_sim::{Nanos, Rng};
@@ -263,6 +264,15 @@ pub struct Scenario {
     /// the plan and count suppressed packets as `DropCause::Fault`, so
     /// fault runs still reconcile exactly.
     pub faults: Option<FaultPlan>,
+    /// Execution backend of the realtime worker set: one OS thread per
+    /// worker (the default, the paper's model) or cooperative tasks on a
+    /// sharded async executor — the 1000+-queue scale path. The
+    /// simulation backend models threads and ignores this.
+    pub exec: ExecBackend,
+    /// Ring transport under the realtime RSS port (SPSC fast path by
+    /// default; MPSC and the locked fallback are selectable so every
+    /// path is exercised end-to-end). Simulation ignores this.
+    pub ring_path: RingPath,
     /// Master seed.
     pub seed: u64,
 }
@@ -287,6 +297,8 @@ impl Scenario {
             latency_stride: 0,
             series_every: None,
             faults: None,
+            exec: ExecBackend::Threads,
+            ring_path: RingPath::Spsc,
             seed: 0xC0FFEE,
         }
     }
@@ -426,6 +438,26 @@ impl Scenario {
         self
     }
 
+    /// Choose the realtime execution backend explicitly.
+    pub fn with_exec(mut self, exec: ExecBackend) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Run the realtime worker set on the async executor with the given
+    /// shard count (shorthand for
+    /// `with_exec(ExecBackend::Async { shards })`).
+    pub fn with_async_backend(mut self, shards: usize) -> Self {
+        self.exec = ExecBackend::Async { shards };
+        self
+    }
+
+    /// Choose the ring transport of the realtime RSS port.
+    pub fn with_ring_path(mut self, path: RingPath) -> Self {
+        self.ring_path = path;
+        self
+    }
+
     /// Set the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -511,6 +543,17 @@ mod tests {
         assert_eq!(c.n_net_threads(), 2);
         assert_eq!(c.system.label(), "const-sleep");
         assert_eq!(Scenario::idle("i").system.label(), "idle");
+
+        // Backend and ring-path selection default to the paper's model
+        // and are overridable per scenario.
+        assert_eq!(s.exec, ExecBackend::Threads);
+        assert_eq!(s.ring_path, RingPath::Spsc);
+        let a = Scenario::xdp("a", 2, TrafficSpec::Silent)
+            .with_async_backend(2)
+            .with_ring_path(RingPath::Mpsc);
+        assert_eq!(a.exec, ExecBackend::Async { shards: 2 });
+        assert_eq!(a.exec.label(), "async");
+        assert_eq!(a.ring_path, RingPath::Mpsc);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Emit `BENCH_9.json`: flight-recorder tracing overhead on the burst
+//! hot path — the PR 9 bench guard.
+//!
+//! Three measurements per worker count, all through
+//! [`metronome_bench::hotpath::burst_workers_mpps_traced`]:
+//!
+//! * **baseline** — the untraced harness (`burst_workers_mpps`), the
+//!   pre-tracing hot path;
+//! * **disabled** — the traced harness monomorphized with `NullTrace`:
+//!   the record calls compile to nothing, so this must sit within noise
+//!   of baseline (that is the "disabled tracing is free" claim);
+//! * **enabled** — the traced harness with a real per-worker
+//!   [`TraceRecorder`] (4096-event ring + histograms), which is the cost
+//!   a scenario pays for `with_trace` / the daemon default.
+//!
+//! ```text
+//! cargo run --release -p metronome-bench --example bench9 [-- out.json]
+//! ```
+//!
+//! Set `METRONOME_BENCH_QUICK=1` for a CI-sized run (fewer bursts, one
+//! run per point instead of the median of five).
+
+use metronome_bench::hotpath::{burst_workers_mpps, burst_workers_mpps_traced};
+use metronome_telemetry::{TraceHub, DEFAULT_RING_CAPACITY};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_9.json".into());
+    let quick = std::env::var("METRONOME_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let nproc = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let (total_bursts, runs) = if quick { (4_000u64, 1) } else { (40_000u64, 5) };
+
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("measurement NaN"));
+        v[v.len() / 2]
+    };
+
+    let mut rows = Vec::new();
+    for workers in WORKER_COUNTS {
+        // Interleave the three paths' runs so slow machine-state drift
+        // (time-slicing, thermal, co-tenants) lands on all of them
+        // equally instead of biasing whichever was measured last.
+        let hub = TraceHub::new(workers, DEFAULT_RING_CAPACITY);
+        let (mut b, mut d, mut e) = (Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..runs {
+            b.push(burst_workers_mpps(workers, true, total_bursts));
+            d.push(burst_workers_mpps_traced(
+                workers,
+                true,
+                total_bursts,
+                |_| metronome_telemetry::NullTrace,
+            ));
+            e.push(burst_workers_mpps_traced(
+                workers,
+                true,
+                total_bursts,
+                |w| hub.recorder(w),
+            ));
+        }
+        let (baseline, disabled, enabled) = (median(b), median(d), median(e));
+        let disabled_delta_pct = (baseline - disabled) / baseline * 100.0;
+        let enabled_overhead_pct = (baseline - enabled) / baseline * 100.0;
+        eprintln!(
+            "workers={workers}: baseline {baseline:.3} Mpps, disabled {disabled:.3} Mpps \
+             ({disabled_delta_pct:+.1}%), enabled {enabled:.3} Mpps ({enabled_overhead_pct:+.1}%)"
+        );
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"baseline_mpps\": {baseline:.4}, \
+             \"disabled_mpps\": {disabled:.4}, \"enabled_mpps\": {enabled:.4}, \
+             \"disabled_delta_pct\": {disabled_delta_pct:.2}, \
+             \"enabled_overhead_pct\": {enabled_overhead_pct:.2}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n\
+         \x20 \"bench\": \"BENCH_9\",\n\
+         \x20 \"title\": \"Flight-recorder tracing overhead on the burst hot path\",\n\
+         \x20 \"command\": \"cargo run --release -p metronome-bench --example bench9\",\n\
+         \x20 \"host\": {{\"nproc\": {nproc}}},\n\
+         \x20 \"quick_mode\": {quick},\n\
+         \x20 \"unit\": \"Mpps over {total_bursts} 32-packet bursts through the pooled-burst \
+         worker loop (l3fwd + latency stamping, per-worker mempool cache), median of {runs}\",\n\
+         \x20 \"paths\": {{\n\
+         \x20   \"baseline\": \"burst_workers_mpps: the untraced harness\",\n\
+         \x20   \"disabled\": \"burst_workers_mpps_traced with NullTrace: record calls \
+         monomorphize to no-ops\",\n\
+         \x20   \"enabled\": \"burst_workers_mpps_traced with one TraceRecorder per worker \
+         ({ring} -event drop-oldest ring + wake/oversleep/sched histograms)\"\n\
+         \x20 }},\n\
+         \x20 \"acceptance\": \"disabled within noise of baseline (single-core shared host: \
+         run-to-run noise is a few percent; the disabled path is the same monomorphization \
+         as baseline, so any delta IS the noise floor)\",\n\
+         \x20 \"points\": [\n{points}\n  ]\n\
+         }}\n",
+        ring = DEFAULT_RING_CAPACITY,
+        points = rows.join(",\n"),
+    );
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

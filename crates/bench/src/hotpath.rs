@@ -25,6 +25,7 @@ use metronome_apps::L3Fwd;
 use metronome_dpdk::{Mbuf, Mempool, RingPath, SharedRing};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_sim::stats::Histogram;
+use metronome_telemetry::{NullTrace, TraceSink, TraceVerdict};
 use metronome_traffic::{FlowSet, WallClock};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -192,6 +193,24 @@ struct WorkerApp {
 /// locked freelist (`cached = false`, the PR 3 shape) or through a
 /// per-worker cache (`cached = true`).
 pub fn burst_workers_mpps(workers: usize, cached: bool, total_bursts: u64) -> f64 {
+    burst_workers_mpps_traced(workers, cached, total_bursts, |_| NullTrace)
+}
+
+/// [`burst_workers_mpps`] with a flight recorder on the hot path: each
+/// worker records the same per-burst events the realtime worker loop
+/// does (a turn verdict plus a drained-burst event). Monomorphized over
+/// the tracer, so `NullTrace` compiles the record calls away — that
+/// no-op instantiation **is** the untraced harness, which is the bench
+/// guard's disabled-path claim (`BENCH_9.json`).
+pub fn burst_workers_mpps_traced<R>(
+    workers: usize,
+    cached: bool,
+    total_bursts: u64,
+    make_tracer: impl Fn(usize) -> R,
+) -> f64
+where
+    R: TraceSink + Send + 'static,
+{
     assert!(workers > 0, "need at least one worker");
     let frames = Arc::new(templates());
     let pool = Mempool::new(workers * 4 * BURST + 4 * BURST, 2048);
@@ -199,10 +218,11 @@ pub fn burst_workers_mpps(workers: usize, cached: bool, total_bursts: u64) -> f6
     let barrier = Arc::new(Barrier::new(workers + 1));
     let bursts = (total_bursts / workers as u64).max(1);
     let handles: Vec<_> = (0..workers)
-        .map(|_| {
+        .map(|w| {
             let frames = Arc::clone(&frames);
             let pool = pool.clone();
             let barrier = Arc::clone(&barrier);
+            let tracer = make_tracer(w);
             std::thread::spawn(move || {
                 let app = Mutex::new(WorkerApp {
                     proc: Box::new(L3Fwd::with_sample_routes(SUBNETS)),
@@ -237,7 +257,12 @@ pub fn burst_workers_mpps(workers: usize, cached: bool, total_bursts: u64) -> f6
                         None => pool.free_burst(burst.drain(..)),
                     }
                     forwarded += verdicts.forwarded;
+                    // What the traced worker loop records per drained
+                    // burst: the turn verdict and the burst itself.
+                    tracer.turn_verdict(TraceVerdict::Continue);
+                    tracer.burst(0, BURST as u64);
                 }
+                drop(tracer); // flight recorder flushes on drop
                 forwarded
             })
         })
@@ -276,5 +301,17 @@ mod tests {
     fn burst_harness_measures_both_paths() {
         assert!(burst_workers_mpps(2, false, 500) > 0.0);
         assert!(burst_workers_mpps(2, true, 500) > 0.0);
+    }
+
+    #[test]
+    fn traced_burst_harness_records_every_burst() {
+        use metronome_telemetry::{TraceEventKind, TraceHub};
+        let hub = TraceHub::new(2, 4096);
+        let mpps = burst_workers_mpps_traced(2, true, 500, |w| hub.recorder(w));
+        assert!(mpps > 0.0);
+        let dump = hub.dump();
+        // One Burst record per burst iteration, split across 2 workers.
+        assert_eq!(dump.kind_count(TraceEventKind::Burst), 500);
+        assert_eq!(dump.kind_count(TraceEventKind::TurnVerdict), 500);
     }
 }

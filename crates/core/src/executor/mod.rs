@@ -51,7 +51,9 @@ use crate::realtime::{collect_stats, Metronome, RealtimeBackend, RealtimeStats, 
 use crate::rxqueue::RxQueue;
 use crossbeam::queue::ArrayQueue;
 use metronome_sim::Nanos;
-use metronome_telemetry::{NullSink, TelemetryHub, TelemetrySink};
+use metronome_telemetry::{
+    NullSink, NullTrace, TelemetryHub, TelemetrySink, TraceHub, TraceSink, TraceVerdict, TracedSink,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::marker::PhantomData;
@@ -221,6 +223,15 @@ struct Task<T: Send + 'static, P, Q: RxQueue<T>, S> {
     /// Requested wake-up instant of the current sleep, when oversleep is
     /// part of the verdict's contract (`Sleep` yes, `Wait`/`Park` no).
     oversleep_deadline: Option<Instant>,
+    /// Requested duration of the current timed sleep (trace event datum;
+    /// `None` while parked or runnable).
+    sleep_requested: Option<Nanos>,
+    /// When the task last became runnable — the scheduler-delay clock a
+    /// vruntime pick closes.
+    ready_at: Option<Instant>,
+    /// The task's next pick follows a doorbell wake: its scheduler delay
+    /// is also the wake-to-first-poll latency.
+    woke_from_park: bool,
 }
 
 impl<T, P, Q, S> Task<T, P, Q, S>
@@ -234,13 +245,32 @@ where
     /// oversleep-bearing sleeps, how far past the requested deadline the
     /// task actually woke (the wheel-tick quantization shows up here,
     /// exactly as `PreciseSleeper` imprecision does on the thread path).
-    fn finish_idle(&mut self) {
-        if let Some(from) = self.idle_from.take() {
-            self.sink.slept(Nanos(from.elapsed().as_nanos() as u64));
-        }
-        if let Some(deadline) = self.oversleep_deadline.take() {
-            let over = Instant::now().saturating_duration_since(deadline);
-            self.sink.overslept(Nanos(over.as_nanos() as u64));
+    ///
+    /// The tracer sees the same values the sink does: a timed sleep
+    /// becomes one sleep event carrying requested/actual/oversleep (so
+    /// the trace oversleep histogram sums to the hub counter), a park
+    /// becomes an unpark event carrying the parked span.
+    fn finish_idle(&mut self, tracer: &impl TraceSink) {
+        let actual = self.idle_from.take().map(|from| {
+            let slept = Nanos(from.elapsed().as_nanos() as u64);
+            self.sink.slept(slept);
+            slept
+        });
+        let over = self.oversleep_deadline.take().map(|deadline| {
+            let over = Nanos(
+                Instant::now()
+                    .saturating_duration_since(deadline)
+                    .as_nanos() as u64,
+            );
+            self.sink.overslept(over);
+            over
+        });
+        match (self.sleep_requested.take(), actual) {
+            (Some(requested), Some(actual)) => {
+                tracer.sleep(requested, actual, over.unwrap_or(Nanos::ZERO));
+            }
+            (None, Some(parked)) if self.state == RunState::Parked => tracer.unpark(parked),
+            _ => {}
         }
     }
 }
@@ -255,42 +285,57 @@ enum SliceEnd {
 
 /// Run one task until it yields, sleeps, parks or exhausts its turn
 /// budget; charge the elapsed wall time to its busy telemetry and its
-/// vruntime.
-fn run_slice<T, P, Q, S>(task: &mut Task<T, P, Q, S>, stop: &AtomicBool) -> SliceEnd
+/// vruntime. The tracer brackets the slice with begin/end events, sees
+/// every turn verdict, and — via the [`TracedSink`] wrapper — every
+/// drained burst the discipline reports inside the slice.
+fn run_slice<T, P, Q, S, R>(task: &mut Task<T, P, Q, S>, stop: &AtomicBool, tracer: &R) -> SliceEnd
 where
     T: Send + 'static,
     P: FnMut(usize, &mut Vec<T>),
     Q: RxQueue<T>,
     S: TelemetrySink,
+    R: TraceSink,
 {
+    tracer.slice_begin(task.id, task.vruntime);
+    let sink = TracedSink::new(&task.sink, tracer);
     let from = Instant::now();
     let mut turns = 0u32;
     let end = loop {
-        match task.discipline.turn(&mut task.backend, &task.sink) {
+        match task.discipline.turn(&mut task.backend, &sink) {
             Verdict::Continue => {
+                tracer.turn_verdict(TraceVerdict::Continue);
                 turns += 1;
                 if turns >= TURN_BUDGET || stop.load(Ordering::Relaxed) {
                     break SliceEnd::Requeue;
                 }
             }
-            Verdict::Yield => break SliceEnd::Requeue,
+            Verdict::Yield => {
+                tracer.turn_verdict(TraceVerdict::Yield);
+                break SliceEnd::Requeue;
+            }
             Verdict::Sleep(dur) => {
+                tracer.turn_verdict(TraceVerdict::Sleep);
                 break SliceEnd::Timed {
                     dur,
                     oversleep: true,
-                }
+                };
             }
             Verdict::Wait(dur) => {
+                tracer.turn_verdict(TraceVerdict::Wait);
                 break SliceEnd::Timed {
                     dur,
                     oversleep: false,
-                }
+                };
             }
-            Verdict::Park(token) => break SliceEnd::Park(token),
+            Verdict::Park(token) => {
+                tracer.turn_verdict(TraceVerdict::Park);
+                break SliceEnd::Park(token);
+            }
         }
     };
     let elapsed = from.elapsed().as_nanos() as u64;
     task.sink.busy(Nanos(elapsed));
+    tracer.slice_end(task.id, Nanos(elapsed));
     task.vruntime = task
         .vruntime
         .saturating_add(elapsed.max(1) * NICE0_WEIGHT / task.weight);
@@ -298,16 +343,24 @@ where
 }
 
 /// One executor shard: the scheduler loop over its owned task set.
-fn run_shard<T, P, Q, S>(
+///
+/// The shard owns one `tracer` (its flight-recorder ring slot): besides
+/// the per-slice events [`run_slice`] records, the loop itself records
+/// doorbell unparks, vruntime picks with their scheduler delay,
+/// wake-to-first-poll latencies, and every timer-wheel insert, cascade
+/// batch, and fire (live or cancelled).
+fn run_shard<T, P, Q, S, R>(
     mut tasks: Vec<Task<T, P, Q, S>>,
     injector: Arc<Injector>,
     stop: Arc<AtomicBool>,
+    tracer: R,
 ) -> Vec<(usize, ThreadPolicy)>
 where
     T: Send + 'static,
     P: FnMut(usize, &mut Vec<T>),
     Q: RxQueue<T>,
     S: TelemetrySink,
+    R: TraceSink,
 {
     let epoch = Instant::now();
     let mut wheel = TimerWheel::new(TICK_NS);
@@ -327,23 +380,36 @@ where
             let task = &mut tasks[idx];
             if task.state == RunState::Parked {
                 task.gen = task.gen.wrapping_add(1);
-                task.finish_idle();
+                task.finish_idle(&tracer);
                 task.state = RunState::Runnable;
+                task.ready_at = Some(Instant::now());
+                task.woke_from_park = true;
                 run_queue.push(Reverse((task.vruntime, idx)));
             }
         }
         // 2. Timer expiries (coalesced: every deadline in a tick fires in
         //    one advance).
+        let cascaded_before = wheel.cascaded();
         wheel.advance(epoch.elapsed().as_nanos() as u64, &mut |e| {
             expired.push(e);
         });
+        let cascaded = wheel.cascaded() - cascaded_before;
+        if cascaded > 0 {
+            tracer.wheel_cascade(cascaded);
+        }
         for e in expired.drain(..) {
             let task = &mut tasks[e.task];
-            if task.gen != e.gen || task.state == RunState::Runnable {
+            let live = task.gen == e.gen && task.state != RunState::Runnable;
+            tracer.wheel_fire(task.id, live);
+            if !live {
                 continue; // cancelled on wake
             }
-            task.finish_idle();
+            task.finish_idle(&tracer);
+            // A fired park-fallback timer is a wake too: its next pick's
+            // delay doubles as wake-to-first-poll latency.
+            task.woke_from_park = task.state == RunState::Parked;
             task.state = RunState::Runnable;
+            task.ready_at = Some(Instant::now());
             run_queue.push(Reverse((task.vruntime, e.task)));
         }
         // 3. Run the least-served runnable task for one slice.
@@ -351,13 +417,27 @@ where
             idle_wait(&wheel, &injector, &stop, epoch);
             continue;
         };
-        let end = run_slice(&mut tasks[idx], &stop);
+        {
+            let task = &mut tasks[idx];
+            if let Some(ready) = task.ready_at.take() {
+                let delay = Nanos(ready.elapsed().as_nanos() as u64);
+                tracer.sched_pick(task.id, delay);
+                if std::mem::take(&mut task.woke_from_park) {
+                    tracer.first_poll(delay);
+                }
+            }
+        }
+        let end = run_slice(&mut tasks[idx], &stop, &tracer);
         let now_ns = epoch.elapsed().as_nanos() as u64;
         let task = &mut tasks[idx];
         match end {
-            SliceEnd::Requeue => run_queue.push(Reverse((task.vruntime, idx))),
+            SliceEnd::Requeue => {
+                task.ready_at = Some(Instant::now());
+                run_queue.push(Reverse((task.vruntime, idx)));
+            }
             SliceEnd::Timed { dur, oversleep } => {
                 if dur.is_zero() {
+                    task.ready_at = Some(Instant::now());
                     run_queue.push(Reverse((task.vruntime, idx)));
                 } else {
                     task.gen = task.gen.wrapping_add(1);
@@ -366,8 +446,11 @@ where
                     task.idle_from = Some(now);
                     task.oversleep_deadline =
                         oversleep.then(|| now + Duration::from_nanos(dur.as_nanos()));
+                    task.sleep_requested = Some(dur);
+                    let deadline_ns = now_ns + dur.as_nanos();
+                    tracer.wheel_insert(task.id, deadline_ns);
                     wheel.insert(
-                        now_ns + dur.as_nanos(),
+                        deadline_ns,
                         TimerEntry {
                             task: idx,
                             gen: task.gen,
@@ -383,14 +466,18 @@ where
                     task.gen = task.gen.wrapping_add(1);
                     task.state = RunState::Parked;
                     task.idle_from = Some(Instant::now());
+                    tracer.park();
+                    let deadline_ns = now_ns + PARK_RECHECK.as_nanos() as u64;
+                    tracer.wheel_insert(task.id, deadline_ns);
                     wheel.insert(
-                        now_ns + PARK_RECHECK.as_nanos() as u64,
+                        deadline_ns,
                         TimerEntry {
                             task: idx,
                             gen: task.gen,
                         },
                     );
                 } else {
+                    task.ready_at = Some(Instant::now());
                     run_queue.push(Reverse((task.vruntime, idx)));
                 }
             }
@@ -409,7 +496,7 @@ where
                 while let Verdict::Continue = task.discipline.turn(&mut task.backend, &task.sink) {}
                 task.sink.busy(Nanos(from.elapsed().as_nanos() as u64));
             }
-            RunState::Sleeping | RunState::Parked => task.finish_idle(),
+            RunState::Sleeping | RunState::Parked => task.finish_idle(&tracer),
         }
     }
     tasks
@@ -473,7 +560,15 @@ impl<T: Send + 'static, Q: RxQueue<T>> AsyncMetronome<T, Q> {
     where
         P: FnMut(usize, &mut Vec<T>) + Send + 'static,
     {
-        Self::start_with_sinks(cfg, spec, queues, make_process, |_worker| NullSink, shards)
+        Self::start_with_sinks(
+            cfg,
+            spec,
+            queues,
+            make_process,
+            |_worker| NullSink,
+            |_shard| NullTrace,
+            shards,
+        )
     }
 
     /// [`AsyncMetronome::start_discipline_scoped`] with telemetry. The
@@ -504,21 +599,66 @@ impl<T: Send + 'static, Q: RxQueue<T>> AsyncMetronome<T, Q> {
             queues,
             make_process,
             move |worker| hub.worker_sink(worker),
+            |_shard| NullTrace,
             shards,
         )
     }
 
-    fn start_with_sinks<P, S>(
+    /// [`AsyncMetronome::start_discipline_scoped_with_telemetry`] with
+    /// flight-recorder tracing. Unlike the thread backend (one recorder
+    /// per worker), the executor records at *shard* grain: each shard
+    /// thread owns one ring slot of `trace` and logs its scheduler events
+    /// (slices, vruntime picks, wheel activity) alongside the per-task
+    /// verdicts, with the global worker id carried in the event payloads.
+    /// The trace hub must have at least `shards` recorder slots (after
+    /// clamping to `[1, worker count]`).
+    pub fn start_discipline_scoped_traced<P>(
+        cfg: MetronomeConfig,
+        spec: DisciplineSpec,
+        queues: Vec<Q>,
+        make_process: impl FnMut(usize) -> P,
+        hub: &Arc<TelemetryHub>,
+        trace: &Arc<TraceHub>,
+        shards: usize,
+    ) -> Self
+    where
+        P: FnMut(usize, &mut Vec<T>) + Send + 'static,
+    {
+        let workers = spec.workers(cfg.m_threads, cfg.n_queues);
+        assert_eq!(hub.n_workers(), workers, "hub/config worker mismatch");
+        assert_eq!(hub.n_queues(), cfg.n_queues, "hub/config queue mismatch");
+        assert!(
+            trace.n_recorders() >= shards.clamp(1, workers.max(1)),
+            "trace hub has {} recorder slots for {} shards",
+            trace.n_recorders(),
+            shards.clamp(1, workers.max(1))
+        );
+        let hub = Arc::clone(hub);
+        let trace = Arc::clone(trace);
+        Self::start_with_sinks(
+            cfg,
+            spec,
+            queues,
+            make_process,
+            move |worker| hub.worker_sink(worker),
+            move |shard| trace.recorder(shard),
+            shards,
+        )
+    }
+
+    fn start_with_sinks<P, S, R>(
         cfg: MetronomeConfig,
         spec: DisciplineSpec,
         queues: Vec<Q>,
         mut make_process: impl FnMut(usize) -> P,
         make_sink: impl Fn(usize) -> S,
+        make_tracer: impl Fn(usize) -> R,
         shards: usize,
     ) -> Self
     where
         P: FnMut(usize, &mut Vec<T>) + Send + 'static,
         S: TelemetrySink + Send + 'static,
+        R: TraceSink + Send + 'static,
     {
         cfg.validate().expect("invalid Metronome configuration");
         assert_eq!(queues.len(), cfg.n_queues, "queue count mismatch");
@@ -552,6 +692,9 @@ impl<T: Send + 'static, Q: RxQueue<T>> AsyncMetronome<T, Q> {
                 gen: 0,
                 idle_from: None,
                 oversleep_deadline: None,
+                sleep_requested: None,
+                ready_at: None,
+                woke_from_park: false,
             });
         }
         let handles = per_shard
@@ -560,9 +703,10 @@ impl<T: Send + 'static, Q: RxQueue<T>> AsyncMetronome<T, Q> {
             .map(|(s, tasks)| {
                 let injector = Arc::clone(&injectors[s]);
                 let stop = Arc::clone(&stop);
+                let tracer = make_tracer(s);
                 std::thread::Builder::new()
                     .name(format!("{label}-exec-{s}"))
-                    .spawn(move || run_shard(tasks, injector, stop))
+                    .spawn(move || run_shard(tasks, injector, stop, tracer))
                     .expect("spawn executor shard")
             })
             .collect();
@@ -729,6 +873,62 @@ impl<T: Send + 'static, Q: RxQueue<T>> WorkerSet<T, Q> {
                     shards,
                 ))
             }
+        }
+    }
+
+    /// [`WorkerSet::start_discipline_scoped_with_telemetry`] with
+    /// flight-recorder tracing. Recorder grain follows the backend: one
+    /// ring per worker on [`ExecBackend::Threads`], one ring per shard on
+    /// [`ExecBackend::Async`] — size the trace hub with
+    /// [`ExecBackend`]-aware arithmetic (see
+    /// [`WorkerSet::trace_recorders`]).
+    pub fn start_discipline_scoped_traced<P>(
+        exec: ExecBackend,
+        cfg: MetronomeConfig,
+        spec: DisciplineSpec,
+        queues: Vec<Q>,
+        make_process: impl FnMut(usize) -> P,
+        hub: &Arc<TelemetryHub>,
+        trace: &Arc<TraceHub>,
+    ) -> Self
+    where
+        P: FnMut(usize, &mut Vec<T>) + Send + 'static,
+    {
+        match exec {
+            ExecBackend::Threads => WorkerSet::Threads(Metronome::start_discipline_scoped_traced(
+                cfg,
+                spec,
+                queues,
+                make_process,
+                hub,
+                trace,
+            )),
+            ExecBackend::Async { shards } => {
+                WorkerSet::Async(AsyncMetronome::start_discipline_scoped_traced(
+                    cfg,
+                    spec,
+                    queues,
+                    make_process,
+                    hub,
+                    trace,
+                    shards,
+                ))
+            }
+        }
+    }
+
+    /// How many trace-ring recorder slots a worker set on `exec` records
+    /// into: one per worker on the thread backend, one per shard (after
+    /// clamping to the worker count) on the executor.
+    pub fn trace_recorders(
+        exec: ExecBackend,
+        cfg: &MetronomeConfig,
+        spec: DisciplineSpec,
+    ) -> usize {
+        let workers = spec.workers(cfg.m_threads, cfg.n_queues);
+        match exec {
+            ExecBackend::Threads => workers,
+            ExecBackend::Async { shards } => shards.clamp(1, workers.max(1)),
         }
     }
 
@@ -963,6 +1163,78 @@ mod tests {
             "parked shard did not observe stop"
         );
         assert_eq!(stats.total_processed(), 0);
+    }
+
+    #[test]
+    fn traced_executor_records_scheduler_and_wheel_events() {
+        use metronome_telemetry::TraceEventKind;
+        let cfg = MetronomeConfig {
+            m_threads: 3,
+            n_queues: 2,
+            ..MetronomeConfig::default()
+        };
+        let hub = TelemetryHub::new(3, 2);
+        let trace = Arc::new(TraceHub::new(2, 4096));
+        let queues: Vec<_> = (0..2)
+            .map(|_| Arc::new(ArrayQueue::<u64>::new(4096)))
+            .collect();
+        let m = AsyncMetronome::start_discipline_scoped_traced(
+            cfg,
+            DisciplineSpec::Metronome,
+            queues.clone(),
+            |_worker| {
+                |_q: usize, burst: &mut Vec<u64>| {
+                    burst.drain(..);
+                }
+            },
+            &hub,
+            &trace,
+            2,
+        );
+        let n = 4_000u64;
+        for i in 0..n {
+            let q = (i % 2) as usize;
+            let mut item = i;
+            loop {
+                match m.queues()[q].push(item) {
+                    Ok(()) => break,
+                    Err(v) => {
+                        item = v;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while m.processed(0) + m.processed(1) < n && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        m.stop();
+        let dump = trace.dump();
+        // Both shard rings saw activity.
+        for w in &dump.workers {
+            assert!(
+                w.events.len() as u64 + w.dropped > 0,
+                "shard {} recorded nothing",
+                w.worker
+            );
+        }
+        // Scheduler introspection: slices bracket, vruntime picks carry
+        // their delay, and Metronome sleeps ride the timer wheel.
+        assert!(dump.kind_count(TraceEventKind::SliceBegin) > 0);
+        assert!(dump.kind_count(TraceEventKind::SliceEnd) > 0);
+        assert!(dump.kind_count(TraceEventKind::SchedPick) > 0);
+        assert!(dump.kind_count(TraceEventKind::WheelInsert) > 0);
+        assert!(dump.kind_count(TraceEventKind::WheelFire) > 0);
+        // Burst reconciliation holds on the executor path too.
+        let hub_bursts: u64 = (0..2)
+            .map(|q| hub.queue(q).bursts.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(dump.kind_count(TraceEventKind::Burst), hub_bursts);
+        let hub_oversleep: u64 = (0..3)
+            .map(|w| hub.worker(w).oversleep_nanos.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(dump.oversleep().sum(), hub_oversleep as u128);
     }
 
     #[test]

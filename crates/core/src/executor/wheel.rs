@@ -51,6 +51,9 @@ pub struct TimerWheel {
     /// `LEVELS × SLOTS` buckets of `(deadline_tick, entry)`, flattened.
     slots: Vec<Vec<(u64, TimerEntry)>>,
     pending: usize,
+    /// Cumulative count of entries re-placed by cascades (tracing reads
+    /// this as a delta across `advance` calls).
+    cascaded: u64,
 }
 
 impl TimerWheel {
@@ -61,6 +64,7 @@ impl TimerWheel {
             current: 0,
             slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
             pending: 0,
+            cascaded: 0,
         }
     }
 
@@ -73,6 +77,13 @@ impl TimerWheel {
     /// yet fired-and-discarded).
     pub fn pending(&self) -> usize {
         self.pending
+    }
+
+    /// Total entries re-placed by cascades since construction. Monotone;
+    /// a tracer reads it before and after [`TimerWheel::advance`] and
+    /// records the delta as one cascade event.
+    pub fn cascaded(&self) -> u64 {
+        self.cascaded
     }
 
     /// Arm a timer for `deadline_ns` (nanoseconds on the caller's clock).
@@ -125,6 +136,7 @@ impl TimerWheel {
                 }
                 let idx = ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
                 let entries = std::mem::take(&mut self.slots[level * SLOTS + idx]);
+                self.cascaded += entries.len() as u64;
                 for (deadline_tick, entry) in entries {
                     self.place(deadline_tick, entry);
                 }
@@ -263,6 +275,23 @@ mod tests {
         w.advance(10_000, &mut |_| fired += 1);
         assert_eq!(fired, 1);
         assert_eq!(w.next_deadline_ns(), Some(90_000));
+    }
+
+    #[test]
+    fn cascaded_counts_replaced_entries() {
+        let mut w = TimerWheel::new(1_000);
+        // Level-2 deadline: must ride at least one cascade down.
+        w.insert(100_000 * 1_000, entry(0, 0));
+        assert_eq!(w.cascaded(), 0);
+        let mut fired = 0;
+        w.advance(100_000 * 1_000, &mut |_| fired += 1);
+        assert_eq!(fired, 1);
+        assert!(w.cascaded() >= 1, "long deadline must cascade down");
+        // Short deadlines never cascade.
+        let before = w.cascaded();
+        w.insert(100_001 * 1_000, entry(1, 0));
+        w.advance(100_001 * 1_000, &mut |_| {});
+        assert_eq!(w.cascaded(), before);
     }
 
     #[test]

@@ -35,7 +35,9 @@ use crate::rxqueue::RxQueue;
 use crate::trylock::TryLock;
 use crossbeam::queue::ArrayQueue;
 use metronome_sim::Nanos;
-use metronome_telemetry::{NullSink, TelemetryHub, TelemetrySink};
+use metronome_telemetry::{
+    NullSink, NullTrace, TelemetryHub, TelemetrySink, TraceHub, TraceSink, TraceVerdict, TracedSink,
+};
 use parking_lot::Mutex;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -497,7 +499,14 @@ impl<T: Send + 'static, Q: RxQueue<T>> Metronome<T, Q> {
     where
         P: FnMut(usize, &mut Vec<T>) + Send + 'static,
     {
-        Self::start_with_sinks(cfg, spec, queues, make_process, |_worker| NullSink)
+        Self::start_with_sinks(
+            cfg,
+            spec,
+            queues,
+            make_process,
+            |_worker| NullSink,
+            |_| NullTrace,
+        )
     }
 
     /// [`Metronome::start_discipline_scoped`] with telemetry. The hub
@@ -520,25 +529,73 @@ impl<T: Send + 'static, Q: RxQueue<T>> Metronome<T, Q> {
         );
         assert_eq!(hub.n_queues(), cfg.n_queues, "hub/config queue mismatch");
         let hub = Arc::clone(hub);
-        Self::start_with_sinks(cfg, spec, queues, make_process, move |worker| {
-            hub.worker_sink(worker)
-        })
+        Self::start_with_sinks(
+            cfg,
+            spec,
+            queues,
+            make_process,
+            move |worker| hub.worker_sink(worker),
+            |_| NullTrace,
+        )
+    }
+
+    /// [`Metronome::start_discipline_scoped_with_telemetry`] with
+    /// flight-recorder tracing: each worker additionally records compact
+    /// binary events (turn verdicts, sleep precision, park/unpark,
+    /// drained bursts) into its own lock-free ring inside `trace`, plus
+    /// wake-latency and oversleep histograms. The trace hub must have at
+    /// least one recorder slot per spawned worker; slots beyond the
+    /// worker count stay empty (callers may reserve extras for
+    /// control-plane markers).
+    pub fn start_discipline_scoped_traced<P>(
+        cfg: MetronomeConfig,
+        spec: DisciplineSpec,
+        queues: Vec<Q>,
+        make_process: impl FnMut(usize) -> P,
+        hub: &Arc<TelemetryHub>,
+        trace: &Arc<TraceHub>,
+    ) -> Self
+    where
+        P: FnMut(usize, &mut Vec<T>) + Send + 'static,
+    {
+        let workers = spec.workers(cfg.m_threads, cfg.n_queues);
+        assert_eq!(hub.n_workers(), workers, "hub/config worker mismatch");
+        assert_eq!(hub.n_queues(), cfg.n_queues, "hub/config queue mismatch");
+        assert!(
+            trace.n_recorders() >= workers,
+            "trace hub has {} recorder slots for {workers} workers",
+            trace.n_recorders()
+        );
+        let hub = Arc::clone(hub);
+        let trace = Arc::clone(trace);
+        Self::start_with_sinks(
+            cfg,
+            spec,
+            queues,
+            make_process,
+            move |worker| hub.worker_sink(worker),
+            move |worker| trace.recorder(worker),
+        )
     }
 
     /// Shared spawn path: `make_process` builds each worker's owned
     /// process closure, `make_sink` its telemetry view ([`NullSink`] when
     /// telemetry is off, so the plain-`start` worker monomorphizes to the
-    /// pre-telemetry loop).
-    fn start_with_sinks<P, S>(
+    /// pre-telemetry loop) and `make_tracer` its flight-recorder view
+    /// ([`NullTrace`] when tracing is off — the untraced worker
+    /// monomorphizes to a loop with zero record-path cost).
+    fn start_with_sinks<P, S, R>(
         cfg: MetronomeConfig,
         spec: DisciplineSpec,
         queues: Vec<Q>,
         mut make_process: impl FnMut(usize) -> P,
         make_sink: impl Fn(usize) -> S,
+        make_tracer: impl Fn(usize) -> R,
     ) -> Self
     where
         P: FnMut(usize, &mut Vec<T>) + Send + 'static,
         S: TelemetrySink + Send + 'static,
+        R: TraceSink + Send + 'static,
     {
         cfg.validate().expect("invalid Metronome configuration");
         assert_eq!(queues.len(), cfg.n_queues, "queue count mismatch");
@@ -555,11 +612,12 @@ impl<T: Send + 'static, Q: RxQueue<T>> Metronome<T, Q> {
                 RealtimeBackend::new(queues.clone(), Arc::clone(&shared), make_process(worker));
             let stop = Arc::clone(&stop);
             let sink = make_sink(worker);
+            let tracer = make_tracer(worker);
             let discipline = spec.build(worker, cfg.n_queues, cfg.burst, &shared.doorbells);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("{label}-{worker}"))
-                    .spawn(move || run_worker(discipline, backend, sleeper, sink, &stop))
+                    .spawn(move || run_worker(discipline, backend, sleeper, sink, tracer, &stop))
                     .expect("spawn retrieval worker"),
             );
         }
@@ -623,31 +681,51 @@ impl<T: Send + 'static, Q: RxQueue<T>> Metronome<T, Q> {
 /// by sustained load — are flushed every `SPAN_FLUSH_MASK + 1` turns so
 /// windowed duty-cycle sampling stays live without an `Instant` read per
 /// turn.
-fn run_worker<B, D, S>(
+///
+/// `tracer` is the worker's flight-recorder view. It sees every verdict,
+/// every sleep with its requested/actual/oversleep split (exactly the
+/// values the telemetry sink is fed, so trace histograms reconcile with
+/// hub counters), every park/unpark with the wake-to-first-poll latency,
+/// and — via the [`TracedSink`] wrapper around `sink` — every drained
+/// burst the discipline reports. With [`NullTrace`] all of it
+/// monomorphizes away.
+fn run_worker<B, D, S, R>(
     mut discipline: D,
     mut backend: B,
     sleeper: PreciseSleeper,
     sink: S,
+    tracer: R,
     stop: &AtomicBool,
 ) -> ThreadPolicy
 where
     B: Backend,
     D: RetrievalDiscipline,
     S: TelemetrySink,
+    R: TraceSink,
 {
     /// Boundary-less turns (empty spins or non-empty drains) between
     /// busy-span flushes.
     const SPAN_FLUSH_MASK: u32 = 0x3F;
 
+    // Mirror discipline-internal `retrieved` reports into burst trace
+    // events (1:1 with the hub's `bursts` counter by construction).
+    let sink = TracedSink::new(sink, &tracer);
     let mut awake_since = Instant::now();
     let mut streak: u32 = 0;
+    // Set when a park wake was just recorded; consumed at the top of the
+    // next turn as the wake-to-first-poll latency.
+    let mut woke_at: Option<Instant> = None;
     loop {
+        if let Some(woke) = woke_at.take() {
+            tracer.first_poll(Nanos(woke.elapsed().as_nanos() as u64));
+        }
         match discipline.turn(&mut backend, &sink) {
             // Real cycles were already spent doing the step; flush the
             // running busy span periodically so a saturated worker's duty
             // cycle shows up in the window it was earned, not in one
             // spike at the streak's end.
             Verdict::Continue => {
+                tracer.turn_verdict(TraceVerdict::Continue);
                 streak = streak.wrapping_add(1);
                 if streak & SPAN_FLUSH_MASK == 0 {
                     sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
@@ -655,6 +733,7 @@ where
                 }
             }
             Verdict::Yield => {
+                tracer.turn_verdict(TraceVerdict::Yield);
                 // Spin boundary (busy polling): no queue lock is held, so
                 // exiting here cannot strand anything.
                 if stop.load(Ordering::Relaxed) {
@@ -669,6 +748,7 @@ where
                 std::hint::spin_loop();
             }
             Verdict::Sleep(dur) => {
+                tracer.turn_verdict(TraceVerdict::Sleep);
                 sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
                 // Sleep points are turn boundaries: the queue lock is never
                 // held here, so exiting now cannot strand a TryLock or drop
@@ -679,14 +759,21 @@ where
                 if !dur.is_zero() {
                     let slept_from = Instant::now();
                     let oversleep = sleeper.sleep(Duration::from_nanos(dur.as_nanos()));
-                    sink.slept(Nanos(slept_from.elapsed().as_nanos() as u64));
-                    sink.overslept(Nanos(oversleep.as_nanos() as u64));
+                    let measured = Nanos(slept_from.elapsed().as_nanos() as u64);
+                    let over = Nanos(oversleep.as_nanos() as u64);
+                    sink.slept(measured);
+                    sink.overslept(over);
+                    // Same values the sink just saw: the trace oversleep
+                    // histogram's sum equals the hub's oversleep counter.
+                    tracer.sleep(dur, measured, over);
                 }
                 awake_since = Instant::now();
             }
             Verdict::Wait(dur) => {
+                tracer.turn_verdict(TraceVerdict::Wait);
                 // Start-up stagger: an exact idle wait with no oversleep
-                // semantics (and none recorded).
+                // semantics (and none recorded — the trace event carries a
+                // zero oversleep, keeping histogram sums reconciled).
                 sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
                 if stop.load(Ordering::Relaxed) {
                     return discipline.into_policy();
@@ -694,12 +781,16 @@ where
                 if !dur.is_zero() {
                     let slept_from = Instant::now();
                     sleeper.sleep(Duration::from_nanos(dur.as_nanos()));
-                    sink.slept(Nanos(slept_from.elapsed().as_nanos() as u64));
+                    let measured = Nanos(slept_from.elapsed().as_nanos() as u64);
+                    sink.slept(measured);
+                    tracer.sleep(dur, measured, Nanos::ZERO);
                 }
                 awake_since = Instant::now();
             }
             Verdict::Park(token) => {
+                tracer.turn_verdict(TraceVerdict::Park);
                 sink.busy(Nanos(awake_since.elapsed().as_nanos() as u64));
+                tracer.park();
                 let parked_from = Instant::now();
                 loop {
                     if stop.load(Ordering::Relaxed) {
@@ -710,7 +801,10 @@ where
                         break;
                     }
                 }
-                sink.slept(Nanos(parked_from.elapsed().as_nanos() as u64));
+                let parked = Nanos(parked_from.elapsed().as_nanos() as u64);
+                sink.slept(parked);
+                tracer.unpark(parked);
+                woke_at = Some(Instant::now());
                 awake_since = Instant::now();
             }
         }
@@ -930,6 +1024,74 @@ mod tests {
             over <= actual.saturating_sub(req) + Duration::from_micros(50),
             "oversleep {over:?} inconsistent with actual {actual:?}"
         );
+    }
+
+    #[test]
+    fn traced_run_reconciles_with_hub_counters() {
+        let cfg = MetronomeConfig {
+            m_threads: 2,
+            n_queues: 1,
+            ..MetronomeConfig::default()
+        };
+        let hub = TelemetryHub::new(2, 1);
+        let trace = Arc::new(TraceHub::new(2, 4096));
+        let queues = vec![Arc::new(ArrayQueue::<u64>::new(1024))];
+        let m = Metronome::start_discipline_scoped_traced(
+            cfg,
+            DisciplineSpec::Metronome,
+            queues.clone(),
+            |_worker| {
+                |_q: usize, burst: &mut Vec<u64>| {
+                    burst.drain(..);
+                }
+            },
+            &hub,
+            &trace,
+        );
+        let n = 2_000u64;
+        for i in 0..n {
+            let mut item = i;
+            loop {
+                match m.queues()[0].push(item) {
+                    Ok(()) => break,
+                    Err(v) => {
+                        item = v;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while m.processed(0) < n && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        m.stop();
+        let dump = trace.dump();
+        // Every worker recorded something.
+        assert!(dump.total_events() > 0);
+        for w in &dump.workers {
+            assert!(
+                w.events.len() as u64 + w.dropped > 0,
+                "worker {} recorded nothing",
+                w.worker
+            );
+        }
+        // Burst trace events mirror the hub's bursts counter 1:1, and the
+        // trace oversleep histogram sums to the hub's oversleep counter —
+        // same events, counted on two independent paths.
+        use metronome_telemetry::TraceEventKind;
+        assert_eq!(
+            dump.kind_count(TraceEventKind::Burst),
+            hub.queue(0).bursts.load(Ordering::Relaxed),
+            "burst events must reconcile with the hub counter"
+        );
+        let hub_oversleep: u64 = (0..2)
+            .map(|w| hub.worker(w).oversleep_nanos.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(dump.oversleep().sum(), hub_oversleep as u128);
+        // Metronome workers sleep between turns: sleep events carry the
+        // requested-vs-actual split.
+        assert!(dump.kind_count(TraceEventKind::Sleep) > 0);
     }
 
     /// Run one baseline discipline end-to-end on real threads: feed items,

@@ -87,10 +87,20 @@ fn serve_request(mut stream: TcpStream, engine: &ServiceEngine) {
             "text/plain; version=0.0.4; charset=utf-8",
             engine.prometheus_text(),
         ),
+        ("GET", "/healthz") => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            {
+                let mut body = engine.health_json().render();
+                body.push('\n');
+                body
+            },
+        ),
         ("GET", "/") => (
             "200 OK",
             "text/plain; charset=utf-8",
-            "metronomed\n\nendpoints:\n  GET /metrics  Prometheus text exposition\n".to_string(),
+            "metronomed\n\nendpoints:\n  GET /metrics  Prometheus text exposition\n  GET /healthz  liveness + engine state (JSON)\n"
+                .to_string(),
         ),
         ("GET", _) => (
             "404 Not Found",

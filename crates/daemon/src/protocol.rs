@@ -13,9 +13,10 @@
 //! | `cmd`         | fields                                                        | effect |
 //! |---------------|---------------------------------------------------------------|--------|
 //! | `ping`        | —                                                             | liveness probe; replies with the engine state |
-//! | `submit`      | `name`, `rate_pps`, `discipline`, `m?`, `seed?`, `faults?`, `exec?`, `shards?`, `ring_path?` | start a scenario on the persistent pipeline |
+//! | `submit`      | `name`, `rate_pps`, `discipline`, `m?`, `seed?`, `faults?`, `exec?`, `shards?`, `ring_path?`, `trace?` | start a scenario on the persistent pipeline |
 //! | `reconfigure` | any of `rate_pps`, `discipline`, `m`, `exec` (+ `shards`)     | live-adjust the running scenario (no restart) |
 //! | `stats`       | —                                                             | cumulative counters (monotone across reconfigures) |
+//! | `trace`       | `path?`                                                       | dump the flight recorder: summary inline, Chrome trace JSON inline or to `path` |
 //! | `drain`       | —                                                             | stop generating, drain rings, audit the pool; stay up |
 //! | `shutdown`    | —                                                             | drain (if running) and exit; idempotent |
 //!
@@ -26,6 +27,16 @@
 //! **submit-only**: the port persists across re-arms, so a
 //! `reconfigure` naming `ring_path` is a typed error — drain and submit
 //! a new scenario instead.
+//!
+//! `trace` (the submit field) arms the flight recorder: per-worker
+//! event rings plus wake-latency/oversleep/scheduler-delay histograms.
+//! It defaults to **on** (`"trace": false` opts out) — the rings are
+//! fixed-capacity and the record path is allocation-free, so an armed
+//! recorder costs a few nanoseconds per event, and a daemon you cannot
+//! ask "what just happened?" is not much of a daemon. The `trace`
+//! *command* reads it back: a summary object inline, plus the full
+//! Chrome trace-event JSON either inline (no `path`) or written to
+//! `path` (load it in `chrome://tracing` or Perfetto).
 //!
 //! Fault events (in `submit`'s `"faults"` array) mirror
 //! [`metronome_traffic::FaultKind`]:
@@ -113,6 +124,9 @@ pub struct SubmitSpec {
     pub exec: ExecBackend,
     /// Rx ring synchronization path for the scenario's port.
     pub ring_path: RingPath,
+    /// Arm the flight recorder (per-worker trace rings + latency
+    /// histograms). Defaults to true; `"trace": false` opts out.
+    pub trace: bool,
 }
 
 /// A parsed `reconfigure` command: each `Some` field is applied to the
@@ -141,6 +155,13 @@ pub enum Request {
     Reconfigure(ReconfigureSpec),
     /// Read cumulative counters.
     Stats,
+    /// Dump the flight recorder (summary + Chrome trace JSON, written
+    /// to the given path when one is named).
+    Trace {
+        /// Where to write the Chrome trace-event JSON; `None` returns
+        /// it inline in the reply.
+        path: Option<String>,
+    },
     /// Stop generating, drain, audit; stay up.
     Drain,
     /// Drain and exit.
@@ -164,6 +185,7 @@ impl Request {
         match cmd {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "trace" => parse_trace(&doc),
             "drain" => Ok(Request::Drain),
             "shutdown" => Ok(Request::Shutdown),
             "submit" => parse_submit(&doc),
@@ -241,6 +263,14 @@ fn parse_ring_path(doc: &Json) -> Result<Option<RingPath>, String> {
     }
 }
 
+fn parse_trace(doc: &Json) -> Result<Request, String> {
+    let path = match doc.get("path") {
+        None => None,
+        Some(v) => Some(v.as_str().ok_or("\"path\" must be a string")?.to_string()),
+    };
+    Ok(Request::Trace { path })
+}
+
 fn parse_submit(doc: &Json) -> Result<Request, String> {
     let name = doc
         .get("name")
@@ -268,6 +298,10 @@ fn parse_submit(doc: &Json) -> Result<Request, String> {
     let faults = parse_faults(doc)?;
     let exec = parse_exec(doc)?.unwrap_or_default();
     let ring_path = parse_ring_path(doc)?.unwrap_or_default();
+    let trace = match doc.get("trace") {
+        None => true,
+        Some(v) => v.as_bool().ok_or("\"trace\" must be a boolean")?,
+    };
     Ok(Request::Submit(SubmitSpec {
         name,
         rate_pps,
@@ -277,6 +311,7 @@ fn parse_submit(doc: &Json) -> Result<Request, String> {
         faults,
         exec,
         ring_path,
+        trace,
     }))
 }
 
@@ -428,6 +463,26 @@ mod tests {
         assert_eq!(spec.faults.distinct_kinds(), 4);
         assert_eq!(spec.exec, ExecBackend::Threads, "threads is the default");
         assert_eq!(spec.ring_path, RingPath::Spsc, "spsc is the default");
+        assert!(spec.trace, "tracing defaults to on");
+    }
+
+    #[test]
+    fn parses_trace_command_and_submit_opt_out() {
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"trace"}"#),
+            Ok(Request::Trace { path: None })
+        ));
+        let Ok(Request::Trace { path: Some(p) }) =
+            Request::parse(r#"{"cmd":"trace","path":"/tmp/t.json"}"#)
+        else {
+            panic!("trace with path did not parse");
+        };
+        assert_eq!(p, "/tmp/t.json");
+
+        let Ok(Request::Submit(spec)) = Request::parse(r#"{"cmd":"submit","trace":false}"#) else {
+            panic!("submit did not parse");
+        };
+        assert!(!spec.trace, "explicit opt-out respected");
     }
 
     #[test]
@@ -493,6 +548,8 @@ mod tests {
             r#"{"cmd":"submit","ring_path":"quantum"}"#,
             r#"{"cmd":"submit","ring_path":7}"#,
             r#"{"cmd":"reconfigure","ring_path":"mpsc"}"#,
+            r#"{"cmd":"submit","trace":"yes"}"#,
+            r#"{"cmd":"trace","path":42}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "accepted: {bad}");
         }

@@ -43,7 +43,10 @@ use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_runtime::realtime_runner::{processor_for, WorkerRing};
 use metronome_sim::{Nanos, Rng};
 use metronome_telemetry::export::prometheus::{render, snapshot_metrics};
-use metronome_telemetry::{CounterSnapshot, DropCause, Json, TelemetryHub, TelemetrySink};
+use metronome_telemetry::{
+    CounterSnapshot, DropCause, Json, MarkerKind, TelemetryHub, TelemetrySink, TraceHub,
+    TraceRecorder, TraceSink, DEFAULT_RING_CAPACITY,
+};
 use metronome_traffic::{FaultPlan, FlowSet, WallClock};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -157,11 +160,54 @@ struct Arm {
     exec: ExecBackend,
 }
 
+/// The flight recorder of a running scenario: the hub the workers'
+/// per-worker/per-shard recorders publish into, plus one extra
+/// **control recorder** (the hub's last slot) for the daemon's own
+/// reconfigure / fault-plan markers. The hub outlives re-arms — a new
+/// worker set takes fresh recorders over the same slots — so one
+/// `trace` dump shows the marker *and* the behaviour change after it.
+struct TraceArm {
+    hub: Arc<TraceHub>,
+    /// Control-plane recorder (recorders are `Send`, not `Sync`; marker
+    /// rates are a few per reconfigure, so a mutex is fine here).
+    control: Mutex<TraceRecorder>,
+}
+
+impl TraceArm {
+    /// A hub sized for `worker_slots` worker/shard recorders plus the
+    /// control slot.
+    fn new(worker_slots: usize, label: &str) -> TraceArm {
+        let hub = Arc::new(TraceHub::labeled(
+            worker_slots + 1,
+            DEFAULT_RING_CAPACITY,
+            label,
+        ));
+        let control = Mutex::new(hub.recorder(worker_slots));
+        TraceArm { hub, control }
+    }
+
+    /// Record a control-plane marker and publish it immediately (markers
+    /// are rare; a blocking flush here costs nothing).
+    fn marker(&self, kind: MarkerKind, a: u64) {
+        let control = self.control.lock();
+        control.marker(kind, a);
+        control.flush();
+    }
+
+    /// Worker/shard recorder slots (everything but the control slot).
+    fn worker_slots(&self) -> usize {
+        self.hub.n_recorders() - 1
+    }
+}
+
 /// A running scenario on the persistent pipeline.
 struct RunState {
     name: String,
     port: Arc<RssPort>,
     arm: Option<Arm>,
+    /// Flight recorder, armed at submit (`None` when the scenario opted
+    /// out with `"trace": false`).
+    trace: Option<TraceArm>,
     gen: Option<(Arc<GenShared>, std::thread::JoinHandle<()>)>,
     /// The generator's view of the current hub (swapped on re-arm so no
     /// drop is ever counted against a retired hub after it was folded).
@@ -245,6 +291,7 @@ impl ServiceEngine {
                 .with("reply", "pong")
                 .with("state", self.state_label()),
             Request::Stats => self.stats_reply(),
+            Request::Trace { path } => self.trace_reply(path),
             Request::Submit(spec) => self.submit(spec),
             Request::Reconfigure(spec) => self.reconfigure(spec),
             Request::Drain => {
@@ -327,39 +374,53 @@ impl ServiceEngine {
         spec: DisciplineSpec,
         hub: Arc<TelemetryHub>,
         exec: ExecBackend,
+        trace: Option<&Arc<TraceHub>>,
     ) -> Arm {
         let halt = Arc::new(AtomicBool::new(false));
         let worker_burst = cfg.burst as usize;
         let m_threads = cfg.m_threads;
-        let workers = WorkerSet::start_discipline_scoped_with_telemetry(
-            exec,
-            cfg,
-            spec.clone(),
-            port.consumers().into_iter().map(WorkerRing).collect(),
-            {
-                let pool = &self.pool;
-                let halt = &halt;
-                move |_worker| {
-                    let apps = Arc::clone(apps);
-                    let stall = Arc::clone(stall);
-                    let halt = Arc::clone(halt);
-                    let mut cache = pool.cache(worker_burst);
-                    move |q: usize, burst: &mut Vec<Mbuf>| {
-                        // A stall window pauses retrieval mid-pipeline:
-                        // the rings back up behind this nap and tail-drop,
-                        // which is exactly the fault being modeled.
-                        while stall.load(Ordering::Relaxed) && !halt.load(Ordering::Relaxed) {
-                            std::thread::sleep(STALL_POLL);
-                        }
-                        let mut slot = apps[q].lock();
-                        let _verdicts = slot.process_burst(burst);
-                        drop(slot);
-                        cache.free_burst(burst.drain(..));
+        let consumers: Vec<WorkerRing> = port.consumers().into_iter().map(WorkerRing).collect();
+        let make_process = {
+            let pool = &self.pool;
+            let halt = &halt;
+            move |_worker| {
+                let apps = Arc::clone(apps);
+                let stall = Arc::clone(stall);
+                let halt = Arc::clone(halt);
+                let mut cache = pool.cache(worker_burst);
+                move |q: usize, burst: &mut Vec<Mbuf>| {
+                    // A stall window pauses retrieval mid-pipeline:
+                    // the rings back up behind this nap and tail-drop,
+                    // which is exactly the fault being modeled.
+                    while stall.load(Ordering::Relaxed) && !halt.load(Ordering::Relaxed) {
+                        std::thread::sleep(STALL_POLL);
                     }
+                    let mut slot = apps[q].lock();
+                    let _verdicts = slot.process_burst(burst);
+                    drop(slot);
+                    cache.free_burst(burst.drain(..));
                 }
-            },
-            &hub,
-        );
+            }
+        };
+        let workers = match trace {
+            Some(trace) => WorkerSet::start_discipline_scoped_traced(
+                exec,
+                cfg,
+                spec.clone(),
+                consumers,
+                make_process,
+                &hub,
+                trace,
+            ),
+            None => WorkerSet::start_discipline_scoped_with_telemetry(
+                exec,
+                cfg,
+                spec.clone(),
+                consumers,
+                make_process,
+                &hub,
+            ),
+        };
         for (q, slot) in bells.iter().enumerate() {
             *slot.lock() = match spec {
                 DisciplineSpec::InterruptLike(_) => Some(Arc::clone(workers.doorbell(q))),
@@ -423,6 +484,19 @@ impl ServiceEngine {
         );
         let stall = Arc::new(AtomicBool::new(false));
         let hub = self.hub_for(spec.discipline, &cfg, &disc_spec);
+        let trace = spec.trace.then(|| {
+            TraceArm::new(
+                WorkerSet::<Mbuf, WorkerRing>::trace_recorders(spec.exec, &cfg, disc_spec.clone()),
+                &spec.name,
+            )
+        });
+        if let Some(trace) = &trace {
+            // Stamp the armed fault plan into the recorder so a later
+            // dump shows what was scheduled before what happened.
+            if !spec.faults.is_empty() {
+                trace.marker(MarkerKind::FaultPlan, spec.faults.len() as u64);
+            }
+        }
         let arm = self.arm_workers(
             &port,
             &apps,
@@ -433,6 +507,7 @@ impl ServiceEngine {
             disc_spec,
             hub,
             spec.exec,
+            trace.as_ref().map(|t| &t.hub),
         );
         let gen_hub = Arc::new(Mutex::new(Arc::clone(&arm.hub)));
 
@@ -475,11 +550,13 @@ impl ServiceEngine {
             .with("workers", arm.workers_len() as u64)
             .with("rate_pps", spec.rate_pps)
             .with("fault_events", spec.faults.len() as u64)
-            .with("fault_kinds", spec.faults.distinct_kinds() as u64);
+            .with("fault_kinds", spec.faults.distinct_kinds() as u64)
+            .with("trace", trace.is_some());
         st.run = Some(RunState {
             name,
             port,
             arm: Some(arm),
+            trace,
             gen: Some((shared, handle)),
             gen_hub,
             bells,
@@ -532,8 +609,28 @@ impl ServiceEngine {
             let _stats = old.workers.stop();
             st.base.fold_hub(&old_hub);
             let run = st.run.as_mut().expect("checked above");
+            // The trace hub persists across re-arms (markers and recent
+            // history survive; the fresh workers take recorders over the
+            // same slots) — unless the new shape needs more slots than
+            // the hub has, in which case it is rebuilt larger.
+            let recorders =
+                WorkerSet::<Mbuf, WorkerRing>::trace_recorders(exec, &cfg, disc_spec.clone());
+            if let Some(trace) = &run.trace {
+                if trace.worker_slots() < recorders {
+                    run.trace = Some(TraceArm::new(recorders, &run.name));
+                }
+            }
             let arm = self.arm_workers(
-                &run.port, &run.apps, &run.stall, &run.bells, choice, cfg, disc_spec, new_hub, exec,
+                &run.port,
+                &run.apps,
+                &run.stall,
+                &run.bells,
+                choice,
+                cfg,
+                disc_spec,
+                new_hub,
+                exec,
+                run.trace.as_ref().map(|t| &t.hub),
             );
             run.arm = Some(arm);
             if spec.discipline.is_some() {
@@ -549,6 +646,11 @@ impl ServiceEngine {
 
         let run = st.run.as_ref().expect("checked above");
         let arm = run.arm.as_ref().expect("re-armed above");
+        // Stamp the reconfigure into the flight recorder so a later dump
+        // correlates the marker with the behaviour change around it.
+        if let Some(trace) = &run.trace {
+            trace.marker(MarkerKind::Reconfigure, changed.len() as u64);
+        }
         protocol::ok()
             .with(
                 "changed",
@@ -666,6 +768,15 @@ impl ServiceEngine {
             }
             snap.occupancy = run.port.occupancies();
             port_offered += run.port.total_offered();
+            // Flight-recorder histograms ride along when tracing is
+            // armed, so `/metrics` grows wake-latency / oversleep /
+            // scheduler-delay histogram series mid-run.
+            if let Some(trace) = &run.trace {
+                let dump = trace.hub.dump();
+                snap.wake_latency = Some(dump.wake_latency());
+                snap.oversleep_hist = Some(dump.oversleep());
+                snap.sched_delay = Some(dump.sched_delay());
+            }
         }
         snap.retrieved += st.base.retrieved;
         snap.wakeups += st.base.wakeups;
@@ -687,12 +798,78 @@ impl ServiceEngine {
         render(&snapshot_metrics(&self.snapshot()))
     }
 
+    /// The `/healthz` reply body: liveness plus coarse state, cheap
+    /// enough for an aggressive prober (no counter walk, no port poll).
+    pub fn health_json(&self) -> Json {
+        let st = self.state.lock();
+        Json::obj()
+            .with("status", "ok")
+            .with("state", self.state_label_locked(&st))
+            .with("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .with("completed_runs", st.completed)
+    }
+
+    /// The `trace` command: dump the running scenario's flight recorder.
+    /// The summary (per-ring event/drop counts, histogram quantiles) is
+    /// always inline; the full Chrome trace-event JSON goes inline when
+    /// no `path` was named, else to the file at `path`.
+    fn trace_reply(&self, path: Option<String>) -> Json {
+        let st = self.state.lock();
+        let Some(run) = st.run.as_ref() else {
+            return protocol::err("no scenario is running; submit one first");
+        };
+        let Some(trace) = &run.trace else {
+            return protocol::err(
+                "tracing is disabled for this scenario (it was submitted with \"trace\": false)",
+            );
+        };
+        // Publish any still-buffered control markers; worker recorders
+        // flush opportunistically, so their rings may trail by up to one
+        // flush interval — the dump is a snapshot, not a barrier.
+        trace.control.lock().flush();
+        let dump = trace.hub.dump();
+        let mut reply = protocol::ok()
+            .with("scenario", run.name.as_str())
+            .with("workers", dump.workers.len() as u64)
+            .with("events", dump.total_events() as u64)
+            .with("dropped_events", dump.total_dropped())
+            .with("summary", dump.summary_json());
+        match path {
+            Some(p) => {
+                let chrome = dump.chrome_json().render();
+                if let Err(e) = std::fs::write(&p, chrome.as_bytes()) {
+                    return protocol::err(format!("cannot write {p:?}: {e}"));
+                }
+                reply.push("written", p.as_str());
+                reply.push("bytes", chrome.len() as u64);
+            }
+            None => {
+                reply.push("chrome", dump.chrome_json());
+            }
+        }
+        reply
+    }
+
     fn stats_reply(&self) -> Json {
         let snap = self.snapshot();
         let st = self.state.lock();
+        // Effective backend of the live arm (post-clamp shard count from
+        // the worker set itself, not the requested figure); idle daemons
+        // report "none" / 0 so the fields are always present.
+        let (exec_backend, shards) =
+            st.run
+                .as_ref()
+                .and_then(|r| r.arm.as_ref())
+                .map_or(("none", 0u64), |arm| match arm.workers.exec() {
+                    ExecBackend::Threads => ("threads", 0),
+                    ExecBackend::Async { shards } => ("async", shards as u64),
+                });
         let mut reply = protocol::ok()
             .with("state", self.state_label_locked(&st))
             .with("uptime_s", snap.at.as_secs_f64())
+            .with("uptime_ms", snap.at.as_nanos() / 1_000_000)
+            .with("exec_backend", exec_backend)
+            .with("shards", shards)
             .with("completed_runs", st.completed)
             .with("offered", snap.offered)
             .with("processed", snap.retrieved)
@@ -713,6 +890,7 @@ impl ServiceEngine {
             );
         if let Some(run) = &st.run {
             reply.push("scenario", run.name.as_str());
+            reply.push("trace", run.trace.is_some());
             if let Some(arm) = &run.arm {
                 reply.push("discipline", arm.discipline.label());
                 reply.push("m", arm.m_threads as u64);

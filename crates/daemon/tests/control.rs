@@ -218,6 +218,189 @@ fn reconfigure_under_load_keeps_counters_monotone() {
     daemon.finish();
 }
 
+/// Plain HTTP/1.1 GET against the metrics listener; returns the raw
+/// header block and the body.
+fn http_get(addr: std::net::SocketAddr, target: &str) -> (String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics listener");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut raw = String::new();
+    std::io::Read::read_to_string(&mut stream, &mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// One header's value out of a raw header block (names matched
+/// case-insensitively, as HTTP requires).
+fn header<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+#[test]
+fn trace_dump_covers_workers_and_marks_reconfigures() {
+    let daemon = TestDaemon::start("trace");
+    let mut c = daemon.connect();
+    let submit = c.send(
+        r#"{"cmd":"submit","name":"traced","rate_pps":30000,"discipline":"metronome","m":2,"seed":5}"#,
+    );
+    assert_ok(&submit);
+    assert_eq!(
+        submit.get("trace").and_then(Json::as_bool),
+        Some(true),
+        "tracing defaults to on"
+    );
+
+    // Let traffic flow so the recorders have something to say.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = c.send(r#"{"cmd":"stats"}"#);
+        assert!(
+            s.get("uptime_ms").and_then(Json::as_u64).is_some(),
+            "stats must carry uptime_ms: {}",
+            s.render()
+        );
+        assert_eq!(
+            s.get("exec_backend").and_then(Json::as_str),
+            Some("threads"),
+            "stats must carry exec_backend"
+        );
+        assert_eq!(
+            s.get("shards").and_then(Json::as_u64),
+            Some(0),
+            "thread backend has no executor shards"
+        );
+        if s.get("processed").and_then(Json::as_u64).unwrap_or(0) > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no packets processed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // A reconfigure stamps a control-plane marker into the recorder.
+    assert_ok(&c.send(r#"{"cmd":"reconfigure","rate_pps":60000}"#));
+
+    let reply = c.send(r#"{"cmd":"trace"}"#);
+    assert_ok(&reply);
+    assert!(
+        reply.get("events").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "recorder captured nothing: {}",
+        reply.render()
+    );
+    let chrome = reply.get("chrome").expect("chrome dump rides inline");
+    let events = chrome
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert!(
+            ev.get("ph").and_then(Json::as_str).is_some(),
+            "event without ph"
+        );
+        assert!(ev.get("pid").is_some() && ev.get("tid").is_some());
+    }
+    let summary = reply.get("summary").expect("summary rides inline");
+    let workers = summary.get("workers").and_then(Json::as_arr).unwrap();
+    let kind_total = |kind: &str| -> u64 {
+        workers
+            .iter()
+            .filter_map(|w| {
+                w.get("kinds")
+                    .and_then(|k| k.get(kind))
+                    .and_then(Json::as_u64)
+            })
+            .sum()
+    };
+    assert!(
+        kind_total("burst") > 0,
+        "processed packets but no burst events: {}",
+        summary.render()
+    );
+    assert!(
+        kind_total("reconfigure") >= 1,
+        "reconfigure marker missing: {}",
+        summary.render()
+    );
+
+    // Dump-to-file: the written artifact is the same loadable document.
+    let path = std::env::temp_dir().join(format!("metronomed-trace-{}.json", std::process::id()));
+    let reply = c.send(&format!(r#"{{"cmd":"trace","path":"{}"}}"#, path.display()));
+    assert_ok(&reply);
+    assert!(reply.get("bytes").and_then(Json::as_u64).unwrap_or(0) > 0);
+    let written = std::fs::read_to_string(&path).expect("trace file written");
+    let doc = Json::parse(&written).expect("trace file is valid JSON");
+    assert!(doc.get("traceEvents").and_then(Json::as_arr).is_some());
+    let _ = std::fs::remove_file(&path);
+
+    daemon.finish();
+}
+
+#[test]
+fn trace_errors_cleanly_when_idle_or_disabled() {
+    let daemon = TestDaemon::start("trace-off");
+    let mut c = daemon.connect();
+    // Idle: nothing to dump.
+    assert_err(&c.send(r#"{"cmd":"trace"}"#));
+    // Opted out at submit: a typed error, not an empty dump.
+    let submit = c.send(r#"{"cmd":"submit","name":"untraced","rate_pps":5000,"trace":false}"#);
+    assert_ok(&submit);
+    assert_eq!(submit.get("trace").and_then(Json::as_bool), Some(false));
+    assert_err(&c.send(r#"{"cmd":"trace"}"#));
+    daemon.finish();
+}
+
+#[test]
+fn http_pins_metrics_content_type_and_serves_healthz() {
+    let daemon = TestDaemon::start("http");
+    let mut c = daemon.connect();
+    assert_ok(&c.send(r#"{"cmd":"submit","name":"scraped","rate_pps":20000}"#));
+    std::thread::sleep(Duration::from_millis(100));
+    let addr = daemon.metrics.as_ref().unwrap().addr();
+
+    let (head, body) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "bad status: {head}");
+    let ctype = header(&head, "Content-Type").expect("Content-Type header");
+    assert!(
+        ctype.starts_with("text/plain; version=0.0.4"),
+        "Prometheus content type must be pinned, got {ctype:?}"
+    );
+    assert_eq!(
+        header(&head, "Content-Length").and_then(|v| v.parse::<usize>().ok()),
+        Some(body.len()),
+        "Content-Length must match the body exactly"
+    );
+    // Tracing is on by default, so the flight-recorder histograms are
+    // exposed as real histogram series.
+    for series in [
+        "metronome_wake_latency_seconds_bucket",
+        "metronome_oversleep_seconds_sum",
+        "metronome_sched_delay_seconds_count",
+    ] {
+        assert!(body.contains(series), "missing {series} in:\n{body}");
+    }
+
+    let (head, body) = http_get(addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "bad status: {head}");
+    let health = Json::parse(body.trim()).expect("healthz is JSON");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("state").and_then(Json::as_str), Some("running"));
+    assert!(health.get("uptime_ms").and_then(Json::as_u64).is_some());
+
+    let (head, _) = http_get(addr, "/warp");
+    assert!(head.starts_with("HTTP/1.1 404"), "bad status: {head}");
+    daemon.finish();
+}
+
 #[test]
 fn double_shutdown_is_idempotent() {
     let daemon = TestDaemon::start("double-shutdown");

@@ -70,7 +70,10 @@ use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_sim::stats::Histogram;
 use metronome_sim::Nanos;
 use metronome_sim::Rng;
-use metronome_telemetry::{CounterSnapshot, DropCause, Sampler, TelemetryHub, TelemetrySink};
+use metronome_telemetry::{
+    CounterSnapshot, DropCause, Sampler, TelemetryHub, TelemetrySink, TraceHub,
+    DEFAULT_RING_CAPACITY,
+};
 use metronome_traffic::{
     ArrivalProcess, FlowSet, InjectionStats, PacedArrivals, PlannedFaults, WallClock,
 };
@@ -342,48 +345,73 @@ pub fn try_run_realtime_with(
     let clock_cell: Arc<std::sync::OnceLock<WallClock>> = Arc::new(std::sync::OnceLock::new());
     let measure_latency = sc.latency_stride > 0;
     let run_start = Instant::now();
+    // Flight-recorder tracing (opt-in): one ring per worker on the thread
+    // backend, one per shard on the executor. The untraced start path
+    // passes NullTrace, so a `trace: false` scenario records nothing and
+    // pays nothing on the record path.
+    let trace_hub: Option<Arc<TraceHub>> = match (&dispatch, sc.trace) {
+        (Some((cfg, spec)), true) => Some(Arc::new(TraceHub::labeled(
+            WorkerSet::<Mbuf, WorkerRing>::trace_recorders(sc.exec, cfg, spec.clone()),
+            DEFAULT_RING_CAPACITY,
+            sc.system.label(),
+        ))),
+        _ => None,
+    };
     let metronome = dispatch.map(|(cfg, spec)| {
         let worker_burst = cfg.burst as usize;
-        let worker_set = WorkerSet::start_discipline_scoped_with_telemetry(
-            sc.exec,
-            cfg,
-            spec.clone(),
-            port.consumers().into_iter().map(WorkerRing).collect(),
-            {
-                let apps = &apps;
-                let clock_cell = &clock_cell;
-                let pool = &pool;
-                move |_worker| {
-                    let apps = Arc::clone(apps);
-                    let clock_cell = Arc::clone(clock_cell);
-                    // Each worker owns a burst-sized mempool cache: a
-                    // recycled burst is a thread-local stack push, not a
-                    // freelist lock. The cache rides into the worker's
-                    // closure and flushes when the thread exits (before
-                    // join returns), so the post-run pool audit still
-                    // balances.
-                    let mut cache = pool.cache(worker_burst);
-                    move |q: usize, burst: &mut Vec<Mbuf>| {
-                        // One lock, one process_burst, one histogram pass,
-                        // one free_burst — per burst, never per packet.
-                        let mut slot = apps[q].lock();
-                        let _verdicts = slot.proc.process_burst(burst);
-                        if measure_latency {
-                            if let Some(clock) = clock_cell.get() {
-                                let done = clock.now();
-                                for mbuf in burst.iter() {
-                                    let lat = done.saturating_sub(mbuf.arrival);
-                                    slot.latency_ns.record(lat.as_nanos());
-                                }
+        let make_process = {
+            let apps = &apps;
+            let clock_cell = &clock_cell;
+            let pool = &pool;
+            move |_worker: usize| {
+                let apps = Arc::clone(apps);
+                let clock_cell = Arc::clone(clock_cell);
+                // Each worker owns a burst-sized mempool cache: a
+                // recycled burst is a thread-local stack push, not a
+                // freelist lock. The cache rides into the worker's
+                // closure and flushes when the thread exits (before
+                // join returns), so the post-run pool audit still
+                // balances.
+                let mut cache = pool.cache(worker_burst);
+                move |q: usize, burst: &mut Vec<Mbuf>| {
+                    // One lock, one process_burst, one histogram pass,
+                    // one free_burst — per burst, never per packet.
+                    let mut slot = apps[q].lock();
+                    let _verdicts = slot.proc.process_burst(burst);
+                    if measure_latency {
+                        if let Some(clock) = clock_cell.get() {
+                            let done = clock.now();
+                            for mbuf in burst.iter() {
+                                let lat = done.saturating_sub(mbuf.arrival);
+                                slot.latency_ns.record(lat.as_nanos());
                             }
                         }
-                        drop(slot);
-                        cache.free_burst(burst.drain(..));
                     }
+                    drop(slot);
+                    cache.free_burst(burst.drain(..));
                 }
-            },
-            &hub,
-        );
+            }
+        };
+        let consumers: Vec<WorkerRing> = port.consumers().into_iter().map(WorkerRing).collect();
+        let worker_set = match &trace_hub {
+            Some(trace) => WorkerSet::start_discipline_scoped_traced(
+                sc.exec,
+                cfg,
+                spec.clone(),
+                consumers,
+                make_process,
+                &hub,
+                trace,
+            ),
+            None => WorkerSet::start_discipline_scoped_with_telemetry(
+                sc.exec,
+                cfg,
+                spec.clone(),
+                consumers,
+                make_process,
+                &hub,
+            ),
+        };
         // Interrupt-driven workers park on per-queue doorbells; arm the
         // RSS port's producer-side hook so every accepted burst rings the
         // queue's bell (the "raise the IRQ" edge). The hook is installed
@@ -410,6 +438,7 @@ pub fn try_run_realtime_with(
         let pool = pool.clone();
         let apps = Arc::clone(&apps);
         let stop = Arc::clone(&sampler_stop);
+        let trace_hub = trace_hub.clone();
         let interval = Duration::from_nanos(every.as_nanos());
         std::thread::Builder::new()
             .name("metronome-sampler".into())
@@ -442,6 +471,16 @@ pub fn try_run_realtime_with(
                             merged.merge(&app.lock().latency_ns);
                         }
                         snap.latency = Some(merged);
+                    }
+                    if let Some(trace) = &trace_hub {
+                        // Recorders publish opportunistically (every flush
+                        // batch and at drop), so a live window sees the
+                        // state as of the last flush; the final snapshot
+                        // after join sees everything.
+                        let dump = trace.dump();
+                        snap.wake_latency = Some(dump.wake_latency());
+                        snap.oversleep_hist = Some(dump.oversleep());
+                        snap.sched_delay = Some(dump.sched_delay());
                     }
                     sampler.sample(snap);
                     last = Instant::now();
@@ -688,5 +727,8 @@ pub fn try_run_realtime_with(
         }
         report.latency_us = merged.boxplot_scaled(1e-3);
     }
+    // Workers joined above, so every recorder has deposited its final
+    // ring state: this dump is the complete flight record of the run.
+    report.trace = trace_hub.as_ref().map(|t| t.dump());
     Ok(report)
 }

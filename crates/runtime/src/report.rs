@@ -4,7 +4,7 @@ use metronome_dpdk::MempoolStats;
 use metronome_sim::stats::Boxplot;
 use metronome_sim::Nanos;
 use metronome_telemetry::export::json::{timeseries_json, Json};
-use metronome_telemetry::TimeSeries;
+use metronome_telemetry::{TimeSeries, TraceDump};
 
 /// Per-queue outcome of a run.
 #[derive(Clone, Debug)]
@@ -111,6 +111,12 @@ pub struct RunReport {
     pub timeseries: Option<TimeSeries>,
     /// Raw vacation-period samples in µs (Fig. 4 / Table I), capped.
     pub vacation_samples_us: Vec<f64>,
+    /// Flight-recorder trace dump (`None` unless the scenario enabled
+    /// tracing via `with_trace`): per-worker/shard event rings plus
+    /// wake-latency, oversleep and scheduler-delay histograms. Render it
+    /// with [`TraceDump::chrome_json`] for `chrome://tracing`/Perfetto or
+    /// [`TraceDump::summary_json`] for counts.
+    pub trace: Option<TraceDump>,
 }
 
 impl RunReport {
@@ -161,6 +167,7 @@ impl RunReport {
             series: Vec::new(),
             timeseries: None,
             vacation_samples_us: Vec::new(),
+            trace: None,
         }
     }
 
@@ -311,6 +318,16 @@ impl RunReport {
             Some(ts) => doc.push("timeseries", timeseries_json(ts)),
             None => doc.push("timeseries", Json::Null),
         };
+        // The trace rides along as its summary (event/drop counts per
+        // ring, histogram quantiles) — the full Chrome dump is a separate
+        // artifact callers render on demand.
+        doc.push(
+            "trace",
+            self.trace
+                .as_ref()
+                .map(TraceDump::summary_json)
+                .unwrap_or(Json::Null),
+        );
         doc.render()
     }
 }

@@ -273,6 +273,12 @@ pub struct Scenario {
     /// default; MPSC and the locked fallback are selectable so every
     /// path is exercised end-to-end). Simulation ignores this.
     pub ring_path: RingPath,
+    /// Flight-recorder tracing of the realtime worker set: per-worker (or
+    /// per-shard on the async backend) event rings plus wake-latency /
+    /// oversleep / scheduler-delay histograms, dumped into the report.
+    /// Off by default — the disabled path is a compile-time no-op on the
+    /// record path. Simulation ignores this.
+    pub trace: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -299,6 +305,7 @@ impl Scenario {
             faults: None,
             exec: ExecBackend::Threads,
             ring_path: RingPath::Spsc,
+            trace: false,
             seed: 0xC0FFEE,
         }
     }
@@ -455,6 +462,12 @@ impl Scenario {
     /// Choose the ring transport of the realtime RSS port.
     pub fn with_ring_path(mut self, path: RingPath) -> Self {
         self.ring_path = path;
+        self
+    }
+
+    /// Enable flight-recorder tracing of the realtime worker set.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 

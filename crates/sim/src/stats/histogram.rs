@@ -107,6 +107,12 @@ impl Histogram {
         self.total
     }
 
+    /// Exact sum of recorded values (what a Prometheus `_sum` sample
+    /// reports; `u128` so nanosecond totals cannot overflow).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Exact arithmetic mean of recorded values.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -208,6 +214,17 @@ impl Histogram {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(move |(i, &c)| (self.bucket_low(i), c))
+    }
+
+    /// Iterate non-empty buckets as `(low, high_exclusive, count)` — the
+    /// half-open value range each bucket covers, for exporters that need
+    /// upper bounds (e.g. Prometheus `le` labels).
+    pub fn iter_spans(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (self.bucket_low(i), self.bucket_low(i + 1), c))
     }
 }
 

@@ -27,6 +27,9 @@ pub const HEADERS: &[&str] = &[
     "lat_p50_us",
     "lat_p95_us",
     "lat_p99_us",
+    "wake_p50_us",
+    "wake_p99_us",
+    "sched_p99_us",
     "discipline",
 ];
 
@@ -44,8 +47,19 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             ),
             None => (String::new(), String::new(), String::new()),
         };
+        // Trace-histogram columns: empty unless tracing recorded samples
+        // in the window (same convention as the latency columns).
+        let (wake_p50, wake_p99) = match &w.wake_latency {
+            Some(l) => (format!("{:.3}", l.p50_us), format!("{:.3}", l.p99_us)),
+            None => (String::new(), String::new()),
+        };
+        let sched_p99 = w
+            .sched_delay
+            .as_ref()
+            .map(|l| format!("{:.3}", l.p99_us))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "{},{:.6},{:.6},{},{},{},{},{},{},{:.3},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{},{:.3},{},{},{},{}\n",
+            "{},{:.6},{:.6},{},{},{},{},{},{},{:.3},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{},{:.3},{},{},{},{},{},{},{}\n",
             w.index,
             w.start.as_secs_f64(),
             w.end.as_secs_f64(),
@@ -68,6 +82,9 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             p50,
             p95,
             p99,
+            wake_p50,
+            wake_p99,
+            sched_p99,
             ts.discipline(),
         ));
     }

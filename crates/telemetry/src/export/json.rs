@@ -537,17 +537,16 @@ pub fn timeseries_json(ts: &TimeSeries) -> Json {
                 .with("pool_in_use", w.pool_in_use)
                 .with("pool_cached", w.pool_cached)
                 .with("power_watts", w.power_watts);
-            match &w.latency {
-                Some(l) => o.push(
-                    "latency_us",
-                    Json::obj()
-                        .with("count", l.count)
-                        .with("p50", l.p50_us)
-                        .with("p95", l.p95_us)
-                        .with("p99", l.p99_us),
-                ),
-                None => o.push("latency_us", Json::Null),
+            let lat_window = |l: &crate::sampler::LatencyWindow| {
+                Json::obj()
+                    .with("count", l.count)
+                    .with("p50", l.p50_us)
+                    .with("p95", l.p95_us)
+                    .with("p99", l.p99_us)
             };
+            o.push("latency_us", w.latency.as_ref().map(lat_window));
+            o.push("wake_latency_us", w.wake_latency.as_ref().map(lat_window));
+            o.push("sched_delay_us", w.sched_delay.as_ref().map(lat_window));
             o
         })
         .collect();

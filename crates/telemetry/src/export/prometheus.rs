@@ -8,6 +8,7 @@
 //! that doesn't need a Prometheus server.
 
 use crate::sampler::CounterSnapshot;
+use metronome_sim::stats::Histogram;
 
 /// Metric type, per the exposition format.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -253,6 +254,51 @@ fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
     }
 }
 
+/// Render a log-bucketed [`Histogram`] of nanosecond values as the
+/// standard Prometheus histogram trio: `{name}_bucket` cumulative
+/// counters with `le` labels in *seconds*, `{name}_sum` (seconds), and
+/// `{name}_count`. Each `le` is the exclusive upper bound of a
+/// log-linear bucket, closed by the mandatory `+Inf` bucket; by
+/// construction `{name}_bucket{{le="+Inf"}} == {name}_count` and
+/// `{name}_sum` is the exact sum of recorded values.
+pub fn histogram_families(name: &str, help: &str, h: &Histogram) -> Vec<PromMetric> {
+    let mut cumulative = 0u64;
+    let mut buckets: Vec<PromSample> = h
+        .iter_spans()
+        .map(|(_, high, c)| {
+            cumulative += c;
+            PromSample {
+                labels: vec![("le".into(), format!("{:?}", high as f64 / 1e9))],
+                value: cumulative as f64,
+            }
+        })
+        .collect();
+    buckets.push(PromSample {
+        labels: vec![("le".into(), "+Inf".into())],
+        value: h.count() as f64,
+    });
+    vec![
+        PromMetric {
+            name: format!("{name}_bucket"),
+            help: help.into(),
+            kind: PromKind::Counter,
+            samples: buckets,
+        },
+        PromMetric::scalar(
+            &format!("{name}_sum"),
+            help,
+            PromKind::Counter,
+            h.sum() as f64 / 1e9,
+        ),
+        PromMetric::scalar(
+            &format!("{name}_count"),
+            help,
+            PromKind::Counter,
+            h.count() as f64,
+        ),
+    ]
+}
+
 /// The standard metric families for one cumulative snapshot, prefixed
 /// `metronome_` — what a live `/metrics` scrape of a running instance
 /// would serve. When the snapshot carries a retrieval-discipline label,
@@ -344,6 +390,28 @@ pub fn snapshot_metrics(snap: &CounterSnapshot) -> Vec<PromMetric> {
             snap.pool_cached as f64,
         ),
     ];
+    // Flight-recorder histogram series (only when tracing is on).
+    if let Some(h) = &snap.wake_latency {
+        metrics.extend(histogram_families(
+            "metronome_wake_latency_seconds",
+            "Wake-to-first-poll latency",
+            h,
+        ));
+    }
+    if let Some(h) = &snap.oversleep_hist {
+        metrics.extend(histogram_families(
+            "metronome_oversleep_seconds",
+            "Per-sleep oversleep; the sum equals metronome_oversleep_seconds_total",
+            h,
+        ));
+    }
+    if let Some(h) = &snap.sched_delay {
+        metrics.extend(histogram_families(
+            "metronome_sched_delay_seconds",
+            "Executor ready-to-scheduled delay",
+            h,
+        ));
+    }
     if !snap.discipline.is_empty() {
         for m in &mut metrics {
             for s in &mut m.samples {
@@ -418,6 +486,66 @@ mod tests {
         assert!(text.contains("metronome_retrieved_packets_total{system=\"busy-poll\"} 7"));
         // Per-queue samples carry both labels, system first.
         assert!(text.contains("metronome_rho{system=\"busy-poll\",queue=\"0\"} 0.5"));
+    }
+
+    #[test]
+    fn histogram_families_expose_buckets_sum_count() {
+        let mut h = Histogram::latency();
+        for v in [1_000u64, 5_000, 5_000, 2_000_000] {
+            h.record(v);
+        }
+        let fams = histogram_families("metronome_wake_latency_seconds", "wake latency", &h);
+        assert_eq!(fams.len(), 3);
+        let bucket = &fams[0];
+        assert_eq!(bucket.name, "metronome_wake_latency_seconds_bucket");
+        // Cumulative counts are nondecreasing and close at +Inf == count.
+        let mut prev = 0.0;
+        for s in &bucket.samples {
+            assert!(s.value >= prev, "bucket counts must be cumulative");
+            prev = s.value;
+        }
+        let inf = bucket.samples.last().unwrap();
+        assert_eq!(inf.labels[0], ("le".into(), "+Inf".into()));
+        assert_eq!(inf.value, 4.0);
+        assert_eq!(fams[2].samples[0].value, 4.0, "_count matches");
+        let sum_s = fams[1].samples[0].value;
+        assert!((sum_s - 2_011_000.0 / 1e9).abs() < 1e-12, "_sum is exact");
+        // The whole trio survives a render/parse round trip.
+        let text = render(&fams);
+        assert_eq!(parse(&text).expect("valid exposition text"), fams);
+    }
+
+    #[test]
+    fn snapshot_metrics_include_trace_histograms_when_present() {
+        let mut snap = CounterSnapshot::new(Nanos::from_secs(1));
+        snap.ts_ns = vec![10_000];
+        snap.rho = vec![0.5];
+        snap.occupancy = vec![0];
+        assert!(!render(&snapshot_metrics(&snap)).contains("wake_latency"));
+        let mut h = Histogram::latency();
+        h.record(3_000);
+        snap.wake_latency = Some(h.clone());
+        snap.oversleep_hist = Some(h.clone());
+        snap.sched_delay = Some(h);
+        snap.oversleep_nanos = 3_000;
+        let text = render(&snapshot_metrics(&snap));
+        assert!(text.contains("metronome_wake_latency_seconds_bucket"));
+        assert!(text.contains("metronome_oversleep_seconds_sum"));
+        assert!(text.contains("metronome_sched_delay_seconds_count"));
+        // The oversleep histogram sum reconciles with the counter total.
+        let metrics = parse(&text).unwrap();
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .samples[0]
+                .value
+        };
+        assert_eq!(
+            get("metronome_oversleep_seconds_sum"),
+            get("metronome_oversleep_seconds_total")
+        );
     }
 
     #[test]

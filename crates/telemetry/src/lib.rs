@@ -21,7 +21,10 @@
 //!   vendored build has no serde), and Prometheus text exposition format
 //!   (with a parser, so the exporter is round-trip tested);
 //! * [`probe`] — the [`probe::OccupancyProbe`] gauge trait rings and
-//!   mempools implement.
+//!   mempools implement;
+//! * [`trace`] — flight-recorder tracing: per-worker drop-oldest event
+//!   rings ([`trace::TraceRecorder`]), wake/oversleep/scheduler-delay
+//!   histograms, and Chrome trace-event dumps of the merged rings.
 //!
 //! The simulation backend samples at scheduled event boundaries; the
 //! realtime backend runs a sampler thread. Both feed the same `Sampler`,
@@ -52,6 +55,7 @@ pub mod export;
 pub mod probe;
 pub mod sampler;
 pub mod sink;
+pub mod trace;
 
 pub use counters::{QueueCounters, TelemetryHub, WorkerCounters, WorkerTelemetry};
 pub use export::json::Json;
@@ -59,3 +63,7 @@ pub use export::{CsvExporter, Exporter, JsonExporter, PrometheusExporter};
 pub use probe::OccupancyProbe;
 pub use sampler::{CounterSnapshot, LatencyWindow, Sampler, TimeSeries, Window};
 pub use sink::{DropCause, NullSink, PhaseKind, SleepKind, TelemetrySink};
+pub use trace::{
+    MarkerKind, NullTrace, TraceDump, TraceEvent, TraceEventKind, TraceHub, TraceRecorder,
+    TraceRing, TraceSink, TraceVerdict, TracedSink, WorkerTrace, DEFAULT_RING_CAPACITY,
+};

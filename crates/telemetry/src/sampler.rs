@@ -67,6 +67,15 @@ pub struct CounterSnapshot {
     pub energy_joules: f64,
     /// Cumulative latency histogram (nanoseconds), if latency is measured.
     pub latency: Option<Histogram>,
+    /// Cumulative wake-to-first-poll latency histogram (nanoseconds),
+    /// populated when flight-recorder tracing is enabled.
+    pub wake_latency: Option<Histogram>,
+    /// Cumulative oversleep histogram (nanoseconds; tracing only). Its
+    /// sum reconciles exactly against `oversleep_nanos`.
+    pub oversleep_hist: Option<Histogram>,
+    /// Cumulative scheduler ready-to-run delay histogram (nanoseconds;
+    /// tracing on the async backend only).
+    pub sched_delay: Option<Histogram>,
 }
 
 impl CounterSnapshot {
@@ -135,6 +144,12 @@ pub struct Window {
     pub power_watts: f64,
     /// Latency percentiles of samples recorded in this window.
     pub latency: Option<LatencyWindow>,
+    /// Wake-to-first-poll percentiles of this window's wakes (tracing
+    /// only).
+    pub wake_latency: Option<LatencyWindow>,
+    /// Scheduler-delay percentiles of this window's picks (tracing on
+    /// the async backend only).
+    pub sched_delay: Option<LatencyWindow>,
 }
 
 impl Window {
@@ -266,6 +281,9 @@ impl Sampler {
     pub fn sample(&mut self, snap: CounterSnapshot) {
         assert!(snap.at >= self.prev.at, "snapshots must be in time order");
         let latency = diff_latency(self.prev.latency.as_ref(), snap.latency.as_ref());
+        let wake_latency =
+            diff_latency(self.prev.wake_latency.as_ref(), snap.wake_latency.as_ref());
+        let sched_delay = diff_latency(self.prev.sched_delay.as_ref(), snap.sched_delay.as_ref());
         let energy_delta = (snap.energy_joules - self.prev.energy_joules).max(0.0);
         let span_s = snap.at.saturating_sub(self.prev.at).as_secs_f64();
         self.windows.push(Window {
@@ -294,6 +312,8 @@ impl Sampler {
                 0.0
             },
             latency,
+            wake_latency,
+            sched_delay,
         });
         self.prev = snap;
     }

@@ -1,0 +1,75 @@
+//! Flight-recorder quickstart: run a short traced realtime scenario and
+//! write the merged Chrome trace-event dump — load the output in
+//! `chrome://tracing` or <https://ui.perfetto.dev> to see each worker's
+//! turn verdicts, sleeps (as spans), drained bursts, and wake latencies
+//! on its own timeline.
+//!
+//! ```text
+//! cargo run --release --example trace_dump [-- trace.json]
+//! ```
+//!
+//! Prints the per-worker event summary (counts, ring overflow, histogram
+//! quantiles) to stdout and writes the full Chrome document to the path
+//! given as the first argument (default `trace.json`).
+
+use metronome_repro::core::MetronomeConfig;
+use metronome_repro::runtime::{run_realtime, Scenario, TrafficSpec};
+use metronome_repro::sim::Nanos;
+use metronome_repro::telemetry::TraceEventKind;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".into());
+    let cfg = MetronomeConfig {
+        m_threads: 2,
+        n_queues: 2,
+        ..MetronomeConfig::default()
+    };
+    let sc = Scenario::metronome("trace-quickstart", cfg, TrafficSpec::CbrPps(60_000.0))
+        .with_duration(Nanos::from_millis(200))
+        .with_trace()
+        .with_seed(0x7ACE);
+    let r = run_realtime(&sc);
+    let dump = r.trace.as_ref().expect("scenario armed tracing");
+
+    println!(
+        "{} packets forwarded in {:.0} ms; {} trace events across {} workers ({} overwritten)\n",
+        r.forwarded,
+        r.duration.as_secs_f64() * 1e3,
+        dump.total_events(),
+        dump.workers.len(),
+        dump.total_dropped(),
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>9}",
+        "worker", "events", "verdicts", "sleeps", "bursts"
+    );
+    for w in &dump.workers {
+        println!(
+            "{:>8} {:>9} {:>9} {:>9} {:>9}",
+            w.worker,
+            w.events.len(),
+            w.kind_count(TraceEventKind::TurnVerdict),
+            w.kind_count(TraceEventKind::Sleep),
+            w.kind_count(TraceEventKind::Burst),
+        );
+    }
+    let wake = dump.wake_latency();
+    let over = dump.oversleep();
+    println!(
+        "\nwake-to-first-poll p50/p99: {:.1}/{:.1} µs, oversleep p50/p99: {:.1}/{:.1} µs",
+        wake.quantile(0.5).unwrap_or(0) as f64 / 1e3,
+        wake.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+        over.quantile(0.5).unwrap_or(0) as f64 / 1e3,
+        over.quantile(0.99).unwrap_or(0) as f64 / 1e3,
+    );
+
+    let chrome = dump.chrome_json().render();
+    std::fs::write(&out_path, &chrome).expect("write trace dump");
+    println!(
+        "\nwrote {} ({} bytes) — open it in chrome://tracing or https://ui.perfetto.dev",
+        out_path,
+        chrome.len()
+    );
+}

@@ -1,0 +1,201 @@
+//! Flight-recorder tracing tests: ring overflow semantics as a property
+//! over arbitrary capacities, per-worker timestamp monotonicity of
+//! merged multi-worker dumps, and the end-to-end realtime contract — a
+//! fixed-seed traced run must produce a loadable Chrome trace-event
+//! document with events from every worker, reconciled against the run's
+//! own packet counts.
+
+mod common;
+
+use common::serial;
+use metronome_repro::core::MetronomeConfig;
+use metronome_repro::runtime::{run_realtime, Scenario, TrafficSpec};
+use metronome_repro::sim::Nanos;
+use metronome_repro::telemetry::{
+    Json, TraceEvent, TraceEventKind, TraceHub, TraceRing, TraceSink, TraceVerdict,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Drop-oldest over any capacity and load: the ring stores exactly
+    /// the newest `min(n, cap)` events in push order, counts every
+    /// overflow, and never loses a per-kind recorded count.
+    #[test]
+    fn ring_overflow_is_exact_for_any_capacity(
+        cap in 1usize..64,
+        n in 0usize..200,
+    ) {
+        let kinds = [
+            TraceEventKind::TurnVerdict,
+            TraceEventKind::Sleep,
+            TraceEventKind::Burst,
+            TraceEventKind::Park,
+        ];
+        let mut ring = TraceRing::new(cap);
+        for i in 0..n {
+            ring.push(TraceEvent {
+                ts_ns: i as u64,
+                kind: kinds[i % kinds.len()],
+                a: i as u64,
+                b: 0,
+            });
+        }
+        prop_assert_eq!(ring.len(), n.min(cap));
+        prop_assert_eq!(ring.dropped(), n.saturating_sub(cap) as u64);
+        prop_assert_eq!(ring.recorded(), n as u64);
+        let stored = ring.ordered();
+        // The survivors are exactly the newest events, oldest first.
+        for (j, e) in stored.iter().enumerate() {
+            let expect = n - n.min(cap) + j;
+            prop_assert_eq!(e.ts_ns, expect as u64);
+            prop_assert_eq!(e.a, expect as u64);
+        }
+        // Recorded-by-kind survives overwrites: it telescopes to n.
+        let by_kind: u64 = kinds.iter().map(|&k| ring.kind_count(k)).sum();
+        prop_assert_eq!(by_kind, n as u64);
+    }
+
+    /// Concurrent recorders on one hub: each worker's stored ring is
+    /// timestamp-monotone (record order is time order), and the merged
+    /// dump is globally sorted while preserving every worker's order —
+    /// so a multi-worker Chrome dump never shows a worker's own events
+    /// out of sequence.
+    #[test]
+    fn merged_multi_worker_dump_is_timestamp_monotone_per_worker(
+        workers in 1usize..4,
+        per in 20usize..200,
+        cap in 8usize..64,
+    ) {
+        let hub = TraceHub::new(workers, cap);
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let rec = hub.recorder(w);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        match (i + w) % 5 {
+                            0 => rec.turn_verdict(TraceVerdict::Continue),
+                            1 => rec.burst(w, 1 + i as u64 % 32),
+                            2 => rec.sleep(Nanos(100), Nanos(120), Nanos(20)),
+                            3 => rec.first_poll(Nanos(i as u64)),
+                            _ => rec.sched_pick(w, Nanos(i as u64)),
+                        }
+                    }
+                    // Recorder drops here: unconditional blocking flush.
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder thread");
+        }
+        let dump = hub.dump();
+        prop_assert_eq!(dump.workers.len(), workers);
+        for w in &dump.workers {
+            prop_assert_eq!(w.events.len(), per.min(cap));
+            prop_assert_eq!(w.dropped, per.saturating_sub(cap) as u64);
+            for pair in w.events.windows(2) {
+                prop_assert!(
+                    pair[0].ts_ns <= pair[1].ts_ns,
+                    "worker {} ring out of time order", w.worker
+                );
+            }
+        }
+        let merged = dump.merged();
+        prop_assert_eq!(merged.len(), workers * per.min(cap));
+        for pair in merged.windows(2) {
+            prop_assert!(pair[0].1.ts_ns <= pair[1].1.ts_ns, "merged dump unsorted");
+        }
+        // Stable sort: each worker's subsequence is its ring order.
+        for w in 0..workers {
+            let sub: Vec<&TraceEvent> =
+                merged.iter().filter(|(who, _)| *who == w).map(|(_, e)| e).collect();
+            prop_assert_eq!(sub.len(), per.min(cap));
+        }
+    }
+}
+
+/// A fixed-seed realtime run with tracing armed: the dump covers every
+/// worker, burst events reconcile against forwarded packets, and the
+/// rendered Chrome document is valid JSON carrying `ph`/`ts`/`pid`/`tid`
+/// on every event.
+#[test]
+fn realtime_trace_dump_loads_and_covers_every_worker() {
+    let _guard = serial();
+    let cfg = MetronomeConfig {
+        m_threads: 2,
+        n_queues: 2,
+        ..MetronomeConfig::default()
+    };
+    let sc = Scenario::metronome("trace-rt", cfg, TrafficSpec::CbrPps(40_000.0))
+        .with_duration(Nanos::from_millis(60))
+        .with_trace()
+        .with_seed(0x9A);
+    let r = run_realtime(&sc);
+    assert!(r.forwarded > 0, "no traffic forwarded");
+    let dump = r.trace.as_ref().expect("tracing was armed");
+    assert_eq!(dump.workers.len(), 2, "one recorder per worker");
+    for w in &dump.workers {
+        assert!(!w.events.is_empty(), "worker {} recorded nothing", w.worker);
+    }
+    // Every drained burst is one Burst event; a burst carries >= 1
+    // packet, so the event count is positive and bounded by forwarded.
+    let bursts = dump.kind_count(TraceEventKind::Burst);
+    assert!(bursts > 0, "traffic flowed but no burst events");
+    assert!(
+        bursts <= r.forwarded,
+        "more burst events ({bursts}) than packets ({})",
+        r.forwarded
+    );
+    // Sleeping disciplines oversleep; the histogram observed every sleep.
+    assert!(
+        dump.kind_count(TraceEventKind::Sleep) > 0,
+        "metronome workers never slept"
+    );
+
+    let rendered = dump.chrome_json().render();
+    let doc = Json::parse(&rendered).expect("chrome dump must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut tids = std::collections::HashSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("event ph");
+        assert!(ev.get("pid").and_then(Json::as_u64).is_some(), "event pid");
+        let tid = ev.get("tid").and_then(Json::as_u64).expect("event tid");
+        if ph != "M" {
+            assert!(ev.get("ts").is_some(), "non-metadata event without ts");
+            tids.insert(tid);
+        }
+    }
+    assert_eq!(tids.len(), 2, "events from every worker thread");
+
+    // The report embeds the summary, not the full dump.
+    let report = Json::parse(&r.to_json()).expect("report JSON");
+    let summary = report.get("trace").expect("trace key");
+    assert!(
+        summary.get("events").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "summary should count events"
+    );
+}
+
+/// The disabled path stays disabled: a scenario without `with_trace`
+/// reports no dump and renders `"trace": null`.
+#[test]
+fn untraced_realtime_run_reports_no_trace() {
+    let _guard = serial();
+    let sc = Scenario::metronome(
+        "trace-off",
+        MetronomeConfig::default(),
+        TrafficSpec::CbrPps(20_000.0),
+    )
+    .with_duration(Nanos::from_millis(30))
+    .with_seed(0x9B);
+    let r = run_realtime(&sc);
+    assert!(r.trace.is_none(), "tracing must stay opt-in");
+    let report = Json::parse(&r.to_json()).expect("report JSON");
+    assert!(
+        matches!(report.get("trace"), Some(Json::Null)),
+        "untraced report renders trace: null"
+    );
+}

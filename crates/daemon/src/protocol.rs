@@ -13,8 +13,8 @@
 //! | `cmd`         | fields                                                        | effect |
 //! |---------------|---------------------------------------------------------------|--------|
 //! | `ping`        | —                                                             | liveness probe; replies with the engine state |
-//! | `submit`      | `name`, `rate_pps`, `discipline`, `m?`, `seed?`, `faults?`, `exec?`, `shards?`, `ring_path?`, `trace?` | start a scenario on the persistent pipeline |
-//! | `reconfigure` | any of `rate_pps`, `discipline`, `m`, `exec` (+ `shards`)     | live-adjust the running scenario (no restart) |
+//! | `submit`      | `name`, `rate_pps`, `discipline`, `m?`, `seed?`, `faults?`, `exec?`, `shards?`, `ring_path?`, `trace?`, `gen_shards?` | start a scenario on the persistent pipeline |
+//! | `reconfigure` | any of `rate_pps`, `discipline`, `m`, `exec` (+ `shards`), `gen_shards` | live-adjust the running scenario (no restart) |
 //! | `stats`       | —                                                             | cumulative counters (monotone across reconfigures) |
 //! | `trace`       | `path?`                                                       | dump the flight recorder: summary inline, Chrome trace JSON inline or to `path` |
 //! | `drain`       | —                                                             | stop generating, drain rings, audit the pool; stay up |
@@ -127,6 +127,10 @@ pub struct SubmitSpec {
     /// Arm the flight recorder (per-worker trace rings + latency
     /// histograms). Defaults to true; `"trace": false` opts out.
     pub trace: bool,
+    /// Producer shard count for the load generator (`1` = the classic
+    /// single generator thread). Shards split the flow population and
+    /// produce concurrently onto the port's Rx rings.
+    pub gen_shards: usize,
 }
 
 /// A parsed `reconfigure` command: each `Some` field is applied to the
@@ -142,6 +146,8 @@ pub struct ReconfigureSpec {
     /// New execution backend (re-arms the worker set). `ring_path` has
     /// no such field on purpose: the port outlives re-arms.
     pub exec: Option<ExecBackend>,
+    /// New producer shard count (re-arms the generator set).
+    pub gen_shards: Option<usize>,
 }
 
 /// One parsed control request.
@@ -248,6 +254,23 @@ fn parse_exec(doc: &Json) -> Result<Option<ExecBackend>, String> {
     }
 }
 
+/// Parse the optional `gen_shards` field: a positive integer, `0`
+/// rejected (a generator with zero producers cannot offer anything).
+fn parse_gen_shards(doc: &Json) -> Result<Option<usize>, String> {
+    match doc.get("gen_shards") {
+        None => Ok(None),
+        Some(v) => {
+            let g = v
+                .as_u64()
+                .ok_or("\"gen_shards\" must be a positive integer")? as usize;
+            if g == 0 {
+                return Err("\"gen_shards\" must be positive".into());
+            }
+            Ok(Some(g))
+        }
+    }
+}
+
 fn parse_ring_path(doc: &Json) -> Result<Option<RingPath>, String> {
     match doc.get("ring_path").and_then(Json::as_str) {
         None => match doc.get("ring_path") {
@@ -302,6 +325,7 @@ fn parse_submit(doc: &Json) -> Result<Request, String> {
         None => true,
         Some(v) => v.as_bool().ok_or("\"trace\" must be a boolean")?,
     };
+    let gen_shards = parse_gen_shards(doc)?.unwrap_or(1);
     Ok(Request::Submit(SubmitSpec {
         name,
         rate_pps,
@@ -312,6 +336,7 @@ fn parse_submit(doc: &Json) -> Result<Request, String> {
         exec,
         ring_path,
         trace,
+        gen_shards,
     }))
 }
 
@@ -342,14 +367,17 @@ fn parse_reconfigure(doc: &Json) -> Result<Request, String> {
         discipline: parse_discipline(doc)?,
         m_threads,
         exec: parse_exec(doc)?,
+        gen_shards: parse_gen_shards(doc)?,
     };
     if spec.rate_pps.is_none()
         && spec.discipline.is_none()
         && spec.m_threads.is_none()
         && spec.exec.is_none()
+        && spec.gen_shards.is_none()
     {
         return Err(
-            "reconfigure needs at least one of \"rate_pps\", \"discipline\", \"m\", \"exec\""
+            "reconfigure needs at least one of \"rate_pps\", \"discipline\", \"m\", \"exec\", \
+             \"gen_shards\""
                 .into(),
         );
     }
@@ -464,6 +492,25 @@ mod tests {
         assert_eq!(spec.exec, ExecBackend::Threads, "threads is the default");
         assert_eq!(spec.ring_path, RingPath::Spsc, "spsc is the default");
         assert!(spec.trace, "tracing defaults to on");
+        assert_eq!(spec.gen_shards, 1, "single generator is the default");
+    }
+
+    #[test]
+    fn parses_gen_shards_on_submit_and_reconfigure() {
+        let Ok(Request::Submit(spec)) =
+            Request::parse(r#"{"cmd":"submit","gen_shards":4,"ring_path":"mpsc"}"#)
+        else {
+            panic!("submit did not parse");
+        };
+        assert_eq!(spec.gen_shards, 4);
+
+        let Ok(Request::Reconfigure(spec)) =
+            Request::parse(r#"{"cmd":"reconfigure","gen_shards":2}"#)
+        else {
+            panic!("reconfigure did not parse");
+        };
+        assert_eq!(spec.gen_shards, Some(2));
+        assert!(spec.rate_pps.is_none() && spec.exec.is_none());
     }
 
     #[test]
@@ -545,6 +592,9 @@ mod tests {
             r#"{"cmd":"submit","exec":"async","shards":0}"#,
             r#"{"cmd":"submit","shards":2}"#,
             r#"{"cmd":"submit","exec":"threads","shards":2}"#,
+            r#"{"cmd":"submit","gen_shards":0}"#,
+            r#"{"cmd":"submit","gen_shards":"many"}"#,
+            r#"{"cmd":"reconfigure","gen_shards":0}"#,
             r#"{"cmd":"submit","ring_path":"quantum"}"#,
             r#"{"cmd":"submit","ring_path":7}"#,
             r#"{"cmd":"reconfigure","ring_path":"mpsc"}"#,

@@ -38,9 +38,11 @@ use metronome_apps::processor::PacketProcessor;
 use metronome_core::discipline::{DisciplineSpec, Doorbell, ModerationConfig};
 use metronome_core::executor::WorkerSet;
 use metronome_core::{ExecBackend, MetronomeConfig};
-use metronome_dpdk::{Mbuf, Mempool, RssPort};
+use metronome_dpdk::shared_ring::RingPath;
+use metronome_dpdk::{Mbuf, Mempool, QueueScatter, RssPort};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_runtime::realtime_runner::{processor_for, WorkerRing};
+use metronome_sim::stats::Histogram;
 use metronome_sim::{Nanos, Rng};
 use metronome_telemetry::export::prometheus::{render, snapshot_metrics};
 use metronome_telemetry::{
@@ -137,14 +139,34 @@ impl Totals {
     }
 }
 
-/// What the generator thread shares with the engine: its stop flag, the
-/// live-reconfigurable rate, and the consumer-pause flag it drives from
-/// the plan's stall windows (the same atomic the process closures poll).
+/// What the generator shards share with the engine: the stop flag, the
+/// live-reconfigurable rate, and the consumer-pause flag shard 0 drives
+/// from the plan's stall windows (the same atomic the process closures
+/// poll). One instance per generator generation — a `gen_shards`
+/// reconfigure retires it (stop + join) and spawns a fresh one carrying
+/// the live rate over.
 struct GenShared {
     stop: AtomicBool,
     /// Offered rate as `f64` bits — reconfiguring the rate is one store.
     rate_bits: AtomicU64,
     stall: Arc<AtomicBool>,
+}
+
+/// Everything one generator shard thread owns: its slice of the flow
+/// population (template index `i % n_shards == shard`), its RNG stream,
+/// and its jitter-histogram slot. Shard 0 additionally realizes the
+/// run-wide fault state (stall flag, pool confiscation).
+struct GenShardCtx {
+    shared: Arc<GenShared>,
+    port: Arc<RssPort>,
+    pool: Mempool,
+    plan: FaultPlan,
+    gen_hub: Arc<Mutex<Arc<TelemetryHub>>>,
+    templates: Arc<Vec<(BytesMut, usize, u32)>>,
+    rng: Rng,
+    shard: usize,
+    n_shards: usize,
+    jitter: Arc<Vec<Mutex<Histogram>>>,
 }
 
 /// One armed worker set (discipline + hub + halt flag), replaced
@@ -208,7 +230,20 @@ struct RunState {
     /// Flight recorder, armed at submit (`None` when the scenario opted
     /// out with `"trace": false`).
     trace: Option<TraceArm>,
-    gen: Option<(Arc<GenShared>, std::thread::JoinHandle<()>)>,
+    gen: Option<(Arc<GenShared>, Vec<std::thread::JoinHandle<()>>)>,
+    /// Producer shard count of the live generator set.
+    gen_shards: usize,
+    /// Frame templates the generator shards slice up (kept so a
+    /// `gen_shards` reconfigure can respawn the set without rebuilding
+    /// the flow population).
+    gen_templates: Arc<Vec<(BytesMut, usize, u32)>>,
+    /// The scenario's fault plan (respawned shards re-realize it).
+    faults: FaultPlan,
+    /// Submit seed (shard RNG streams derive from it).
+    seed: u64,
+    /// Per-shard generator tick-lateness histograms, merged into
+    /// `snapshot()` as `gen_jitter`.
+    gen_jitter: Arc<Vec<Mutex<Histogram>>>,
     /// The generator's view of the current hub (swapped on re-arm so no
     /// drop is ever counted against a retired hub after it was folded).
     gen_hub: Arc<Mutex<Arc<TelemetryHub>>>,
@@ -457,10 +492,22 @@ impl ServiceEngine {
             Err(e) => return protocol::err(e),
         };
 
+        // Shards split the flow population by template index; more
+        // shards than flows would leave producers with nothing to send.
+        let gen_shards = spec.gen_shards.clamp(1, FLOWS_PER_RUN);
+        // Concurrent producers need a multi-producer ring: silently
+        // upgrade the default SPSC path (an explicit `locked` is
+        // honored — the caller asked to measure that path).
+        let ring_path = if gen_shards > 1 && spec.ring_path == RingPath::Spsc {
+            RingPath::Mpsc
+        } else {
+            spec.ring_path
+        };
+
         // Port + doorbell slots. Hooks are installed before the port is
         // shared and ring through a slot, so a re-arm can re-point them
         // without `&mut` access to the port.
-        let mut port = RssPort::with_path(self.cfg.n_queues, self.cfg.ring_size, spec.ring_path);
+        let mut port = RssPort::with_path(self.cfg.n_queues, self.cfg.ring_size, ring_path);
         let bells: Vec<Arc<Mutex<Option<Arc<Doorbell>>>>> = (0..self.cfg.n_queues)
             .map(|_| Arc::new(Mutex::new(None)))
             .collect();
@@ -513,41 +560,48 @@ impl ServiceEngine {
 
         // Frame templates: routable flows, RSS resolved once per flow.
         let flows = FlowSet::routable(FLOWS_PER_RUN, L3FWD_SUBNETS, spec.seed);
-        let templates: Vec<(BytesMut, usize, u32)> = flows
-            .flows()
-            .iter()
-            .map(|t| {
-                let frame = build_udp_frame(Mac::local(1), Mac::local(2), t, &[], MIN_FRAME_NO_FCS);
-                let input = t.rss_input();
-                (frame, port.queue_for(&input), port.rss_hash(&input))
-            })
-            .collect();
+        let templates: Arc<Vec<(BytesMut, usize, u32)>> = Arc::new(
+            flows
+                .flows()
+                .iter()
+                .map(|t| {
+                    let frame =
+                        build_udp_frame(Mac::local(1), Mac::local(2), t, &[], MIN_FRAME_NO_FCS);
+                    let input = t.rss_input();
+                    (frame, port.queue_for(&input), port.rss_hash(&input))
+                })
+                .collect(),
+        );
 
+        let gen_jitter: Arc<Vec<Mutex<Histogram>>> = Arc::new(
+            (0..gen_shards)
+                .map(|_| Mutex::new(Histogram::latency()))
+                .collect(),
+        );
         let shared = Arc::new(GenShared {
             stop: AtomicBool::new(false),
             rate_bits: AtomicU64::new(spec.rate_pps.to_bits()),
             stall: Arc::clone(&stall),
         });
-        let handle = {
-            let shared = Arc::clone(&shared);
-            let port = Arc::clone(&port);
-            let pool = self.pool.clone();
-            let plan = spec.faults.clone();
-            let gen_hub = Arc::clone(&gen_hub);
-            let rng = Rng::new(spec.seed ^ 0x0D4E_3019).stream(7);
-            std::thread::Builder::new()
-                .name("metronomed-gen".into())
-                .spawn(move || generator(shared, port, pool, plan, gen_hub, templates, rng))
-                .expect("spawn generator thread")
-        };
+        let handles = self.spawn_generators(
+            &shared,
+            &port,
+            &spec.faults,
+            &gen_hub,
+            &templates,
+            &gen_jitter,
+            spec.seed,
+            gen_shards,
+        );
 
         let name = spec.name.clone();
         let reply = protocol::ok()
             .with("submitted", name.as_str())
             .with("discipline", spec.discipline.label())
             .with("exec", spec.exec.label())
-            .with("ring_path", spec.ring_path.label())
+            .with("ring_path", ring_path.label())
             .with("workers", arm.workers_len() as u64)
+            .with("gen_shards", gen_shards as u64)
             .with("rate_pps", spec.rate_pps)
             .with("fault_events", spec.faults.len() as u64)
             .with("fault_kinds", spec.faults.distinct_kinds() as u64)
@@ -557,13 +611,56 @@ impl ServiceEngine {
             port,
             arm: Some(arm),
             trace,
-            gen: Some((shared, handle)),
+            gen: Some((shared, handles)),
+            gen_shards,
+            gen_templates: templates,
+            faults: spec.faults,
+            seed: spec.seed,
+            gen_jitter,
             gen_hub,
             bells,
             apps,
             stall,
         });
         reply
+    }
+
+    /// Spawn one generator thread per shard, each owning its slice of
+    /// the flow population and producing concurrently onto the port's Rx
+    /// rings (submit with `"ring_path": "mpsc"` or `"locked"` for
+    /// multi-producer offers on shared rings).
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_generators(
+        &self,
+        shared: &Arc<GenShared>,
+        port: &Arc<RssPort>,
+        plan: &FaultPlan,
+        gen_hub: &Arc<Mutex<Arc<TelemetryHub>>>,
+        templates: &Arc<Vec<(BytesMut, usize, u32)>>,
+        jitter: &Arc<Vec<Mutex<Histogram>>>,
+        seed: u64,
+        n_shards: usize,
+    ) -> Vec<std::thread::JoinHandle<()>> {
+        (0..n_shards)
+            .map(|shard| {
+                let ctx = GenShardCtx {
+                    shared: Arc::clone(shared),
+                    port: Arc::clone(port),
+                    pool: self.pool.clone(),
+                    plan: plan.clone(),
+                    gen_hub: Arc::clone(gen_hub),
+                    templates: Arc::clone(templates),
+                    rng: Rng::new(seed ^ 0x0D4E_3019).stream(7 + shard as u64),
+                    shard,
+                    n_shards,
+                    jitter: Arc::clone(jitter),
+                };
+                std::thread::Builder::new()
+                    .name(format!("metronomed-gen{shard}"))
+                    .spawn(move || generator(ctx))
+                    .expect("spawn generator thread")
+            })
+            .collect()
     }
 
     // ---- reconfigure -----------------------------------------------------
@@ -573,6 +670,17 @@ impl ServiceEngine {
         let Some(run) = st.run.as_mut() else {
             return protocol::err("no scenario is running; submit one first");
         };
+        // Validate before anything is applied, so an error reply always
+        // means "nothing changed". The port persists across re-arms, so
+        // its ring path cannot follow a widening generator: concurrent
+        // producers on SPSC rings would break the single-producer
+        // contract.
+        if spec.gen_shards.is_some_and(|g| g > 1) && run.port.rings()[0].path() == RingPath::Spsc {
+            return protocol::err(
+                "gen_shards > 1 needs a multi-producer ring path and the port persists \
+                 across re-arms; drain and submit with \"ring_path\": \"mpsc\" or \"locked\"",
+            );
+        }
         let mut changed: Vec<&'static str> = Vec::new();
 
         if let Some(rate) = spec.rate_pps {
@@ -644,6 +752,58 @@ impl ServiceEngine {
             }
         }
 
+        if let Some(g) = spec.gen_shards {
+            let g = g.clamp(1, FLOWS_PER_RUN);
+            let run = st.run.as_mut().expect("checked above");
+            if g != run.gen_shards {
+                // Retire the old generator set (stop + join; shard 0
+                // releases confiscated buffers and the stall flag on
+                // exit), then respawn at the new width carrying the live
+                // rate over. Jitter history folds into the new slot 0 so
+                // the exported histogram stays cumulative for the run.
+                let rate_bits = match run.gen.take() {
+                    Some((old, handles)) => {
+                        old.stop.store(true, Ordering::Release);
+                        for h in handles {
+                            let _ = h.join();
+                        }
+                        old.rate_bits.load(Ordering::Relaxed)
+                    }
+                    None => spec
+                        .rate_pps
+                        .unwrap_or(protocol::DEFAULT_RATE_PPS)
+                        .to_bits(),
+                };
+                let jitter: Arc<Vec<Mutex<Histogram>>> =
+                    Arc::new((0..g).map(|_| Mutex::new(Histogram::latency())).collect());
+                {
+                    let mut base = jitter[0].lock();
+                    for shard in run.gen_jitter.iter() {
+                        base.merge(&shard.lock());
+                    }
+                }
+                let shared = Arc::new(GenShared {
+                    stop: AtomicBool::new(false),
+                    rate_bits: AtomicU64::new(rate_bits),
+                    stall: Arc::clone(&run.stall),
+                });
+                let handles = self.spawn_generators(
+                    &shared,
+                    &run.port,
+                    &run.faults,
+                    &run.gen_hub,
+                    &run.gen_templates,
+                    &jitter,
+                    run.seed,
+                    g,
+                );
+                run.gen = Some((shared, handles));
+                run.gen_shards = g;
+                run.gen_jitter = jitter;
+            }
+            changed.push("gen_shards");
+        }
+
         let run = st.run.as_ref().expect("checked above");
         let arm = run.arm.as_ref().expect("re-armed above");
         // Stamp the reconfigure into the flight recorder so a later dump
@@ -659,6 +819,7 @@ impl ServiceEngine {
             .with("discipline", arm.discipline.label())
             .with("m", arm.m_threads as u64)
             .with("exec", arm.exec.label())
+            .with("gen_shards", run.gen_shards as u64)
             .with(
                 "rate_pps",
                 run.gen.as_ref().map_or(0.0, |(s, _)| {
@@ -687,11 +848,14 @@ impl ServiceEngine {
                 );
         };
 
-        // 1. Stop the generator; on exit it frees confiscated buffers,
-        //    clears the stall flag, and flushes its cache.
-        if let Some((shared, handle)) = run.gen.take() {
+        // 1. Stop the generator shards; on exit shard 0 frees confiscated
+        //    buffers and clears the stall flag, every shard flushes its
+        //    cache.
+        if let Some((shared, handles)) = run.gen.take() {
             shared.stop.store(true, Ordering::Release);
-            let _ = handle.join();
+            for handle in handles {
+                let _ = handle.join();
+            }
         }
 
         // 2. Generation is over, so `accepted` is final; wait for the
@@ -777,6 +941,13 @@ impl ServiceEngine {
                 snap.oversleep_hist = Some(dump.oversleep());
                 snap.sched_delay = Some(dump.sched_delay());
             }
+            // Generator tick lateness, merged across the producer shards
+            // (`metronome_gen_jitter_seconds` on /metrics).
+            let mut jitter = Histogram::latency();
+            for shard in run.gen_jitter.iter() {
+                jitter.merge(&shard.lock());
+            }
+            snap.gen_jitter = Some(jitter);
         }
         snap.retrieved += st.base.retrieved;
         snap.wakeups += st.base.wakeups;
@@ -870,6 +1041,10 @@ impl ServiceEngine {
             .with("uptime_ms", snap.at.as_nanos() / 1_000_000)
             .with("exec_backend", exec_backend)
             .with("shards", shards)
+            .with(
+                "gen_shards",
+                st.run.as_ref().map_or(0u64, |r| r.gen_shards as u64),
+            )
             .with("completed_runs", st.completed)
             .with("offered", snap.offered)
             .with("processed", snap.retrieved)
@@ -927,23 +1102,29 @@ impl Arm {
     }
 }
 
-/// The generator thread: MoonGen's role as a long-running service. Every
-/// tick it realizes the fault plan's current state (stall flag, pool
-/// confiscation), derives this tick's batch from the live rate × the
-/// plan's spike factor, suppresses jitter-burst losses, and offers the
-/// rest through RSS — mirroring every drop into the current hub by
-/// cause. On exit (drain) it releases everything it holds so the pool
-/// audit balances.
-#[allow(clippy::too_many_arguments)]
-fn generator(
-    shared: Arc<GenShared>,
-    port: Arc<RssPort>,
-    pool: Mempool,
-    plan: FaultPlan,
-    gen_hub: Arc<Mutex<Arc<TelemetryHub>>>,
-    templates: Vec<(BytesMut, usize, u32)>,
-    mut rng: Rng,
-) {
+/// One generator shard thread: MoonGen's role as a long-running service,
+/// split `n_shards` ways by flow. Every tick the shard derives its batch
+/// from the live rate × the plan's spike factor (divided evenly across
+/// shards), suppresses jitter-burst losses with its own RNG stream, and
+/// offers the rest through RSS via a [`QueueScatter`] bucket sort —
+/// mirroring every drop into the current hub by cause. Shard 0
+/// additionally realizes the run-wide fault state (stall flag, pool
+/// confiscation): a single owner keeps those counts exact. On exit
+/// (drain or a `gen_shards` re-arm) every shard releases what it holds
+/// so the pool audit balances.
+fn generator(ctx: GenShardCtx) {
+    let GenShardCtx {
+        shared,
+        port,
+        pool,
+        plan,
+        gen_hub,
+        templates,
+        mut rng,
+        shard,
+        n_shards,
+        jitter,
+    } = ctx;
     let clock = WallClock::start();
     let population = pool.population();
     let mut cache = pool.cache(256);
@@ -951,39 +1132,59 @@ fn generator(
     let mut carry = 0.0f64;
     let mut last = clock.now();
     let mut seq = 0usize;
-    let mut blanks: Vec<Mbuf> = Vec::with_capacity(GEN_MAX_BATCH);
-    let n_queues = port.n_queues();
-    let mut staged: Vec<Vec<Mbuf>> = (0..n_queues).map(|_| Vec::with_capacity(256)).collect();
+    // Per-shard batch cap so the aggregate pool demand during catch-up
+    // stays bounded by `GEN_MAX_BATCH` no matter how many shards run.
+    let shard_batch = (GEN_MAX_BATCH / n_shards).max(1);
+    let mut blanks: Vec<Mbuf> = Vec::with_capacity(shard_batch);
+    let mut scatter = QueueScatter::new(port.n_queues());
+    // This shard's slice of the flow population. Flow → shard is a pure
+    // function of the template index, so every flow has exactly one
+    // producer and per-flow order is a single-producer property.
+    let my: Vec<usize> = (0..templates.len())
+        .filter(|i| i % n_shards == shard)
+        .collect();
+    let jitter = &jitter[shard];
 
     while !shared.stop.load(Ordering::Acquire) {
         std::thread::sleep(GEN_TICK);
         let now = clock.now();
 
-        // Fault state first, so this tick's packets see this tick's world.
-        shared.stall.store(plan.stalled(now), Ordering::Release);
-        let want = (plan.starve_fraction(now) * population as f64) as usize;
-        match want.cmp(&confiscated.len()) {
-            std::cmp::Ordering::Greater => {
-                // Starvation window (deepening): confiscate straight from
-                // the shared freelist, bypassing the cache, so the count
-                // is exact.
-                let _ = pool.alloc_burst(want - confiscated.len(), &mut confiscated);
+        // Fault state first, so this tick's packets see this tick's
+        // world. Shard 0 owns it; the others read the same plan for
+        // their rate factor and jitter windows.
+        if shard == 0 {
+            shared.stall.store(plan.stalled(now), Ordering::Release);
+            let want = (plan.starve_fraction(now) * population as f64) as usize;
+            match want.cmp(&confiscated.len()) {
+                std::cmp::Ordering::Greater => {
+                    // Starvation window (deepening): confiscate straight
+                    // from the shared freelist, bypassing the cache, so
+                    // the count is exact.
+                    let _ = pool.alloc_burst(want - confiscated.len(), &mut confiscated);
+                }
+                std::cmp::Ordering::Less => {
+                    pool.free_burst(confiscated.drain(want..));
+                }
+                std::cmp::Ordering::Equal => {}
             }
-            std::cmp::Ordering::Less => {
-                pool.free_burst(confiscated.drain(want..));
-            }
-            std::cmp::Ordering::Equal => {}
         }
 
         let rate = f64::from_bits(shared.rate_bits.load(Ordering::Relaxed)).max(0.0)
-            * plan.rate_factor(now);
-        let dt = now.saturating_sub(last).as_secs_f64();
+            * plan.rate_factor(now)
+            / n_shards as f64;
+        let dt = now.saturating_sub(last);
         last = now;
-        let exact = rate * dt + carry;
+        // Generator jitter: how far past its nominal period this tick
+        // fired (scheduler preemption, a long previous tick). Recorded
+        // per shard, merged into `metronome_gen_jitter_seconds`.
+        jitter
+            .lock()
+            .record(dt.as_nanos().saturating_sub(GEN_TICK.as_nanos() as u64));
+        let exact = rate * dt.as_secs_f64() + carry;
         let mut n = exact.floor().max(0.0) as usize;
         carry = exact - n as f64;
-        if n > GEN_MAX_BATCH {
-            n = GEN_MAX_BATCH;
+        if n > shard_batch {
+            n = shard_batch;
             carry = 0.0;
         }
         if n == 0 {
@@ -994,7 +1195,7 @@ fn generator(
         let hub = Arc::clone(&gen_hub.lock());
         cache.alloc_burst(n, &mut blanks);
         for _ in 0..n {
-            let (frame, q, hash) = &templates[seq % templates.len()];
+            let (frame, q, hash) = &templates[my[seq % my.len()]];
             seq += 1;
             // Jitter-burst suppression: offered load that never reaches
             // the NIC, counted under its own cause so fault windows
@@ -1009,7 +1210,7 @@ fn generator(
                     mbuf.queue = *q as u16;
                     mbuf.rss_hash = *hash;
                     mbuf.arrival = now;
-                    staged[*q].push(mbuf);
+                    scatter.push(*q, mbuf);
                 }
                 // Pool exhausted (possibly by a starvation window): a
                 // drop cause of its own.
@@ -1018,20 +1219,19 @@ fn generator(
         }
         // Blanks not consumed (jitter suppressions) go straight back.
         cache.free_burst(blanks.drain(..));
-        for (q, frames) in staged.iter_mut().enumerate() {
-            if frames.is_empty() {
-                continue;
-            }
+        scatter.dispatch(|q, frames| {
             port.offer_burst(q, frames);
             // Whatever the ring rejected is tail-dropped; recycle.
             hub.dropped(q, DropCause::Ring, frames.len() as u64);
             cache.free_burst(frames.drain(..));
-        }
+        });
     }
 
     // Drain handshake: release everything this thread holds so the
     // post-drain audit sees the pool whole and the workers unstalled.
-    shared.stall.store(false, Ordering::Release);
+    if shard == 0 {
+        shared.stall.store(false, Ordering::Release);
+    }
     pool.free_burst(confiscated.drain(..));
     // `cache` flushes on drop.
 }

@@ -202,12 +202,69 @@ fn reconfigure_under_load_keeps_counters_monotone() {
     }
     // An invalid reconfigure is rejected and the pipeline keeps running.
     assert_err(&c.send(r#"{"cmd":"reconfigure","discipline":"metronome","m":1}"#)); // M < N
+                                                                                    // Widening the generator on an SPSC port is rejected too — the port
+                                                                                    // persists across re-arms, and SPSC rings admit one producer.
+    assert_err(&c.send(r#"{"cmd":"reconfigure","gen_shards":2}"#));
     let now = stats(&mut c);
     assert!(
         now.1 >= prev.1,
         "counters regressed after rejected reconfigure"
     );
 
+    let drain = c.send(r#"{"cmd":"drain"}"#);
+    assert_ok(&drain);
+    assert_eq!(drain.get("conserved").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        drain.get("pool_balanced").and_then(Json::as_bool),
+        Some(true)
+    );
+    daemon.finish();
+}
+
+#[test]
+fn sharded_generation_conserves_and_reconfigures() {
+    let daemon = TestDaemon::start("gen-shards");
+    let mut c = daemon.connect();
+    // Two producer shards need a multi-producer ring path.
+    let submit = c.send(
+        r#"{"cmd":"submit","name":"sharded","rate_pps":40000,"discipline":"metronome","m":2,"seed":3,"ring_path":"mpsc","gen_shards":2}"#,
+    );
+    assert_ok(&submit);
+    assert_eq!(submit.get("gen_shards").and_then(Json::as_u64), Some(2));
+    assert_eq!(submit.get("ring_path").and_then(Json::as_str), Some("mpsc"));
+
+    // Both shards produce: wait until packets flow, then check stats.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = c.send(r#"{"cmd":"stats"}"#);
+        assert_ok(&s);
+        assert_eq!(s.get("gen_shards").and_then(Json::as_u64), Some(2));
+        if s.get("processed").and_then(Json::as_u64).unwrap_or(0) > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no packets processed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Narrow the generator set live; counters must stay monotone.
+    let before = c
+        .send(r#"{"cmd":"stats"}"#)
+        .get("offered")
+        .and_then(Json::as_u64)
+        .unwrap();
+    let reply = c.send(r#"{"cmd":"reconfigure","gen_shards":1}"#);
+    assert_ok(&reply);
+    assert_eq!(reply.get("gen_shards").and_then(Json::as_u64), Some(1));
+    std::thread::sleep(Duration::from_millis(100));
+    let s = c.send(r#"{"cmd":"stats"}"#);
+    assert_eq!(s.get("gen_shards").and_then(Json::as_u64), Some(1));
+    assert!(
+        s.get("offered").and_then(Json::as_u64).unwrap() >= before,
+        "offered regressed across a gen_shards reconfigure"
+    );
+
+    // Exact conservation and a whole pool after two generator
+    // generations (2 shards, then 1) produced on shared MPSC rings.
     let drain = c.send(r#"{"cmd":"drain"}"#);
     assert_ok(&drain);
     assert_eq!(drain.get("conserved").and_then(Json::as_bool), Some(true));
@@ -278,6 +335,11 @@ fn trace_dump_covers_workers_and_marks_reconfigures() {
             s.get("shards").and_then(Json::as_u64),
             Some(0),
             "thread backend has no executor shards"
+        );
+        assert_eq!(
+            s.get("gen_shards").and_then(Json::as_u64),
+            Some(1),
+            "stats must carry the generator shard count"
         );
         if s.get("processed").and_then(Json::as_u64).unwrap_or(0) > 0 {
             break;

@@ -30,6 +30,9 @@
 //! * [`fastring`] — the lock-free bounded rings behind those fast paths
 //!   ([`fastring::SpscRing`], [`fastring::MpscRing`]), `rte_ring`'s
 //!   batched acquire/release head/tail design.
+//! * [`scatter::QueueScatter`] — the generator-side scatter arena: one
+//!   stable counting sort maps a produced batch onto per-queue bursts in
+//!   `O(batch + touched_queues)`, independent of the queue count.
 
 #![warn(missing_docs)]
 // Everything except `fastring` is unsafe-free. That one module holds the
@@ -45,6 +48,7 @@ pub mod mempool;
 pub mod nic;
 pub mod random;
 pub mod ring;
+pub mod scatter;
 pub mod shared_ring;
 
 pub use ethdev::TxBuffer;
@@ -53,4 +57,5 @@ pub use mempool::{Mempool, MempoolCache, MempoolStats};
 pub use nic::{NicProfile, Port};
 pub use random::RteRand;
 pub use ring::{Ring, RxRingModel};
+pub use scatter::QueueScatter;
 pub use shared_ring::{RingConsumer, RingPath, RssPort, SharedRing};

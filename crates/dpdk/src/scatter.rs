@@ -1,0 +1,247 @@
+//! Scatter-gather dispatch of a generated batch across queue rings.
+//!
+//! The generator produces one batch of mbufs per pacing turn, destined for
+//! up to `N` Rx queues. The naive staging structure — one `Vec<Mbuf>` per
+//! queue — costs `O(N)` per batch just to walk the (mostly empty) queue
+//! list, and keeps `N` warm allocations alive; at `N = 1024` queues that
+//! walk dominates the batch itself.
+//!
+//! [`QueueScatter`] replaces it with a counting sort into one flat arena:
+//!
+//! 1. **push** — mbufs land in a flat staging buffer in arrival order,
+//!    tagged with their destination queue (`O(1)` each, no per-queue
+//!    allocation). First touch of a queue records it in a `touched` list.
+//! 2. **dispatch** — one pass computes per-queue offsets from the counts,
+//!    one pass moves each mbuf to its queue's contiguous run in the arena
+//!    (the counting sort is *stable*, so per-queue — and therefore
+//!    per-flow — arrival order is preserved), then each touched queue's
+//!    run is handed to the caller as one burst.
+//!
+//! Total cost is `O(batch + touched_queues)` regardless of `N`; the only
+//! allocations are the buffers themselves, which are reused across batches.
+//! The module is unsafe-free (the crate-level `deny(unsafe_code)` applies).
+
+use crate::mbuf::Mbuf;
+
+/// Reusable scatter arena mapping one generated batch onto per-queue bursts.
+///
+/// See the [module docs](self) for the algorithm. A `QueueScatter` is owned
+/// by exactly one producer (a generator shard); it is not shared.
+#[derive(Debug)]
+pub struct QueueScatter {
+    n_queues: usize,
+    /// Staged `(queue, mbuf)` pairs in arrival order.
+    staged: Vec<(u32, Mbuf)>,
+    /// Per-queue count for the current batch. Reset via `touched`.
+    counts: Vec<u32>,
+    /// Queues with at least one staged mbuf, in first-touch order.
+    touched: Vec<u32>,
+    /// Per-queue write cursor during the placement pass.
+    cursors: Vec<u32>,
+    /// The flat arena the counting sort scatters into.
+    arena: Vec<Option<Mbuf>>,
+    /// Scratch burst handed to the dispatch callback; reused across queues.
+    scratch: Vec<Mbuf>,
+}
+
+impl QueueScatter {
+    /// An empty scatter arena for `n_queues` destination queues.
+    pub fn new(n_queues: usize) -> Self {
+        QueueScatter {
+            n_queues,
+            staged: Vec::new(),
+            counts: vec![0; n_queues],
+            touched: Vec::new(),
+            cursors: vec![0; n_queues],
+            arena: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of destination queues this arena was built for.
+    #[inline]
+    pub fn n_queues(&self) -> usize {
+        self.n_queues
+    }
+
+    /// Stage one mbuf for queue `q`. Panics if `q >= n_queues`.
+    #[inline]
+    pub fn push(&mut self, q: usize, mbuf: Mbuf) {
+        if self.counts[q] == 0 {
+            self.touched.push(q as u32);
+        }
+        self.counts[q] += 1;
+        self.staged.push((q as u32, mbuf));
+    }
+
+    /// Mbufs staged since the last [`dispatch`](Self::dispatch).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// True when nothing is staged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Distinct queues touched by the staged batch.
+    #[inline]
+    pub fn touched(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Scatter the staged batch and hand each queue's run to `deliver` as
+    /// one burst, in first-touch order.
+    ///
+    /// `deliver(q, burst)` receives the queue index and a `&mut Vec<Mbuf>`
+    /// holding that queue's mbufs in arrival order — the exact shape
+    /// `RssPort::offer_burst` consumes. The callback **must drain the
+    /// vector** (offer what fits, recycle the rest): mbufs left behind
+    /// would escape the mempool's `allocs == frees` accounting, so leftover
+    /// frames are a contract violation (debug-asserted).
+    ///
+    /// After `dispatch` returns the arena is empty and ready for the next
+    /// batch; all internal buffers keep their capacity.
+    pub fn dispatch<F>(&mut self, mut deliver: F)
+    where
+        F: FnMut(usize, &mut Vec<Mbuf>),
+    {
+        if self.staged.is_empty() {
+            return;
+        }
+
+        // Prefix sums: cursors[q] = start of queue q's run in the arena,
+        // visiting only touched queues.
+        let mut offset = 0u32;
+        for &q in &self.touched {
+            self.cursors[q as usize] = offset;
+            offset += self.counts[q as usize];
+        }
+
+        // Stable placement pass: arrival order in, arrival order per run.
+        self.arena.clear();
+        self.arena.resize_with(self.staged.len(), || None);
+        for (q, mbuf) in self.staged.drain(..) {
+            let at = self.cursors[q as usize] as usize;
+            self.cursors[q as usize] += 1;
+            self.arena[at] = Some(mbuf);
+        }
+
+        // Hand out runs. After the placement pass each queue's cursor sits
+        // one past its run, so the run is `[cursor - count, cursor)`.
+        for &q in &self.touched {
+            let (count, end) = (self.counts[q as usize], self.cursors[q as usize]);
+            let start = (end - count) as usize;
+            self.scratch.clear();
+            self.scratch.extend(
+                self.arena[start..end as usize]
+                    .iter_mut()
+                    .map(|slot| slot.take().expect("arena slot filled exactly once")),
+            );
+            deliver(q as usize, &mut self.scratch);
+            debug_assert!(
+                self.scratch.is_empty(),
+                "dispatch callback left {} mbufs behind for queue {q}",
+                self.scratch.len()
+            );
+            // Recycle leftovers defensively in release builds: dropping
+            // them on the floor would corrupt pool accounting for longer.
+            self.scratch.clear();
+            self.counts[q as usize] = 0;
+        }
+        self.touched.clear();
+        self.arena.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn mbuf(tag: u32) -> Mbuf {
+        let mut m = Mbuf::from_bytes(BytesMut::from(&tag.to_le_bytes()[..]));
+        m.rss_hash = tag;
+        m
+    }
+
+    #[test]
+    fn scatters_to_runs_in_arrival_order() {
+        let mut sc = QueueScatter::new(8);
+        // Interleave three queues; per-queue order must be preserved.
+        for i in 0..30u32 {
+            sc.push((i % 3) as usize, mbuf(i));
+        }
+        assert_eq!(sc.len(), 30);
+        assert_eq!(sc.touched(), 3);
+
+        let mut seen: Vec<(usize, Vec<u32>)> = Vec::new();
+        sc.dispatch(|q, burst| {
+            seen.push((q, burst.iter().map(|m| m.rss_hash).collect()));
+            burst.clear();
+        });
+        assert!(sc.is_empty());
+        assert_eq!(seen.len(), 3);
+        for (q, tags) in &seen {
+            let expect: Vec<u32> = (0..30).filter(|i| (*i % 3) as usize == *q).collect();
+            assert_eq!(tags, &expect, "queue {q} run out of order");
+        }
+    }
+
+    #[test]
+    fn dispatch_skips_untouched_queues() {
+        let mut sc = QueueScatter::new(1024);
+        sc.push(7, mbuf(1));
+        sc.push(900, mbuf(2));
+        sc.push(7, mbuf(3));
+        let mut queues = Vec::new();
+        sc.dispatch(|q, burst| {
+            queues.push((q, burst.len()));
+            burst.clear();
+        });
+        assert_eq!(queues, vec![(7, 2), (900, 1)]);
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let mut sc = QueueScatter::new(4);
+        for round in 0..5u32 {
+            for i in 0..17u32 {
+                sc.push((i % 4) as usize, mbuf(round * 100 + i));
+            }
+            let mut total = 0;
+            sc.dispatch(|_, burst| {
+                total += burst.len();
+                burst.clear();
+            });
+            assert_eq!(total, 17, "round {round} lost mbufs");
+            assert!(sc.is_empty());
+            assert_eq!(sc.touched(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_dispatch_is_a_noop() {
+        let mut sc = QueueScatter::new(4);
+        sc.dispatch(|_, _| panic!("nothing staged"));
+    }
+
+    #[test]
+    fn multiset_preserved() {
+        let mut sc = QueueScatter::new(16);
+        let mut pushed: Vec<u32> = Vec::new();
+        // A skewed distribution: queue = high bits so runs are uneven.
+        for i in 0..100u32 {
+            let q = ((i * i) % 16) as usize;
+            pushed.push(i);
+            sc.push(q, mbuf(i));
+        }
+        let mut popped: Vec<u32> = Vec::new();
+        sc.dispatch(|_, burst| popped.extend(burst.drain(..).map(|m| m.rss_hash)));
+        pushed.sort_unstable();
+        popped.sort_unstable();
+        assert_eq!(pushed, popped);
+    }
+}

@@ -11,14 +11,24 @@
 //!          (discipline per SystemKind)  (process_burst + latency)
 //! ```
 //!
-//! * **Load generation** — the scenario's [`crate::scenario::TrafficSpec`] builds one
-//!   aggregate [`metronome_traffic::ArrivalProcess`], replayed in real
-//!   time by [`PacedArrivals`] (MoonGen's role) in bounded batches. Each
-//!   arrival takes a pre-allocated buffer from the shared [`Mempool`] and
+//! * **Load generation** — the scenario's [`crate::scenario::TrafficSpec`] builds
+//!   `gen_shards` [`metronome_traffic::ArrivalProcess`] slices, each
+//!   replayed in real time by a [`PacedArrivals`] (MoonGen's role — and
+//!   MoonGen's multi-core scaling recipe: flows are partitioned across
+//!   shards, so per-flow order is preserved while shards produce
+//!   concurrently onto the multi-producer ring path) in bounded batches
+//!   against one shared [`WallClock`]. Each arrival takes a pre-allocated
+//!   buffer from the shared [`Mempool`] through a per-shard cache and
 //!   refills it from its flow's template frame — **zero heap allocation
 //!   per packet**; a batch's buffers come out of the pool in one burst
-//!   (`alloc_burst`), and an exhausted pool is a counted drop cause of
-//!   its own, distinct from ring tail-drop.
+//!   (`alloc_burst`), an exhausted pool is a counted drop cause of its
+//!   own (distinct from ring tail-drop), and each batch scatters to its
+//!   target queues through a [`QueueScatter`] counting-sort arena in
+//!   `O(batch + touched queues)` — independent of the queue count. Every
+//!   batch also records its offered-vs-scheduled lateness into a
+//!   per-shard jitter histogram (the P4TG-style always-on pacing check),
+//!   timestamped by a [`CoarseClock`] that reads the OS clock once per
+//!   batch, not per packet.
 //! * **RSS dispatch** — the frame's flow steers it through a real Toeplitz
 //!   hash onto one of `N` bounded mbuf rings ([`RssPort`]), offered ring
 //!   by ring in bursts (`offer_burst`); a full ring tail-drops with
@@ -65,18 +75,17 @@ use metronome_core::discipline::{DisciplineSpec, ModerationConfig};
 use metronome_core::executor::WorkerSet;
 use metronome_core::rxqueue::RxQueue;
 use metronome_core::{AdaptiveController, MetronomeConfig};
-use metronome_dpdk::{Mbuf, Mempool, RingConsumer, RssPort};
+use metronome_dpdk::{Mbuf, Mempool, QueueScatter, RingConsumer, RingPath, RssPort};
 use metronome_net::headers::{build_udp_frame, Mac, MIN_FRAME_NO_FCS};
 use metronome_sim::stats::Histogram;
+use metronome_sim::CoarseClock;
 use metronome_sim::Nanos;
 use metronome_sim::Rng;
 use metronome_telemetry::{
     CounterSnapshot, DropCause, Sampler, TelemetryHub, TelemetrySink, TraceHub,
     DEFAULT_RING_CAPACITY,
 };
-use metronome_traffic::{
-    ArrivalProcess, FlowSet, InjectionStats, PacedArrivals, PlannedFaults, WallClock,
-};
+use metronome_traffic::{FlowSet, InjectionStats, PacedArrivals, PlannedFaults, WallClock};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -272,8 +281,24 @@ pub fn try_run_realtime_with(
 ) -> Result<RunReport, RealtimeError> {
     let dispatch = discipline_for(sc)?;
 
+    // ---- generator shards -------------------------------------------------
+    // Flows are partitioned across shards, so a shard count above the flow
+    // population would leave shards with nothing to emit: clamp (a run
+    // has FLOWS_PER_RUN flows, far above any sensible shard count).
+    let gen_shards = sc.gen_shards.clamp(1, FLOWS_PER_RUN);
+    // Concurrent producers need a multi-producer transport: the default
+    // SPSC path auto-upgrades to the MPSC (Vyukov) path. An explicit
+    // Locked choice is honored — the locked ring is MPMC already. (SPSC
+    // with G > 1 would be *safe* — the producer side is guarded — but
+    // the guard serializes the shards, defeating the point.)
+    let ring_path = if gen_shards > 1 && sc.ring_path == RingPath::Spsc {
+        RingPath::Mpsc
+    } else {
+        sc.ring_path
+    };
+
     // ---- receive side: RSS port over bounded mbuf rings ------------------
-    let mut port = RssPort::with_path(sc.n_queues, sc.ring_size, sc.ring_path);
+    let mut port = RssPort::with_path(sc.n_queues, sc.ring_size, ring_path);
 
     // ---- worker shape ----------------------------------------------------
     // The worker config sizes the shared state (controller, locks,
@@ -292,14 +317,14 @@ pub fn try_run_realtime_with(
         .map_or(0, |(cfg, spec)| spec.workers(cfg.m_threads, cfg.n_queues));
 
     // ---- the shared mbuf pool --------------------------------------------
-    // Default population: every ring full twice over, plus the producer
-    // cache's high-water mark and each worker cache's (a per-worker cache
-    // of size C holds at most 2C before spilling) — generous enough that
+    // Default population: every ring full twice over, plus each producer
+    // shard's cache high-water mark and each worker cache's (a cache of
+    // size C holds at most 2C before spilling) — generous enough that
     // a correctly sized run never sees pool exhaustion, small enough that
     // a deliberate `with_mbuf_pool` undersizing bites immediately.
     let population = sc.mbuf_pool.unwrap_or_else(|| {
         2 * sc.n_queues * sc.ring_size
-            + 2 * GEN_BATCH
+            + gen_shards * 2 * GEN_BATCH
             + n_workers.max(1) * 2 * worker_cfg.burst as usize
     });
     let pool = Mempool::new(population, MBUF_DATAROOM);
@@ -335,6 +360,16 @@ pub fn try_run_realtime_with(
     // carries the discipline label so exported series from different
     // systems stay distinguishable.
     let hub = TelemetryHub::labeled(n_workers, sc.n_queues, sc.system.label());
+
+    // Per-shard generator jitter histograms (offered-vs-scheduled lateness
+    // per packet): each shard locks its own slot once per batch, the
+    // sampler and the report merge them. Always on — pacing fidelity is a
+    // first-class measurement, not a tracing extra.
+    let gen_jitter: Arc<Vec<Mutex<Histogram>>> = Arc::new(
+        (0..gen_shards)
+            .map(|_| Mutex::new(Histogram::latency()))
+            .collect(),
+    );
 
     // ---- workers: the scenario's retrieval discipline on real threads ----
     // The latency clock is anchored only after the workers are up (the
@@ -439,6 +474,7 @@ pub fn try_run_realtime_with(
         let apps = Arc::clone(&apps);
         let stop = Arc::clone(&sampler_stop);
         let trace_hub = trace_hub.clone();
+        let gen_jitter = Arc::clone(&gen_jitter);
         let interval = Duration::from_nanos(every.as_nanos());
         std::thread::Builder::new()
             .name("metronome-sampler".into())
@@ -482,6 +518,14 @@ pub fn try_run_realtime_with(
                         snap.oversleep_hist = Some(dump.oversleep());
                         snap.sched_delay = Some(dump.sched_delay());
                     }
+                    // Generator pacing jitter, merged over shards. Each
+                    // shard's lock is held per batch, so contention here
+                    // is brief and bounded like the app mutexes above.
+                    let mut jitter = Histogram::latency();
+                    for shard in gen_jitter.iter() {
+                        jitter.merge(&shard.lock());
+                    }
+                    snap.gen_jitter = Some(jitter);
                     sampler.sample(snap);
                     last = Instant::now();
                     if stopping {
@@ -492,91 +536,86 @@ pub fn try_run_realtime_with(
             .expect("spawn sampler thread")
     });
 
-    // ---- traffic: one aggregate arrival process, wall-clock paced --------
-    // Under a fault plan the aggregate source passes through a seeded
-    // injector before pacing (spikes duplicate, stalls hold, starvation
-    // and jitter suppress). Suppressed packets never reach the pool or
-    // the rings, so their counts are mirrored into the hub as
-    // `DropCause::Fault` (attributed to queue 0 — injection happens
-    // before RSS picks a queue) after every generated batch.
-    let mut arrivals = sc.traffic.build(1, &sc.nic, sc.seed);
-    let mut source: Box<dyn ArrivalProcess> = arrivals.remove(0);
-    let mut fault_stats: Option<InjectionStats> = None;
-    if let Some(plan) = &sc.faults {
-        let pf = PlannedFaults::new(source, plan.clone(), Rng::new(sc.seed).stream(0xFA));
-        fault_stats = Some(pf.stats());
-        source = Box::new(pf);
-    }
-    let mut paced = PacedArrivals::new(source, sc.duration).with_max_batch(GEN_BATCH);
+    // ---- traffic: G flow-sharded arrival slices, wall-clock paced --------
+    // `TrafficSpec::build(gen_shards, ...)` splits the aggregate rate into
+    // `G` phase-staggered slices; every slice paces against ONE shared
+    // clock, so interleaved arrival timestamps stay mutually comparable
+    // and latency/jitter measurements reference the same zero. Under a
+    // fault plan each shard's source passes through its own seeded
+    // injector (independent sub-streams of the master seed; spikes
+    // duplicate, stalls hold, starvation and jitter suppress). Suppressed
+    // packets never reach the pool or the rings, so each shard mirrors
+    // its own injector's counts into the hub as `DropCause::Fault`
+    // (attributed to queue 0 — injection happens before RSS picks a
+    // queue).
+    let gen_clock = WallClock::start();
     clock_cell
-        .set(paced.clock())
+        .set(gen_clock)
         .expect("latency clock anchored twice");
-
-    // ---- load generation (inline, like the sim's event loop) -------------
-    // Per batch: one cache transaction hands out blank mbufs (the
-    // producer-side mempool cache turns a warm-path batch into a
-    // thread-local stack drain — no freelist lock), each is refilled from
-    // its flow's template (a memcpy into an already allocated buffer),
-    // staged per target queue, and offered ring by ring in bursts. Frames
-    // the pool could not cover are counted as pool-exhaustion drops
-    // against the queue RSS would have picked; frames a full ring rejects
-    // come back from `offer_burst` and their buffers recycle through the
-    // same cache.
-    let mut gen_cache = pool.cache(GEN_BATCH);
-    let mut seq = 0usize;
-    let mut mirrored_fault = 0u64;
-    let mut blanks: Vec<Mbuf> = Vec::with_capacity(GEN_BATCH);
-    let mut staged: Vec<Vec<Mbuf>> = (0..sc.n_queues)
-        .map(|_| Vec::with_capacity(GEN_BATCH))
+    let mut fault_stats: Vec<InjectionStats> = Vec::new();
+    let pacers: Vec<PacedArrivals> = sc
+        .traffic
+        .build(gen_shards, &sc.nic, sc.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(s, mut source)| {
+            if let Some(plan) = &sc.faults {
+                let pf = PlannedFaults::new(
+                    source,
+                    plan.clone(),
+                    Rng::new(sc.seed).stream(0xFA + s as u64),
+                );
+                fault_stats.push(pf.stats());
+                source = Box::new(pf);
+            }
+            PacedArrivals::with_clock(source, sc.duration, gen_clock).with_max_batch(GEN_BATCH)
+        })
         .collect();
-    while let Some(batch) = paced.next_batch() {
-        // Mirror the injector's suppressions into the hub incrementally,
-        // so a live sampler sees fault drops as they happen rather than
-        // in one end-of-run burst.
-        if let Some(stats) = &fault_stats {
-            let total = stats.drops();
-            if total > mirrored_fault {
-                hub.dropped(0, DropCause::Fault, total - mirrored_fault);
-                mirrored_fault = total;
-            }
-        }
-        gen_cache.alloc_burst(batch.len(), &mut blanks);
-        for &t in batch {
-            let (frame, q, hash) = &templates[seq % templates.len()];
-            seq += 1;
-            match blanks.pop() {
-                Some(mut mbuf) => {
-                    mbuf.refill(frame);
-                    mbuf.queue = *q as u16;
-                    mbuf.rss_hash = *hash;
-                    mbuf.arrival = t;
-                    staged[*q].push(mbuf);
+
+    // ---- load generation --------------------------------------------------
+    // Flow → shard assignment: flow `i` belongs to shard `i mod G`. Each
+    // flow is produced by exactly one shard and each shard emits its slice
+    // in schedule order, so per-flow packet order is preserved — the same
+    // partitioning argument RSS itself makes on the receive side. `G = 1`
+    // runs inline on this thread (the classic path, no spawn); `G > 1`
+    // runs every shard on its own scoped producer thread, all offering
+    // concurrently onto the multi-producer ring path.
+    let shard_templates: Vec<Vec<(bytes::BytesMut, usize, u32)>> = (0..gen_shards)
+        .map(|s| {
+            templates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % gen_shards == s)
+                .map(|(_, t)| t.clone())
+                .collect()
+        })
+        .collect();
+    {
+        let mut shards: Vec<_> = pacers
+            .into_iter()
+            .zip(shard_templates.iter())
+            .enumerate()
+            .map(|(s, (paced, templates))| GenShard {
+                paced,
+                templates,
+                fault_stats: fault_stats.get(s).cloned(),
+                jitter: &gen_jitter[s],
+            })
+            .collect();
+        if gen_shards == 1 {
+            run_gen_shard(shards.pop().expect("one shard"), &port, &pool, &hub);
+        } else {
+            let (port_ref, pool_ref, hub_ref) = (&*port, &pool, &*hub);
+            std::thread::scope(|scope| {
+                for (s, shard) in shards.into_iter().enumerate() {
+                    std::thread::Builder::new()
+                        .name(format!("metronome-gen{s}"))
+                        .spawn_scoped(scope, move || {
+                            run_gen_shard(shard, port_ref, pool_ref, hub_ref);
+                        })
+                        .expect("spawn generator shard");
                 }
-                // Pool exhausted: the NIC has a descriptor but no buffer
-                // to DMA into — a drop cause of its own.
-                None => hub.dropped(*q, DropCause::Pool, 1),
-            }
-        }
-        for (q, frames) in staged.iter_mut().enumerate() {
-            if frames.is_empty() {
-                continue;
-            }
-            port.offer_burst(q, frames);
-            // Whatever the ring rejected is tail-dropped (already counted
-            // by the ring; mirrored into the telemetry hub): recycle the
-            // buffers in one cache transaction.
-            hub.dropped(q, DropCause::Ring, frames.len() as u64);
-            gen_cache.free_burst(frames.drain(..));
-        }
-    }
-    // Generation is over: sweep up the injector's remaining suppressions,
-    // plus any packets a queue stall still holds past the horizon — those
-    // are stranded upstream of the NIC and will never be offered, so they
-    // close the conservation identity as fault drops.
-    if let Some(stats) = &fault_stats {
-        let total = stats.drops() + stats.held();
-        if total > mirrored_fault {
-            hub.dropped(0, DropCause::Fault, total - mirrored_fault);
+            });
         }
     }
 
@@ -586,7 +625,7 @@ pub fn try_run_realtime_with(
     // loop for the full configured duration, or idle-cost measurements
     // (wakes, busy fraction) would cover a spawn/teardown window instead
     // of the scenario — the sim runs the same horizon unconditionally.
-    let elapsed = paced.clock().now();
+    let elapsed = gen_clock.now();
     if elapsed < sc.duration {
         std::thread::sleep(Duration::from_nanos((sc.duration - elapsed).as_nanos()));
     }
@@ -631,14 +670,11 @@ pub fn try_run_realtime_with(
         })
         .collect();
 
-    // The generator's cache has no further use: flush it so the report's
-    // pool snapshot shows everything home (the worker caches already
-    // flushed when their threads exited, before join returned).
-    drop(gen_cache);
-
     // Every buffer the pool handed out must be home again: the workers
-    // recycle after each burst and the generator after each offer, so a
-    // leak here is a real datapath bug, not a timing artifact.
+    // recycle after each burst and each generator shard after each offer
+    // (the shard caches flushed when `run_gen_shard` returned, the worker
+    // caches when their threads exited), so a leak here is a real
+    // datapath bug, not a timing artifact.
     debug_assert_eq!(pool.in_use(), 0, "mbuf leak: pool buffers unaccounted");
     debug_assert_eq!(pool.cached(), 0, "worker caches not flushed at exit");
 
@@ -727,8 +763,109 @@ pub fn try_run_realtime_with(
         }
         report.latency_us = merged.boxplot_scaled(1e-3);
     }
+    // Pacing fidelity, merged over generator shards (always measured).
+    let mut jitter_merged = Histogram::latency();
+    for shard in gen_jitter.iter() {
+        jitter_merged.merge(&shard.lock());
+    }
+    report.gen_jitter_us = jitter_merged.boxplot_scaled(1e-3);
     // Workers joined above, so every recorder has deposited its final
     // ring state: this dump is the complete flight record of the run.
     report.trace = trace_hub.as_ref().map(|t| t.dump());
     Ok(report)
+}
+
+/// One generator shard's working set: its arrival-slice pacer, its flow
+/// templates (the `i mod G == s` partition), its injector stats (when a
+/// fault plan is armed) and its jitter-histogram slot.
+struct GenShard<'a> {
+    paced: PacedArrivals,
+    templates: &'a [(bytes::BytesMut, usize, u32)],
+    fault_stats: Option<InjectionStats>,
+    jitter: &'a Mutex<Histogram>,
+}
+
+/// Produce one shard's arrival slice to exhaustion: pace, stamp, scatter,
+/// offer, recycle. Runs inline for `gen_shards = 1` and on a scoped
+/// producer thread per shard otherwise; every counter it touches is
+/// shard-additive (hub atomics, ring counters, pool accounting), so the
+/// aggregate is exact regardless of interleaving.
+fn run_gen_shard(shard: GenShard<'_>, port: &RssPort, pool: &Mempool, hub: &TelemetryHub) {
+    let GenShard {
+        mut paced,
+        templates,
+        fault_stats,
+        jitter,
+    } = shard;
+    // Per-shard working set: a mempool cache (burst alloc/free is a
+    // thread-local stack drain, no freelist lock), a scatter arena
+    // (counting sort to per-queue runs, no per-queue Vec churn), and a
+    // coarse clock on the pacer's timeline (ONE precise read per batch —
+    // the per-packet jitter stamps reuse it).
+    let mut cache = pool.cache(GEN_BATCH);
+    let mut scatter = QueueScatter::new(port.n_queues());
+    let coarse = CoarseClock::from_epoch(paced.clock().anchor());
+    let mut blanks: Vec<Mbuf> = Vec::with_capacity(GEN_BATCH);
+    let mut seq = 0usize;
+    let mut mirrored_fault = 0u64;
+    while let Some(batch) = paced.next_batch() {
+        // Mirror the injector's suppressions into the hub incrementally,
+        // so a live sampler sees fault drops as they happen rather than
+        // in one end-of-run burst.
+        if let Some(stats) = &fault_stats {
+            let total = stats.drops();
+            if total > mirrored_fault {
+                hub.dropped(0, DropCause::Fault, total - mirrored_fault);
+                mirrored_fault = total;
+            }
+        }
+        // Offered-vs-scheduled lateness of the whole batch against one
+        // amortized timestamp. A batch IS one emission instant — the
+        // per-packet vDSO reads the coarse clock removes were measuring
+        // the clock, not the pacing.
+        let now = coarse.tick();
+        {
+            let mut j = jitter.lock();
+            for &t in batch {
+                j.record(now.saturating_sub(t).as_nanos());
+            }
+        }
+        cache.alloc_burst(batch.len(), &mut blanks);
+        for &t in batch {
+            let (frame, q, hash) = &templates[seq % templates.len()];
+            seq += 1;
+            match blanks.pop() {
+                Some(mut mbuf) => {
+                    mbuf.refill(frame);
+                    mbuf.queue = *q as u16;
+                    mbuf.rss_hash = *hash;
+                    mbuf.arrival = t;
+                    scatter.push(*q, mbuf);
+                }
+                // Pool exhausted: the NIC has a descriptor but no buffer
+                // to DMA into — a drop cause of its own.
+                None => hub.dropped(*q, DropCause::Pool, 1),
+            }
+        }
+        scatter.dispatch(|q, frames| {
+            port.offer_burst(q, frames);
+            // Whatever the ring rejected is tail-dropped (already counted
+            // by the ring; mirrored into the telemetry hub): recycle the
+            // buffers in one cache transaction.
+            hub.dropped(q, DropCause::Ring, frames.len() as u64);
+            cache.free_burst(frames.drain(..));
+        });
+    }
+    // This shard's slice is over: sweep up its injector's remaining
+    // suppressions, plus any packets a queue stall still holds past the
+    // horizon — those are stranded upstream of the NIC and will never be
+    // offered, so they close the conservation identity as fault drops.
+    if let Some(stats) = &fault_stats {
+        let total = stats.drops() + stats.held();
+        if total > mirrored_fault {
+            hub.dropped(0, DropCause::Fault, total - mirrored_fault);
+        }
+    }
+    // The shard cache flushes on drop, before the scoped join — the
+    // post-run pool audit sees everything home.
 }

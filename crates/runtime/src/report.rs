@@ -93,6 +93,11 @@ pub struct RunReport {
     pub power_watts: f64,
     /// End-to-end latency summary (µs), if sampling was enabled.
     pub latency_us: Option<Boxplot>,
+    /// Generator pacing jitter summary (µs): how late each offered packet
+    /// left relative to its scheduled departure, merged over generator
+    /// shards (`None` on the simulation backend, where departure times are
+    /// exact by construction).
+    pub gen_jitter_us: Option<Boxplot>,
     /// Per-queue details.
     pub queues: Vec<QueueReport>,
     /// Aggregate busy-try fraction.
@@ -159,6 +164,7 @@ impl RunReport {
             cpu_per_thread_pct: Vec::new(),
             power_watts: 0.0,
             latency_us: None,
+            gen_jitter_us: None,
             queues: Vec::new(),
             busy_try_fraction: 0.0,
             total_wakes: 0,
@@ -297,6 +303,7 @@ impl RunReport {
             .with("busy_try_fraction", self.busy_try_fraction)
             .with("total_wakes", self.total_wakes)
             .with("latency_us", self.latency_us.as_ref().map(boxplot))
+            .with("gen_jitter_us", self.gen_jitter_us.as_ref().map(boxplot))
             .with(
                 "mempool",
                 self.mempool.map(|m| {

@@ -279,6 +279,14 @@ pub struct Scenario {
     /// Off by default — the disabled path is a compile-time no-op on the
     /// record path. Simulation ignores this.
     pub trace: bool,
+    /// Generator producer shards on the realtime backend. `1` (the
+    /// default) keeps the single-threaded inline generator; `G > 1` splits
+    /// the arrival schedule across `G` concurrent producer threads
+    /// assigned by flow (flow → shard, preserving per-flow order), each
+    /// with its own pacer slice, mempool cache and scatter arena. Multiple
+    /// producers need a multi-producer ring, so `G > 1` auto-upgrades
+    /// `ring_path` from SPSC to MPSC at run time. Simulation ignores this.
+    pub gen_shards: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -306,6 +314,7 @@ impl Scenario {
             exec: ExecBackend::Threads,
             ring_path: RingPath::Spsc,
             trace: false,
+            gen_shards: 1,
             seed: 0xC0FFEE,
         }
     }
@@ -471,6 +480,17 @@ impl Scenario {
         self
     }
 
+    /// Split realtime generation across `shards` producer threads
+    /// (flow-sharded; `G > 1` auto-upgrades an SPSC ring path to MPSC).
+    ///
+    /// # Panics
+    /// If `shards` is zero — a run with no producers offers nothing.
+    pub fn with_gen_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "gen_shards must be at least 1");
+        self.gen_shards = shards;
+        self
+    }
+
     /// Set the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -567,6 +587,17 @@ mod tests {
         assert_eq!(a.exec, ExecBackend::Async { shards: 2 });
         assert_eq!(a.exec.label(), "async");
         assert_eq!(a.ring_path, RingPath::Mpsc);
+
+        // Generation is single-shard unless asked otherwise.
+        assert_eq!(s.gen_shards, 1);
+        let g = Scenario::xdp("g", 2, TrafficSpec::Silent).with_gen_shards(4);
+        assert_eq!(g.gen_shards, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "gen_shards")]
+    fn zero_gen_shards_rejected() {
+        let _ = Scenario::xdp("g", 2, TrafficSpec::Silent).with_gen_shards(0);
     }
 
     #[test]

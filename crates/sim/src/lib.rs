@@ -32,4 +32,4 @@ pub mod time;
 
 pub use event::{EventId, EventQueue};
 pub use rng::Rng;
-pub use time::{Cycles, Nanos};
+pub use time::{CoarseClock, Cycles, Nanos};

@@ -267,6 +267,82 @@ impl fmt::Display for Nanos {
     }
 }
 
+/// An amortized monotonic clock for realtime hot paths.
+///
+/// Reading the OS monotonic clock (`Instant::now()`) costs a vDSO call —
+/// tens of nanoseconds — which is the same order as the per-packet budget of
+/// a 25+ Mpps pipeline. The realtime components (latency stamping, trace
+/// timestamps, pacing backstops) rarely need per-packet precision: one fresh
+/// read per *burst* or per scheduler *turn* bounds the staleness by the
+/// burst service time (a few µs at worst) while removing the clock read from
+/// the per-packet path entirely.
+///
+/// The contract:
+///
+/// * [`CoarseClock::tick`] performs one precise read, caches it, and returns
+///   it. Call it at batch/turn boundaries.
+/// * [`CoarseClock::cached`] returns the last ticked value with **no**
+///   clock read. Use it for every timestamp inside the batch.
+/// * The cached value is nondecreasing (`Instant` is monotonic and the cache
+///   only moves forward), so per-owner timestamp streams stay sorted.
+/// * Sleep deadlines must NOT use the cached value: keep the precise
+///   [`CoarseClock::epoch`]-anchored path for anything that blocks.
+///
+/// The type is deliberately `!Sync` (interior `Cell`): each worker, shard,
+/// or recorder owns its own instance, so there is no cross-thread cache
+/// coherence traffic — the same reason DPDK keeps per-lcore cycle caches.
+#[derive(Debug, Clone)]
+pub struct CoarseClock {
+    epoch: std::time::Instant,
+    cached: core::cell::Cell<u64>,
+}
+
+impl CoarseClock {
+    /// A clock anchored at "now"; the cache starts at zero (the epoch).
+    pub fn new() -> Self {
+        Self::from_epoch(std::time::Instant::now())
+    }
+
+    /// A clock anchored at an existing epoch, so several clocks (or a clock
+    /// and a precise-sleep path) share one timeline.
+    pub fn from_epoch(epoch: std::time::Instant) -> Self {
+        CoarseClock {
+            epoch,
+            cached: core::cell::Cell::new(0),
+        }
+    }
+
+    /// Refresh the cache with one precise clock read and return it.
+    #[inline]
+    pub fn tick(&self) -> Nanos {
+        let now = self.epoch.elapsed().as_nanos() as u64;
+        // `Instant` is monotone, but guard the cache anyway so `cached()`
+        // can never observe a rewind even if the epoch maths ever changes.
+        if now > self.cached.get() {
+            self.cached.set(now);
+        }
+        Nanos(self.cached.get())
+    }
+
+    /// The last [`tick`](Self::tick)ed value — no clock read.
+    #[inline]
+    pub fn cached(&self) -> Nanos {
+        Nanos(self.cached.get())
+    }
+
+    /// The precise anchor, for sleep deadlines and cross-clock alignment.
+    #[inline]
+    pub fn epoch(&self) -> std::time::Instant {
+        self.epoch
+    }
+}
+
+impl Default for CoarseClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Number of CPU cycles, used by the OS/CPU cost model.
 ///
 /// Cycles convert to time through a core's current frequency, so the same
@@ -407,6 +483,30 @@ mod tests {
         let c = Cycles::from_duration(dur, 2100);
         assert_eq!(c, Cycles(21_000));
         assert_eq!(c.at_mhz(2100), dur);
+    }
+
+    #[test]
+    fn coarse_clock_cached_is_free_and_monotone() {
+        let c = CoarseClock::new();
+        assert_eq!(c.cached(), Nanos::ZERO, "fresh clock has not ticked");
+        let t1 = c.tick();
+        assert_eq!(c.cached(), t1, "cached returns the last tick");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(c.cached(), t1, "cached never reads the clock");
+        let t2 = c.tick();
+        assert!(t2 >= t1, "ticks are nondecreasing");
+        assert!(t2 > t1, "2ms later the precise read must have advanced");
+    }
+
+    #[test]
+    fn coarse_clock_shares_an_epoch() {
+        let epoch = std::time::Instant::now();
+        let a = CoarseClock::from_epoch(epoch);
+        let b = CoarseClock::from_epoch(epoch);
+        let (ta, tb) = (a.tick(), b.tick());
+        // Same timeline: two back-to-back ticks land within a generous bound.
+        assert!(tb.saturating_sub(ta) < Nanos::from_millis(100));
+        assert_eq!(a.epoch(), epoch);
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub const HEADERS: &[&str] = &[
     "wake_p50_us",
     "wake_p99_us",
     "sched_p99_us",
+    "jitter_p50_us",
+    "jitter_p99_us",
     "discipline",
 ];
 
@@ -58,8 +60,14 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             .as_ref()
             .map(|l| format!("{:.3}", l.p99_us))
             .unwrap_or_default();
+        // Generator pacing columns: empty when the window recorded no
+        // offered packets (sim backend, or an idle window).
+        let (jitter_p50, jitter_p99) = match &w.gen_jitter {
+            Some(l) => (format!("{:.3}", l.p50_us), format!("{:.3}", l.p99_us)),
+            None => (String::new(), String::new()),
+        };
         out.push_str(&format!(
-            "{},{:.6},{:.6},{},{},{},{},{},{},{:.3},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{},{:.3},{},{},{},{},{},{},{}\n",
+            "{},{:.6},{:.6},{},{},{},{},{},{},{:.3},{:.4},{:.4},{:.6},{:.2},{:.4},{},{},{},{:.3},{},{},{},{},{},{},{},{},{}\n",
             w.index,
             w.start.as_secs_f64(),
             w.end.as_secs_f64(),
@@ -85,6 +93,8 @@ pub fn timeseries_csv(ts: &TimeSeries) -> String {
             wake_p50,
             wake_p99,
             sched_p99,
+            jitter_p50,
+            jitter_p99,
             ts.discipline(),
         ));
     }

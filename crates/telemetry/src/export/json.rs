@@ -547,6 +547,7 @@ pub fn timeseries_json(ts: &TimeSeries) -> Json {
             o.push("latency_us", w.latency.as_ref().map(lat_window));
             o.push("wake_latency_us", w.wake_latency.as_ref().map(lat_window));
             o.push("sched_delay_us", w.sched_delay.as_ref().map(lat_window));
+            o.push("gen_jitter_us", w.gen_jitter.as_ref().map(lat_window));
             o
         })
         .collect();

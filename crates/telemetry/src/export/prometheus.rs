@@ -412,6 +412,15 @@ pub fn snapshot_metrics(snap: &CounterSnapshot) -> Vec<PromMetric> {
             h,
         ));
     }
+    // Generator pacing check (present whenever the wall-clock generator
+    // runs, independent of tracing).
+    if let Some(h) = &snap.gen_jitter {
+        metrics.extend(histogram_families(
+            "metronome_gen_jitter_seconds",
+            "Generator offered-vs-scheduled lateness per packet",
+            h,
+        ));
+    }
     if !snap.discipline.is_empty() {
         for m in &mut metrics {
             for s in &mut m.samples {
@@ -521,17 +530,21 @@ mod tests {
         snap.ts_ns = vec![10_000];
         snap.rho = vec![0.5];
         snap.occupancy = vec![0];
-        assert!(!render(&snapshot_metrics(&snap)).contains("wake_latency"));
+        let bare = render(&snapshot_metrics(&snap));
+        assert!(!bare.contains("wake_latency"));
+        assert!(!bare.contains("gen_jitter"));
         let mut h = Histogram::latency();
         h.record(3_000);
         snap.wake_latency = Some(h.clone());
         snap.oversleep_hist = Some(h.clone());
-        snap.sched_delay = Some(h);
+        snap.sched_delay = Some(h.clone());
+        snap.gen_jitter = Some(h);
         snap.oversleep_nanos = 3_000;
         let text = render(&snapshot_metrics(&snap));
         assert!(text.contains("metronome_wake_latency_seconds_bucket"));
         assert!(text.contains("metronome_oversleep_seconds_sum"));
         assert!(text.contains("metronome_sched_delay_seconds_count"));
+        assert!(text.contains("metronome_gen_jitter_seconds_bucket"));
         // The oversleep histogram sum reconciles with the counter total.
         let metrics = parse(&text).unwrap();
         let get = |name: &str| {

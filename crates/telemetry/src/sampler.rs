@@ -76,6 +76,11 @@ pub struct CounterSnapshot {
     /// Cumulative scheduler ready-to-run delay histogram (nanoseconds;
     /// tracing on the async backend only).
     pub sched_delay: Option<Histogram>,
+    /// Cumulative generator jitter histogram (nanoseconds): how late each
+    /// offered packet was relative to its scheduled departure, summed over
+    /// generator shards. The always-on pacing check — present whenever the
+    /// wall-clock generator runs.
+    pub gen_jitter: Option<Histogram>,
 }
 
 impl CounterSnapshot {
@@ -150,6 +155,9 @@ pub struct Window {
     /// Scheduler-delay percentiles of this window's picks (tracing on
     /// the async backend only).
     pub sched_delay: Option<LatencyWindow>,
+    /// Generator offered-vs-scheduled lateness percentiles of packets
+    /// offered in this window (wall-clock generator only).
+    pub gen_jitter: Option<LatencyWindow>,
 }
 
 impl Window {
@@ -284,6 +292,7 @@ impl Sampler {
         let wake_latency =
             diff_latency(self.prev.wake_latency.as_ref(), snap.wake_latency.as_ref());
         let sched_delay = diff_latency(self.prev.sched_delay.as_ref(), snap.sched_delay.as_ref());
+        let gen_jitter = diff_latency(self.prev.gen_jitter.as_ref(), snap.gen_jitter.as_ref());
         let energy_delta = (snap.energy_joules - self.prev.energy_joules).max(0.0);
         let span_s = snap.at.saturating_sub(self.prev.at).as_secs_f64();
         self.windows.push(Window {
@@ -314,6 +323,7 @@ impl Sampler {
             latency,
             wake_latency,
             sched_delay,
+            gen_jitter,
         });
         self.prev = snap;
     }

@@ -33,7 +33,7 @@ use std::time::Instant;
 use crate::export::json::Json;
 use crate::sink::{DropCause, PhaseKind, SleepKind, TelemetrySink};
 use metronome_sim::stats::Histogram;
-use metronome_sim::Nanos;
+use metronome_sim::{CoarseClock, Nanos};
 
 /// Default per-recorder ring capacity (events). At ~40 bytes/event this
 /// is a few hundred KiB per worker — enough for several milliseconds of
@@ -480,7 +480,12 @@ impl RecorderInner {
 /// drop.
 pub struct TraceRecorder {
     worker: usize,
-    epoch: Instant,
+    /// Amortized timestamp source anchored on the hub epoch: boundary
+    /// events (verdicts, sleeps, parks, scheduler picks, markers) take one
+    /// precise read; payload events inside a turn (bursts, wheel traffic)
+    /// reuse it. Cached reads are monotone, so per-worker event streams
+    /// stay sorted — the dump-merge invariant the proptests pin down.
+    clock: CoarseClock,
     slot: Arc<Mutex<WorkerTrace>>,
     inner: RefCell<RecorderInner>,
 }
@@ -491,8 +496,29 @@ impl TraceRecorder {
         self.worker
     }
 
+    /// Record with one precise clock read (turn/sleep/sched boundaries).
     fn record(&self, kind: TraceEventKind, a: u64, b: u64) {
-        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+        let ts_ns = self.clock.tick().as_nanos();
+        self.record_at(ts_ns, kind, a, b);
+    }
+
+    /// Record against the last boundary's timestamp — no clock read. Used
+    /// by the high-frequency payload events (bursts, timer-wheel traffic),
+    /// whose rate is what the flight recorder is measuring in the first
+    /// place. Staleness is bounded by one turn; the first event on a fresh
+    /// recorder still takes a precise read so nothing is stamped at the
+    /// epoch.
+    fn record_coarse(&self, kind: TraceEventKind, a: u64, b: u64) {
+        let cached = self.clock.cached();
+        let ts_ns = if cached.is_zero() {
+            self.clock.tick().as_nanos()
+        } else {
+            cached.as_nanos()
+        };
+        self.record_at(ts_ns, kind, a, b);
+    }
+
+    fn record_at(&self, ts_ns: u64, kind: TraceEventKind, a: u64, b: u64) {
         let mut inner = self.inner.borrow_mut();
         inner.ring.push(TraceEvent { ts_ns, kind, a, b });
         inner.since_flush += 1;
@@ -569,19 +595,19 @@ impl TraceSink for TraceRecorder {
     }
 
     fn wheel_insert(&self, task: usize, deadline_ns: u64) {
-        self.record(TraceEventKind::WheelInsert, task as u64, deadline_ns);
+        self.record_coarse(TraceEventKind::WheelInsert, task as u64, deadline_ns);
     }
 
     fn wheel_cascade(&self, entries: u64) {
-        self.record(TraceEventKind::WheelCascade, entries, 0);
+        self.record_coarse(TraceEventKind::WheelCascade, entries, 0);
     }
 
     fn wheel_fire(&self, task: usize, live: bool) {
-        self.record(TraceEventKind::WheelFire, task as u64, live as u64);
+        self.record_coarse(TraceEventKind::WheelFire, task as u64, live as u64);
     }
 
     fn burst(&self, q: usize, n: u64) {
-        self.record(TraceEventKind::Burst, q as u64, n);
+        self.record_coarse(TraceEventKind::Burst, q as u64, n);
     }
 
     fn marker(&self, kind: MarkerKind, a: u64) {
@@ -645,7 +671,7 @@ impl TraceHub {
     pub fn recorder(&self, worker: usize) -> TraceRecorder {
         TraceRecorder {
             worker,
-            epoch: self.epoch,
+            clock: CoarseClock::from_epoch(self.epoch),
             slot: Arc::clone(&self.slots[worker]),
             inner: RefCell::new(RecorderInner {
                 ring: TraceRing::new(self.capacity),

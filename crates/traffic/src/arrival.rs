@@ -19,7 +19,12 @@
 use metronome_sim::{Nanos, Rng};
 
 /// A stream of packet arrival instants, consumed monotonically.
-pub trait ArrivalProcess {
+///
+/// `Send` is a supertrait so a boxed process can move onto a generator
+/// shard thread (sharded realtime ingest paces each flow partition's
+/// slice on its own producer thread). Every process is plain state plus
+/// an owned PRNG stream, so this costs implementors nothing.
+pub trait ArrivalProcess: Send {
     /// Consume all arrivals with timestamp ≤ `until` and return their
     /// count. If `timestamps` is provided, push each arrival time into it
     /// (in order). Calling with a non-increasing `until` returns 0.

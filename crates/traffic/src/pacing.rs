@@ -42,6 +42,13 @@ impl WallClock {
         Nanos(self.start.elapsed().as_nanos() as u64)
     }
 
+    /// The wall-clock instant virtual time zero maps to. Lets derived
+    /// clocks (e.g. a `CoarseClock` amortizing hot-path reads) share this
+    /// timeline exactly.
+    pub fn anchor(&self) -> Instant {
+        self.start
+    }
+
     /// Sleep until virtual time `t` through `sleeper` (the same hybrid
     /// OS-sleep + spin-tail primitive the Metronome workers use — see
     /// DESIGN.md's `hr_sleep` substitution). Returns immediately if `t`
@@ -72,8 +79,18 @@ impl PacedArrivals {
     /// Pace `source` from now until `horizon` of virtual time. The clock
     /// starts immediately.
     pub fn new(source: Box<dyn ArrivalProcess>, horizon: Nanos) -> Self {
+        Self::with_clock(source, horizon, WallClock::start())
+    }
+
+    /// Pace `source` against an existing `clock` instead of anchoring a
+    /// fresh one. This is how sharded generation keeps `G` concurrent
+    /// pacers on one timeline: every shard shares the run's clock
+    /// (`WallClock` is `Copy`), so their interleaved arrival timestamps
+    /// are mutually comparable and the latency/jitter measurements all
+    /// reference the same zero.
+    pub fn with_clock(source: Box<dyn ArrivalProcess>, horizon: Nanos, clock: WallClock) -> Self {
         PacedArrivals {
-            clock: WallClock::start(),
+            clock,
             source,
             horizon,
             sleeper: PreciseSleeper::default(),
@@ -206,6 +223,31 @@ mod tests {
         // Generous bound: shared/1-core CI machines stall, but a paced
         // 10 ms run must not take seconds.
         assert!(wall < Duration::from_secs(2), "pacing stalled: {wall:?}");
+    }
+
+    #[test]
+    fn sharded_pacers_share_one_timeline() {
+        // Two pacers on one clock (the sharded-generation shape): each
+        // emits its own slice's exact schedule against the shared zero.
+        let clock = WallClock::start();
+        let horizon = Nanos::from_millis(10);
+        let mk = |offset_ns: u64| {
+            PacedArrivals::with_clock(
+                Box::new(Cbr::new(100_000.0, Nanos(offset_ns))),
+                horizon,
+                clock,
+            )
+        };
+        let (mut a, mut b) = (mk(0), mk(5_000));
+        let (mut na, mut nb) = (0u64, 0u64);
+        while let Some(batch) = a.next_batch() {
+            na += batch.len() as u64;
+        }
+        while let Some(batch) = b.next_batch() {
+            nb += batch.len() as u64;
+        }
+        assert_eq!(na, 1000);
+        assert_eq!(nb, 1000);
     }
 
     #[test]
